@@ -1,0 +1,161 @@
+package unsched
+
+import (
+	"math/rand"
+
+	"unsched/internal/comm"
+	"unsched/internal/costmodel"
+	"unsched/internal/expt"
+	"unsched/internal/hypercube"
+	"unsched/internal/ipsc"
+	"unsched/internal/mesh"
+	"unsched/internal/sched"
+	"unsched/internal/topo"
+)
+
+// Core types, re-exported so downstream code works entirely through
+// this package.
+type (
+	// Matrix is the n x n communication matrix COM.
+	Matrix = comm.Matrix
+	// Message is one COM entry (source, destination, bytes).
+	Message = comm.Message
+	// Mesh is the irregular-mesh workload builder.
+	Mesh = comm.Mesh
+	// Cube is the hypercube topology with e-cube routing.
+	Cube = hypercube.Cube
+	// Mesh2D is the 2D mesh/torus topology with XY routing (the
+	// Paragon-style successor network; the §5 generalization).
+	Mesh2D = mesh.Mesh
+	// Topology is any deterministic-routing network the link-aware
+	// scheduler and the simulator can target.
+	Topology = topo.Topology
+	// Schedule is an ordered list of contention-avoiding phases.
+	Schedule = sched.Schedule
+	// Phase is one partial permutation.
+	Phase = sched.Phase
+	// ACOrder is the (non-)schedule of the asynchronous algorithm.
+	ACOrder = sched.ACOrder
+	// Params is the machine timing model.
+	Params = costmodel.Params
+	// Result is a simulated run outcome.
+	Result = ipsc.Result
+	// ExperimentConfig parameterizes the paper's measurement protocol.
+	ExperimentConfig = expt.Config
+)
+
+// NewMatrix returns an empty n x n communication matrix.
+func NewMatrix(n int) (*Matrix, error) { return comm.New(n) }
+
+// NewCube returns the hypercube with 2^dim nodes; it panics on
+// dimensions outside [0, 30], which are compile-time constants in any
+// reasonable caller.
+func NewCube(dim int) *Cube { return hypercube.MustNew(dim) }
+
+// NewMesh2D returns a w x h mesh (torus if wrap) with XY routing.
+func NewMesh2D(w, h int, wrap bool) (*Mesh2D, error) { return mesh.New(w, h, wrap) }
+
+// Workload generators (see internal/comm for details).
+var (
+	UniformRandom     = comm.UniformRandom
+	DRegular          = comm.DRegular
+	HotSpot           = comm.HotSpot
+	BitComplement     = comm.BitComplement
+	Shift             = comm.Shift
+	AllToAll          = comm.AllToAll
+	HaloFromPartition = comm.HaloFromPartition
+	NewIrregularMesh  = comm.NewIrregularMesh
+	MixedSizes        = comm.MixedSizes
+	ReadMatrix        = comm.Read
+)
+
+// The paper's scheduling algorithms and the extension baselines.
+var (
+	// AC returns the asynchronous send order (paper §3).
+	AC = sched.AC
+	// ACShuffled randomizes each processor's firing order.
+	ACShuffled = sched.ACShuffled
+	// LP is the XOR linear-permutation schedule (paper §4.1).
+	LP = sched.LP
+	// RSN is randomized scheduling avoiding node contention (§4.2).
+	RSN = sched.RSN
+	// RSNL avoids node and link contention with pairwise priority (§5).
+	RSNL = sched.RSNL
+	// RSNLSized is the non-uniform-size variant of RSNL ([15]).
+	RSNLSized = sched.RSNLSized
+	// Greedy is the deterministic maximal-matching baseline.
+	Greedy = sched.Greedy
+	// GreedyLargestFirst handles non-uniform message sizes.
+	GreedyLargestFirst = sched.GreedyLargestFirst
+	// GreedyLargestFirstLinkFree adds link-contention avoidance.
+	GreedyLargestFirstLinkFree = sched.GreedyLargestFirstLinkFree
+)
+
+// DefaultIPSC860 returns the calibrated 64-node iPSC/860 timing model.
+func DefaultIPSC860() Params { return costmodel.DefaultIPSC860() }
+
+// DefaultIPSC2 returns the approximate timing model of the slower
+// predecessor machine, for sensitivity checks.
+func DefaultIPSC2() Params { return costmodel.DefaultIPSC2() }
+
+// SimulateS1 runs a schedule under the S1 protocol (ready signals,
+// pairwise exchanges) on the machine simulator. Use for LP and RSNL
+// schedules; LP schedules get the exchange-every-phase semantics via
+// SimulateLP.
+func SimulateS1(net Topology, params Params, s *Schedule) (Result, error) {
+	return ipsc.RunS1(net, params, s)
+}
+
+// SimulateS2 runs a schedule under the S2 protocol (post-all,
+// send-all in schedule order, confirm). Use for RSN schedules.
+func SimulateS2(net Topology, params Params, s *Schedule) (Result, error) {
+	return ipsc.RunS2(net, params, s)
+}
+
+// SimulateLP runs an LP schedule with a pairwise-synchronized exchange
+// in every phase, the way complete-exchange codes drive the machine.
+func SimulateLP(net Topology, params Params, s *Schedule) (Result, error) {
+	return ipsc.RunLP(net, params, s)
+}
+
+// SimulateAC runs the asynchronous algorithm on the machine simulator.
+func SimulateAC(net Topology, params Params, o *ACOrder, m *Matrix) (Result, error) {
+	return ipsc.RunAC(net, params, o, m)
+}
+
+// Simulate dispatches a schedule to the execution protocol the paper
+// pairs it with: S1 for LP (exchange semantics) and RS_NL, S2 for
+// everything else.
+func Simulate(net Topology, params Params, s *Schedule) (Result, error) {
+	switch s.Algorithm {
+	case "LP":
+		return SimulateLP(net, params, s)
+	case "RS_NL":
+		return SimulateS1(net, params, s)
+	default:
+		return SimulateS2(net, params, s)
+	}
+}
+
+// ScheduleFor runs the algorithm the paper recommends for the (d, M)
+// operating point (Figure 5): AC for tiny messages, LP for dense
+// large-message patterns, RS_NL otherwise. It returns a nil Schedule
+// when AC is chosen (there is nothing to schedule).
+func ScheduleFor(m *Matrix, cube *Cube, rng *rand.Rand) (*Schedule, error) {
+	d := m.Density()
+	bytes := m.MaxMessageBytes()
+	params := DefaultIPSC860()
+	switch {
+	case bytes <= params.ShortMaxBytes:
+		return nil, nil // AC: just fire asynchronously
+	case d >= cube.Nodes()/2 && bytes > 1024:
+		return LP(m)
+	default:
+		return RSNL(m, cube, rng)
+	}
+}
+
+// DefaultExperimentConfig returns the paper's experiment setup (64
+// nodes, calibrated model) with a reduced sample count; set Samples to
+// 50 for the paper's exact protocol.
+func DefaultExperimentConfig() ExperimentConfig { return expt.DefaultConfig() }

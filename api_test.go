@@ -1,0 +1,227 @@
+package unsched
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	// The doc.go example, end to end.
+	cube := NewCube(6)
+	rng := rand.New(rand.NewSource(1))
+	m, err := UniformRandom(64, 8, 4096, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := RSNL(m, cube, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ValidateLinkFree(cube); err != nil {
+		t.Fatal(err)
+	}
+	res, err := SimulateS1(cube, DefaultIPSC860(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MakespanUS <= 0 {
+		t.Error("no makespan")
+	}
+}
+
+func TestSimulateDispatch(t *testing.T) {
+	cube := NewCube(6)
+	rng := rand.New(rand.NewSource(2))
+	m, err := UniformRandom(64, 4, 1024, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := DefaultIPSC860()
+	for _, build := range []func() (*Schedule, error){
+		func() (*Schedule, error) { return LP(m) },
+		func() (*Schedule, error) { return RSN(m, rng) },
+		func() (*Schedule, error) { return RSNL(m, cube, rng) },
+		func() (*Schedule, error) { return Greedy(m) },
+	} {
+		s, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Simulate(cube, params, s)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Algorithm, err)
+		}
+		if res.MakespanUS <= 0 {
+			t.Errorf("%s: no makespan", s.Algorithm)
+		}
+	}
+}
+
+func TestScheduleForDispatch(t *testing.T) {
+	cube := NewCube(6)
+	rng := rand.New(rand.NewSource(3))
+
+	tiny, err := UniformRandom(64, 4, 64, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := ScheduleFor(tiny, cube, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != nil {
+		t.Error("tiny messages should pick AC (nil schedule)")
+	}
+
+	dense, err := DRegular(64, 48, 128*1024, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err = ScheduleFor(dense, cube, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s == nil || s.Algorithm != "LP" {
+		t.Errorf("dense large messages should pick LP, got %v", s)
+	}
+
+	mid, err := UniformRandom(64, 8, 8192, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err = ScheduleFor(mid, cube, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s == nil || s.Algorithm != "RS_NL" {
+		t.Errorf("mid region should pick RS_NL, got %v", s)
+	}
+}
+
+func TestFacadeGenerators(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	if _, err := BitComplement(64, 128); err != nil {
+		t.Error(err)
+	}
+	if _, err := Shift(64, 3, 128); err != nil {
+		t.Error(err)
+	}
+	if _, err := AllToAll(16, 128); err != nil {
+		t.Error(err)
+	}
+	if _, err := HotSpot(64, 4, 128, 4, 0.5, rng); err != nil {
+		t.Error(err)
+	}
+	mesh, err := NewIrregularMesh(8, 8, 0.3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mesh.HaloMatrix(4, mesh.StripPartition(4), 8); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeshTopologyEndToEnd(t *testing.T) {
+	// The §5 generalization: RS_NL schedules link-contention-free on a
+	// mesh and a torus, and the simulator runs them.
+	for _, wrap := range []bool{false, true} {
+		net, err := NewMesh2D(8, 8, wrap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(5))
+		m, err := UniformRandom(64, 6, 4096, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := RSNL(m, net, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Validate(m); err != nil {
+			t.Fatalf("wrap=%v: %v", wrap, err)
+		}
+		if err := s.ValidateLinkFree(net); err != nil {
+			t.Fatalf("wrap=%v: %v", wrap, err)
+		}
+		res, err := SimulateS1(net, DefaultIPSC860(), s)
+		if err != nil {
+			t.Fatalf("wrap=%v: %v", wrap, err)
+		}
+		if res.MakespanUS <= 0 {
+			t.Errorf("wrap=%v: no makespan", wrap)
+		}
+	}
+}
+
+func TestMeshNeedsMorePhasesThanCube(t *testing.T) {
+	// A mesh has fewer channels and longer routes than a cube of the
+	// same size, so link-free schedules need at least as many phases.
+	cube := NewCube(6)
+	flat, err := NewMesh2D(8, 8, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	m, err := DRegular(64, 8, 4096, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onCube, err := RSNL(m, cube, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	onMesh, err := RSNL(m, flat, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if onMesh.NumPhases() < onCube.NumPhases() {
+		t.Errorf("mesh schedule has %d phases, cube %d — mesh should need at least as many",
+			onMesh.NumPhases(), onCube.NumPhases())
+	}
+}
+
+func TestRSNLSizedFacade(t *testing.T) {
+	cube := NewCube(6)
+	rng := rand.New(rand.NewSource(8))
+	m, err := MixedSizes(64, 6, 128, 32*1024, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := RSNLSized(m, cube, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ValidateLinkFree(cube); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SimulateS1(cube, DefaultIPSC860(), s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIPSC2FacadePreset(t *testing.T) {
+	p := DefaultIPSC2()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.TransferTime(1024, 3) <= DefaultIPSC860().TransferTime(1024, 3) {
+		t.Error("iPSC/2 should be slower")
+	}
+}
+
+func TestDefaultExperimentConfig(t *testing.T) {
+	cfg := DefaultExperimentConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Cube.Nodes() != 64 {
+		t.Errorf("default config should model the 64-node machine, got %d", cfg.Cube.Nodes())
+	}
+}

@@ -1,0 +1,526 @@
+package unsched
+
+// The benchmark harness regenerates every table and figure of the
+// paper's evaluation as Go benchmarks (see DESIGN.md §4 for the
+// experiment index), plus the ablations of §5. Benchmarks report the
+// measured quantities through b.ReportMetric — comm_ms columns for the
+// tables, fraction series for the overhead figures — so `go test
+// -bench=.` output reads like the paper's tables. The cmd/experiments
+// tool prints the same data in the paper's layout.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"unsched/internal/comm"
+	"unsched/internal/costmodel"
+	"unsched/internal/expt"
+	"unsched/internal/hypercube"
+	"unsched/internal/ipsc"
+	"unsched/internal/mesh"
+	"unsched/internal/sched"
+	"unsched/internal/topo"
+)
+
+func benchConfig() expt.Config {
+	cfg := expt.DefaultConfig()
+	cfg.Samples = 2 // raise to 50 to match the paper's protocol exactly
+	return cfg
+}
+
+// --- Table 1: one benchmark per density row -------------------------
+
+func benchTable1Row(b *testing.B, d int) {
+	cfg := benchConfig()
+	var cells map[expt.Algorithm]expt.Cell
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		cells, err = cfg.MeasureCell(d, 128*1024)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(cells[expt.AC].CommMS, "AC_128K_ms")
+	b.ReportMetric(cells[expt.LP].CommMS, "LP_128K_ms")
+	b.ReportMetric(cells[expt.RSN].CommMS, "RSN_128K_ms")
+	b.ReportMetric(cells[expt.RSNL].CommMS, "RSNL_128K_ms")
+	b.ReportMetric(cells[expt.RSN].Iters, "RSN_iters")
+	b.ReportMetric(cells[expt.RSNL].Iters, "RSNL_iters")
+	b.ReportMetric(cells[expt.RSN].CompMS, "RSN_comp_ms")
+	b.ReportMetric(cells[expt.RSNL].CompMS, "RSNL_comp_ms")
+}
+
+func BenchmarkTable1_D4(b *testing.B)  { benchTable1Row(b, 4) }
+func BenchmarkTable1_D8(b *testing.B)  { benchTable1Row(b, 8) }
+func BenchmarkTable1_D16(b *testing.B) { benchTable1Row(b, 16) }
+func BenchmarkTable1_D32(b *testing.B) { benchTable1Row(b, 32) }
+func BenchmarkTable1_D48(b *testing.B) { benchTable1Row(b, 48) }
+
+// --- Figure 5: the (d, M) region map --------------------------------
+
+func BenchmarkFig5Regions(b *testing.B) {
+	cfg := benchConfig()
+	sizes := []int64{64, 1024, 16 * 1024, 128 * 1024}
+	densities := []int{4, 16, 48}
+	var regions []expt.Region
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		regions, err = expt.RegionMap(cfg, densities, sizes)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Report the corners the paper's Figure 5 pins down: AC wins the
+	// small corner, LP the large corner (1 = holds, 0 = violated).
+	acCorner, lpCorner := 0.0, 0.0
+	for _, r := range regions {
+		if r.Density == 4 && r.MsgBytes == 64 && r.Winner == expt.AC {
+			acCorner = 1
+		}
+		if r.Density == 48 && r.MsgBytes == 128*1024 && r.Winner == expt.LP {
+			lpCorner = 1
+		}
+	}
+	b.ReportMetric(acCorner, "AC_corner_holds")
+	b.ReportMetric(lpCorner, "LP_corner_holds")
+}
+
+// --- Figures 6-9: comm cost vs message size per density -------------
+
+func benchCommVsSize(b *testing.B, d int) {
+	cfg := benchConfig()
+	sizes := []int64{16, 256, 4096, 65536, 131072}
+	var series []struct{ ac, lp, rsn, rsnl float64 }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		series = series[:0]
+		for _, size := range sizes {
+			cells, err := cfg.MeasureCell(d, size)
+			if err != nil {
+				b.Fatal(err)
+			}
+			series = append(series, struct{ ac, lp, rsn, rsnl float64 }{
+				cells[expt.AC].CommMS, cells[expt.LP].CommMS,
+				cells[expt.RSN].CommMS, cells[expt.RSNL].CommMS,
+			})
+		}
+	}
+	for i, size := range sizes {
+		b.ReportMetric(series[i].ac, fmt.Sprintf("AC_%dB_ms", size))
+		b.ReportMetric(series[i].rsnl, fmt.Sprintf("RSNL_%dB_ms", size))
+	}
+	last := series[len(series)-1]
+	b.ReportMetric(last.lp, "LP_128K_ms")
+	b.ReportMetric(last.rsn, "RSN_128K_ms")
+}
+
+func BenchmarkFig6_D4(b *testing.B)  { benchCommVsSize(b, 4) }
+func BenchmarkFig7_D8(b *testing.B)  { benchCommVsSize(b, 8) }
+func BenchmarkFig8_D16(b *testing.B) { benchCommVsSize(b, 16) }
+func BenchmarkFig9_D32(b *testing.B) { benchCommVsSize(b, 32) }
+
+// --- Figures 10-11: scheduling overhead fraction --------------------
+
+func benchOverhead(b *testing.B, alg expt.Algorithm) {
+	cfg := benchConfig()
+	sizes := []int64{64, 128, 2048, 8192, 131072}
+	var series [][]float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := expt.OverheadVsSize(cfg, alg, []int{4, 48}, sizes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		series = [][]float64{s[0].Y, s[1].Y}
+	}
+	// The paper's claims: a sharp decline across the 64->128 B protocol
+	// switch, and a negligible fraction for large messages.
+	b.ReportMetric(series[0][0], "d4_64B_fraction")
+	b.ReportMetric(series[0][1], "d4_128B_fraction")
+	b.ReportMetric(series[0][len(sizes)-1], "d4_128K_fraction")
+	b.ReportMetric(series[1][0], "d48_64B_fraction")
+	b.ReportMetric(series[1][len(sizes)-1], "d48_128K_fraction")
+}
+
+func BenchmarkFig10_RSNOverhead(b *testing.B)  { benchOverhead(b, expt.RSN) }
+func BenchmarkFig11_RSNLOverhead(b *testing.B) { benchOverhead(b, expt.RSNL) }
+
+// --- Ablations (DESIGN.md §5) ----------------------------------------
+
+// Randomized row shuffle vs ascending order in CCOM compression: the
+// paper warns the unshuffled form causes early-phase node contention.
+func BenchmarkAblationShuffle(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	m, err := comm.DRegular(64, 16, 1024, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var shuffled, ordered float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s1, err := sched.RSN(m, rand.New(rand.NewSource(int64(i))))
+		if err != nil {
+			b.Fatal(err)
+		}
+		s2, err := sched.RSNOrdered(m, rand.New(rand.NewSource(int64(i))))
+		if err != nil {
+			b.Fatal(err)
+		}
+		shuffled = float64(s1.NumPhases())
+		ordered = float64(s2.NumPhases())
+	}
+	b.ReportMetric(shuffled, "shuffled_phases")
+	b.ReportMetric(ordered, "ordered_phases")
+}
+
+// Pairwise-exchange priority on vs off in RS_NL, on a symmetric
+// pattern where pairing matters most.
+func BenchmarkAblationPairwise(b *testing.B) {
+	cube := hypercube.MustNew(6)
+	params := costmodel.DefaultIPSC860()
+	m := comm.MustNew(64)
+	rng := rand.New(rand.NewSource(6))
+	for count := 0; count < 256; count++ {
+		i, j := rng.Intn(64), rng.Intn(64)
+		if i != j {
+			m.Set(i, j, 32*1024)
+			m.Set(j, i, 32*1024)
+		}
+	}
+	var with, without float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s1, err := sched.RSNL(m, cube, rand.New(rand.NewSource(int64(i))))
+		if err != nil {
+			b.Fatal(err)
+		}
+		r1, err := ipsc.RunS1(cube, params, s1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s2, err := sched.RSNLNoPairwise(m, cube, rand.New(rand.NewSource(int64(i))))
+		if err != nil {
+			b.Fatal(err)
+		}
+		r2, err := ipsc.RunS1(cube, params, s2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		with = r1.MakespanUS / 1000
+		without = r2.MakespanUS / 1000
+	}
+	b.ReportMetric(with, "pairwise_ms")
+	b.ReportMetric(without, "no_pairwise_ms")
+}
+
+// S1 vs S2 execution of the same RS_NL schedule on a symmetric
+// pattern (the paper: S1 wins when the algorithm exploits pairwise
+// exchange; on asymmetric patterns with few exchange opportunities the
+// ordering can flip, which is §6's "unless ... the algorithm does not
+// exploit the pairwise bidirectional communication").
+func BenchmarkAblationProtocol(b *testing.B) {
+	cube := hypercube.MustNew(6)
+	params := costmodel.DefaultIPSC860()
+	rng := rand.New(rand.NewSource(7))
+	m := comm.MustNew(64)
+	for count := 0; count < 512; count++ {
+		i, j := rng.Intn(64), rng.Intn(64)
+		if i != j {
+			m.Set(i, j, 64*1024)
+			m.Set(j, i, 64*1024)
+		}
+	}
+	s, err := sched.RSNL(m, cube, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var s1ms, s2ms float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r1, err := ipsc.RunS1(cube, params, s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r2, err := ipsc.RunS2(cube, params, s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s1ms = r1.MakespanUS / 1000
+		s2ms = r2.MakespanUS / 1000
+	}
+	b.ReportMetric(s1ms, "S1_ms")
+	b.ReportMetric(s2ms, "S2_ms")
+}
+
+// CCOM compression vs direct O(n^2) COM scanning in RS_N: schedule
+// quality is the same, scheduling cost is not (§4.2).
+func BenchmarkAblationCompression(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	m, err := comm.DRegular(64, 8, 1024, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := costmodel.DefaultIPSC860()
+	var compressed, uncompressed float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s1, err := sched.RSN(m, rand.New(rand.NewSource(int64(i))))
+		if err != nil {
+			b.Fatal(err)
+		}
+		s2, err := sched.RSNUncompressed(m, rand.New(rand.NewSource(int64(i))))
+		if err != nil {
+			b.Fatal(err)
+		}
+		compressed = params.CompTimeMS(s1.Ops)
+		uncompressed = params.CompTimeMS(s2.Ops)
+	}
+	b.ReportMetric(compressed, "ccom_comp_ms")
+	b.ReportMetric(uncompressed, "full_scan_comp_ms")
+}
+
+// Blocking csend vs idealized unbounded-async sends in AC: how much of
+// AC's large-message collapse is head-of-line blocking.
+func BenchmarkAblationAsyncAC(b *testing.B) {
+	cube := hypercube.MustNew(6)
+	params := costmodel.DefaultIPSC860()
+	rng := rand.New(rand.NewSource(9))
+	m, err := comm.DRegular(64, 16, 128*1024, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	order, err := sched.AC(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var blocking, async float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r1, err := ipsc.RunAC(cube, params, order, m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r2, err := ipsc.RunACAsync(cube, params, order, m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		blocking = r1.MakespanUS / 1000
+		async = r2.MakespanUS / 1000
+	}
+	b.ReportMetric(blocking, "blocking_ms")
+	b.ReportMetric(async, "async_ms")
+}
+
+// Loose synchrony (S1 ready signals) vs global barrier per phase: the
+// cost §6's modification avoids.
+func BenchmarkAblationSynchrony(b *testing.B) {
+	cube := hypercube.MustNew(6)
+	params := costmodel.DefaultIPSC860()
+	rng := rand.New(rand.NewSource(12))
+	m, err := comm.DRegular(64, 8, 8192, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := sched.RSNL(m, cube, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var loose, strict float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r1, err := ipsc.RunS1(cube, params, s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r2, err := ipsc.RunS1Barrier(cube, params, s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		loose = r1.MakespanUS / 1000
+		strict = r2.MakespanUS / 1000
+	}
+	b.ReportMetric(loose, "loose_sync_ms")
+	b.ReportMetric(strict, "global_barrier_ms")
+}
+
+// Hypercube vs mesh vs torus for the same pattern and scheduler — the
+// §5 topology generalization at work.
+func BenchmarkAblationTopology(b *testing.B) {
+	params := costmodel.DefaultIPSC860()
+	rng := rand.New(rand.NewSource(13))
+	m, err := comm.DRegular(64, 8, 16*1024, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nets := []topo.Topology{
+		hypercube.MustNew(6),
+		mesh.MustNew(8, 8, false),
+		mesh.MustNew(8, 8, true),
+	}
+	results := make([]float64, len(nets))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for ni, net := range nets {
+			s, err := sched.RSNL(m, net, rand.New(rand.NewSource(int64(i))))
+			if err != nil {
+				b.Fatal(err)
+			}
+			r, err := ipsc.RunS1(net, params, s)
+			if err != nil {
+				b.Fatal(err)
+			}
+			results[ni] = r.MakespanUS / 1000
+		}
+	}
+	b.ReportMetric(results[0], "hypercube_ms")
+	b.ReportMetric(results[1], "mesh_ms")
+	b.ReportMetric(results[2], "torus_ms")
+}
+
+// Non-uniform message sizes: plain RS_NL vs the size-aware variant vs
+// largest-first list scheduling — the [15] extension measured on
+// simulated makespan, not just the phase-max proxy.
+func BenchmarkExtensionNonUniform(b *testing.B) {
+	cube := hypercube.MustNew(6)
+	params := costmodel.DefaultIPSC860()
+	m, err := comm.MixedSizes(64, 8, 64, 64*1024, rand.New(rand.NewSource(14)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var plain, sized, lf float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s1, err := sched.RSNL(m, cube, rand.New(rand.NewSource(int64(i))))
+		if err != nil {
+			b.Fatal(err)
+		}
+		r1, err := ipsc.RunS1(cube, params, s1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s2, err := sched.RSNLSized(m, cube, rand.New(rand.NewSource(int64(i))))
+		if err != nil {
+			b.Fatal(err)
+		}
+		r2, err := ipsc.RunS1(cube, params, s2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s3, err := sched.GreedyLargestFirstLinkFree(m, cube)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r3, err := ipsc.RunS1(cube, params, s3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		plain = r1.MakespanUS / 1000
+		sized = r2.MakespanUS / 1000
+		lf = r3.MakespanUS / 1000
+	}
+	b.ReportMetric(plain, "RSNL_ms")
+	b.ReportMetric(sized, "RSNL_sized_ms")
+	b.ReportMetric(lf, "greedy_LF_link_ms")
+}
+
+// The paper's phase-count claim: RS_N completes in about d + log d
+// permutations for random d-regular workloads.
+func BenchmarkPhaseCountScaling(b *testing.B) {
+	rng := rand.New(rand.NewSource(15))
+	densities := []int{4, 8, 16, 32, 48}
+	means := make([]float64, len(densities))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for di, d := range densities {
+			total := 0
+			const samples = 5
+			for s := 0; s < samples; s++ {
+				m, err := comm.DRegular(64, d, 1024, rng)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sc, err := sched.RSN(m, rng)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += sc.NumPhases()
+			}
+			means[di] = float64(total) / samples
+		}
+	}
+	for di, d := range densities {
+		b.ReportMetric(means[di], fmt.Sprintf("iters_d%d", d))
+	}
+}
+
+// --- Micro-benchmarks: raw scheduler and simulator throughput -------
+
+func benchScheduler(b *testing.B, build func(*comm.Matrix, *rand.Rand) (*sched.Schedule, error)) {
+	rng := rand.New(rand.NewSource(10))
+	m, err := comm.DRegular(64, 16, 1024, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := build(m, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSchedulerLP(b *testing.B) {
+	benchScheduler(b, func(m *comm.Matrix, _ *rand.Rand) (*sched.Schedule, error) {
+		return sched.LP(m)
+	})
+}
+
+func BenchmarkSchedulerRSN(b *testing.B) {
+	benchScheduler(b, sched.RSN)
+}
+
+func BenchmarkSchedulerRSNL(b *testing.B) {
+	cube := hypercube.MustNew(6)
+	benchScheduler(b, func(m *comm.Matrix, rng *rand.Rand) (*sched.Schedule, error) {
+		return sched.RSNL(m, cube, rng)
+	})
+}
+
+func BenchmarkSchedulerGreedy(b *testing.B) {
+	benchScheduler(b, func(m *comm.Matrix, _ *rand.Rand) (*sched.Schedule, error) {
+		return sched.Greedy(m)
+	})
+}
+
+func BenchmarkSimulatorRSNL(b *testing.B) {
+	cube := hypercube.MustNew(6)
+	params := costmodel.DefaultIPSC860()
+	rng := rand.New(rand.NewSource(11))
+	m, err := comm.DRegular(64, 16, 4096, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := sched.RSNL(m, cube, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ipsc.RunS1(cube, params, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEcubeRouting(b *testing.B) {
+	cube := hypercube.MustNew(6)
+	var buf []hypercube.Channel
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = cube.Route(i%64, (i*31)%64, buf[:0])
+	}
+	_ = buf
+}

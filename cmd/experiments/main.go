@@ -1,0 +1,145 @@
+// Command experiments regenerates the paper's evaluation: Table 1 and
+// Figures 5-11 of Wang & Ranka, "Scheduling of Unstructured
+// Communication on the Intel iPSC/860" (SC 1994), measured on the
+// repository's machine simulator.
+//
+// Usage:
+//
+//	experiments [flags] <table1|fig5|fig6|fig7|fig8|fig9|fig10|fig11|all>
+//
+// Flags:
+//
+//	-samples N   random samples per (d, M) cell (default 10; paper: 50)
+//	-seed S      master seed (default 1994)
+//	-csv         emit figures as CSV instead of ASCII charts
+//	-dim D       hypercube dimension (default 6, the 64-node machine)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"unsched/internal/expt"
+	"unsched/internal/hypercube"
+	"unsched/internal/plot"
+)
+
+func main() {
+	samples := flag.Int("samples", 10, "random samples per (d, M) cell; the paper uses 50")
+	seed := flag.Int64("seed", 1994, "master seed")
+	csv := flag.Bool("csv", false, "emit figure data as CSV instead of ASCII charts")
+	dim := flag.Int("dim", 6, "hypercube dimension (6 = the paper's 64-node machine)")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: experiments [flags] <table1|fig5|fig6|fig7|fig8|fig9|fig10|fig11|all>")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	cube, err := hypercube.New(*dim)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := expt.DefaultConfig()
+	cfg.Cube = cube
+	cfg.Samples = *samples
+	cfg.Seed = *seed
+
+	targets := map[string]func(expt.Config, bool) error{
+		"table1": runTable1,
+		"fig5":   runFig5,
+		"fig6":   figComm(4),
+		"fig7":   figComm(8),
+		"fig8":   figComm(16),
+		"fig9":   figComm(32),
+		"fig10":  figOverhead(expt.RSN, "Figure 10: computation overhead of RS_N (comp/comm)"),
+		"fig11":  figOverhead(expt.RSNL, "Figure 11: computation overhead of RS_NL (comp/comm)"),
+	}
+
+	name := flag.Arg(0)
+	if name == "all" {
+		for _, key := range []string{"table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11"} {
+			fmt.Printf("==== %s ====\n", key)
+			if err := targets[key](cfg, *csv); err != nil {
+				fatal(err)
+			}
+			fmt.Println()
+		}
+		return
+	}
+	run, ok := targets[name]
+	if !ok {
+		fatal(fmt.Errorf("unknown target %q", name))
+	}
+	if err := run(cfg, *csv); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}
+
+func runTable1(cfg expt.Config, _ bool) error {
+	fmt.Printf("Table 1: %d-node machine, %d samples per cell, seed %d (timings in ms)\n",
+		cfg.Cube.Nodes(), cfg.Samples, cfg.Seed)
+	rows, err := expt.Table1(cfg)
+	if err != nil {
+		return err
+	}
+	return expt.WriteTable1(os.Stdout, rows)
+}
+
+func runFig5(cfg expt.Config, _ bool) error {
+	fmt.Println("Figure 5: winning algorithm per (density, message size), comm cost only")
+	var sizes []int64
+	for b := int64(64); b <= 64*1024; b *= 4 {
+		sizes = append(sizes, b)
+	}
+	regions, err := expt.RegionMap(cfg, []int{4, 8, 16, 32, 48}, sizes)
+	if err != nil {
+		return err
+	}
+	return expt.WriteRegionMap(os.Stdout, regions)
+}
+
+func figComm(d int) func(expt.Config, bool) error {
+	return func(cfg expt.Config, csv bool) error {
+		series, err := expt.CommVsSize(cfg, d, expt.FigureSizes())
+		if err != nil {
+			return err
+		}
+		if csv {
+			return plot.WriteCSV(os.Stdout, series)
+		}
+		fmt.Print(plot.ASCII(series, plot.Options{
+			Title:  fmt.Sprintf("Communication cost, uniform messages, d = %d, %d nodes", d, cfg.Cube.Nodes()),
+			LogX:   true,
+			XLabel: "message bytes",
+			YLabel: "time (ms)",
+		}))
+		return nil
+	}
+}
+
+func figOverhead(alg expt.Algorithm, title string) func(expt.Config, bool) error {
+	return func(cfg expt.Config, csv bool) error {
+		series, err := expt.OverheadVsSize(cfg, alg, []int{4, 8, 16, 32, 48}, expt.FigureSizes())
+		if err != nil {
+			return err
+		}
+		if csv {
+			return plot.WriteCSV(os.Stdout, series)
+		}
+		fmt.Print(plot.ASCII(series, plot.Options{
+			Title:  title,
+			LogX:   true,
+			XLabel: "message bytes",
+			YLabel: "comp/comm fraction",
+		}))
+		return nil
+	}
+}

@@ -1,0 +1,224 @@
+// Command unsched schedules one unstructured communication pattern and
+// reports what the paper's algorithms make of it: phase counts,
+// contention checks, simulated communication time on the iPSC/860
+// model, and optional schedule listings.
+//
+// Usage examples:
+//
+//	unsched -n 64 -d 8 -bytes 4096                 # compare all algorithms
+//	unsched -n 64 -d 8 -bytes 4096 -alg RS_NL -trace
+//	unsched -pattern hotspot -n 64 -d 8 -bytes 1024
+//	unsched -load pattern.txt -alg LP -gantt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"text/tabwriter"
+
+	"unsched/internal/comm"
+	"unsched/internal/costmodel"
+	"unsched/internal/hypercube"
+	"unsched/internal/ipsc"
+	"unsched/internal/mesh"
+	"unsched/internal/sched"
+	"unsched/internal/topo"
+	"unsched/internal/trace"
+)
+
+func main() {
+	n := flag.Int("n", 64, "processor count (power of two)")
+	d := flag.Int("d", 8, "density: messages sent/received per processor")
+	bytes := flag.Int64("bytes", 4096, "uniform message size")
+	pattern := flag.String("pattern", "dregular", "workload: dregular|random|hotspot|bitcomp|alltoall|mixed")
+	topoName := flag.String("topo", "cube", "topology: cube|mesh|torus (mesh/torus need a square node count)")
+	load := flag.String("load", "", "load a communication matrix from file instead of generating")
+	alg := flag.String("alg", "", "run one algorithm (AC|LP|RS_N|RS_NL|GREEDY|GREEDY_LF); default: compare all")
+	seed := flag.Int64("seed", 7, "random seed")
+	doTrace := flag.Bool("trace", false, "print the phase-by-phase schedule")
+	doGantt := flag.Bool("gantt", false, "print a per-node phase occupancy chart")
+	doHeat := flag.Bool("heatmap", false, "print the communication matrix heatmap")
+	saveSched := flag.String("save", "", "write the (single -alg) schedule to this file for reuse")
+	flag.Parse()
+
+	if *saveSched != "" && *alg == "" {
+		fatal(fmt.Errorf("-save requires a single -alg"))
+	}
+
+	m, err := buildMatrix(*load, *pattern, *n, *d, *bytes, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	net, err := buildTopology(*topoName, m.N())
+	if err != nil {
+		fatal(err)
+	}
+	params := costmodel.DefaultIPSC860()
+
+	fmt.Printf("pattern: n=%d messages=%d density=%d total=%d bytes\n",
+		m.N(), m.MessageCount(), m.Density(), m.TotalBytes())
+	if *doHeat {
+		fmt.Print(trace.MatrixHeatmap(m))
+	}
+
+	algs := []string{"AC", "LP", "RS_N", "RS_NL", "RS_NL_SZ", "GREEDY", "GREEDY_LF"}
+	if *alg != "" {
+		algs = []string{*alg}
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "algorithm\tphases\tpairwise\tcomp(ms)\tcomm(ms)\tlink-free")
+	for _, name := range algs {
+		if err := runOne(tw, name, m, net, params, *seed, *doTrace, *doGantt, *saveSched); err != nil {
+			fatal(err)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "unsched:", err)
+	os.Exit(1)
+}
+
+func buildMatrix(load, pattern string, n, d int, bytes, seed int64) (*comm.Matrix, error) {
+	if load != "" {
+		f, err := os.Open(load)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return comm.Read(f)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	switch pattern {
+	case "dregular":
+		return comm.DRegular(n, d, bytes, rng)
+	case "random":
+		return comm.UniformRandom(n, d, bytes, rng)
+	case "hotspot":
+		return comm.HotSpot(n, d, bytes, max(1, n/16), 0.7, rng)
+	case "bitcomp":
+		return comm.BitComplement(n, bytes)
+	case "alltoall":
+		return comm.AllToAll(n, bytes)
+	case "mixed":
+		return comm.MixedSizes(n, d, bytes/8+1, bytes, rng)
+	default:
+		return nil, fmt.Errorf("unknown pattern %q", pattern)
+	}
+}
+
+func buildTopology(name string, n int) (topo.Topology, error) {
+	switch name {
+	case "cube":
+		return hypercube.ForNodes(n)
+	case "mesh", "torus":
+		side := 1
+		for side*side < n {
+			side++
+		}
+		if side*side != n {
+			return nil, fmt.Errorf("mesh/torus need a square node count, got %d", n)
+		}
+		return mesh.New(side, side, name == "torus")
+	default:
+		return nil, fmt.Errorf("unknown topology %q", name)
+	}
+}
+
+func runOne(tw *tabwriter.Writer, name string, m *comm.Matrix, net topo.Topology,
+	params costmodel.Params, seed int64, doTrace, doGantt bool, savePath string) error {
+	rng := rand.New(rand.NewSource(seed))
+	if name == "AC" {
+		order, err := sched.AC(m)
+		if err != nil {
+			return err
+		}
+		res, err := ipsc.RunAC(net, params, order, m)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(tw, "AC\t-\t-\t0.00\t%.2f\t-\n", res.MakespanUS/1000)
+		return nil
+	}
+
+	var s *sched.Schedule
+	var err error
+	switch name {
+	case "LP":
+		s, err = sched.LP(m)
+	case "RS_N":
+		s, err = sched.RSN(m, rng)
+	case "RS_NL":
+		s, err = sched.RSNL(m, net, rng)
+	case "RS_NL_SZ":
+		s, err = sched.RSNLSized(m, net, rng)
+	case "GREEDY":
+		s, err = sched.Greedy(m)
+	case "GREEDY_LF":
+		s, err = sched.GreedyLargestFirst(m)
+	default:
+		return fmt.Errorf("unknown algorithm %q", name)
+	}
+	if err != nil {
+		return err
+	}
+	if err := s.Validate(m); err != nil {
+		return fmt.Errorf("%s produced an invalid schedule: %w", name, err)
+	}
+	linkFree := "yes"
+	if err := s.ValidateLinkFree(net); err != nil {
+		linkFree = "no"
+	}
+
+	var res ipsc.Result
+	switch name {
+	case "LP":
+		res, err = ipsc.RunLP(net, params, s)
+	case "RS_NL", "RS_NL_SZ":
+		res, err = ipsc.RunS1(net, params, s)
+	default:
+		res, err = ipsc.RunS2(net, params, s)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(tw, "%s\t%d\t%.0f%%\t%.2f\t%.2f\t%s\n",
+		name, s.NumPhases(), 100*s.PairwiseFraction(),
+		params.CompTimeMS(s.Ops), res.MakespanUS/1000, linkFree)
+
+	if doTrace {
+		if err := trace.WriteSchedule(os.Stdout, s); err != nil {
+			return err
+		}
+	}
+	if doGantt {
+		fmt.Print(trace.Gantt(s, 80))
+	}
+	if savePath != "" {
+		f, err := os.Create(savePath)
+		if err != nil {
+			return err
+		}
+		if _, err := s.WriteTo(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "schedule written to %s (reload with sched.ReadSchedule)\n", savePath)
+	}
+	return nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,39 @@
+// Package unsched schedules unstructured (all-to-many personalized)
+// communication on circuit-switched hypercubes, reproducing Wang &
+// Ranka, "Scheduling of Unstructured Communication on the Intel
+// iPSC/860" (SC 1994).
+//
+// Given an n x n communication matrix COM — COM(i,j) = m > 0 when
+// processor Pi must send m bytes to Pj — the package decomposes the
+// communication into partial permutations (phases) that avoid node
+// contention and, optionally, link contention under e-cube routing:
+//
+//   - AC: the asynchronous baseline — no scheduling at all (§3)
+//   - LP: XOR linear permutations, all pairwise exchanges, n-1 phases,
+//     contention-free by construction (§4.1)
+//   - RSN: randomized scheduling avoiding node contention (§4.2)
+//   - RSNL: randomized scheduling avoiding node and link contention,
+//     with pairwise-exchange priority (§5)
+//
+// plus a deterministic greedy baseline and largest-first variants for
+// non-uniform message sizes.
+//
+// Because the iPSC/860 no longer exists, the package ships two
+// substitutes for it: a deterministic discrete-event simulator of the
+// circuit-switched hypercube (Simulate*), calibrated against published
+// iPSC/860 measurements, and a goroutine-based message-passing runtime
+// (internal/mpemu, surfaced through the examples) that executes
+// schedules with real payloads and verifies delivery.
+//
+// The quickest start:
+//
+//	cube := unsched.NewCube(6) // 64 nodes
+//	m, _ := unsched.UniformRandom(64, 8, 4096, rng)
+//	s, _ := unsched.RSNL(m, cube, rng)
+//	res, _ := unsched.SimulateS1(cube, unsched.DefaultIPSC860(), s)
+//	fmt.Printf("%.2f ms in %d phases\n", res.MakespanUS/1000, s.NumPhases())
+//
+// The experiment harness that regenerates every table and figure of
+// the paper lives behind cmd/experiments; the root bench suite
+// (bench_test.go) exposes the same measurements as Go benchmarks.
+package unsched

@@ -1,0 +1,79 @@
+// Nonuniform: scheduling when message sizes differ — the extension the
+// paper defers to Wang's thesis [15]. A phase costs roughly tau +
+// M*phi where M is its largest message, so a schedule that mixes one
+// 64 KB message into a phase of 64 B messages wastes almost the whole
+// phase for every small sender. Size-aware scheduling packs similar
+// sizes together.
+//
+// The run compares, on a log-uniform size mix from 64 B to 64 KB:
+//
+//   - RS_NL            (size-blind, the paper's algorithm)
+//   - RS_NL_SZ         (largest-first drain inside the RS_NL framework)
+//   - GREEDY_LF_LINK   (global largest-first list scheduling + link checks)
+//
+// on both the phase-max cost proxy and full machine simulation.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"unsched"
+)
+
+func main() {
+	cube := unsched.NewCube(6)
+	params := unsched.DefaultIPSC860()
+
+	m, err := unsched.MixedSizes(64, 8, 64, 64*1024, rand.New(rand.NewSource(17)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: 64 nodes, density 8, sizes 64 B .. 64 KB (%d messages, %.1f KB total)\n\n",
+		m.MessageCount(), float64(m.TotalBytes())/1024)
+
+	type contender struct {
+		name  string
+		build func(rng *rand.Rand) (*unsched.Schedule, error)
+	}
+	contenders := []contender{
+		{"RS_NL (size-blind)", func(rng *rand.Rand) (*unsched.Schedule, error) {
+			return unsched.RSNL(m, cube, rng)
+		}},
+		{"RS_NL_SZ (size-aware)", func(rng *rand.Rand) (*unsched.Schedule, error) {
+			return unsched.RSNLSized(m, cube, rng)
+		}},
+		{"GREEDY_LF_LINK", func(rng *rand.Rand) (*unsched.Schedule, error) {
+			return unsched.GreedyLargestFirstLinkFree(m, cube)
+		}},
+	}
+
+	fmt.Printf("%-24s %8s %14s %12s\n", "algorithm", "phases", "sum(maxM) KB", "comm (ms)")
+	for _, c := range contenders {
+		s, err := c.build(rand.New(rand.NewSource(3)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := s.Validate(m); err != nil {
+			log.Fatalf("%s: %v", c.name, err)
+		}
+		if err := s.ValidateLinkFree(cube); err != nil {
+			log.Fatalf("%s: %v", c.name, err)
+		}
+		var proxy int64
+		for _, p := range s.Phases {
+			proxy += p.MaxBytes()
+		}
+		res, err := unsched.SimulateS1(cube, params, s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-24s %8d %14.1f %12.2f\n",
+			c.name, s.NumPhases(), float64(proxy)/1024, res.MakespanUS/1000)
+	}
+
+	fmt.Println("\nPacking similar sizes per phase shrinks the per-phase maxima the")
+	fmt.Println("machine actually pays for; global largest-first goes furthest because")
+	fmt.Println("it is free to reorder across the whole matrix.")
+}

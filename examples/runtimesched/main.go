@@ -1,0 +1,86 @@
+// Runtimesched: the paper's runtime-scheduling pipeline (§4.2) run on
+// a real concurrent message-passing substrate — 64 goroutine "nodes"
+// with tagged sends/receives standing in for the iPSC/860's NX layer.
+//
+// Each node starts knowing only its own sending vector (the situation
+// a PARTI-style runtime is in after partitioning). The nodes then:
+//
+//  1. concatenate their rows (recursive doubling over hypercube
+//     dimensions) so every node holds the full COM matrix;
+//  2. independently derive the *same* RS_NL schedule from a shared
+//     seed — no further coordination needed;
+//  3. execute the schedule phase by phase with CRC-checked payloads.
+//
+// The run prints the agreed schedule shape and confirms that every
+// message arrived intact.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sync/atomic"
+
+	"unsched"
+	"unsched/internal/mpemu"
+)
+
+func main() {
+	const (
+		nodes   = 64
+		density = 6
+		msgSize = 2048
+		seed    = 1994
+	)
+	cube := unsched.NewCube(6)
+
+	// The "application" decides who talks to whom; each node will only
+	// be told its own row.
+	pattern, err := unsched.DRegular(nodes, density, msgSize, rand.New(rand.NewSource(3)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("runtime scheduling on %d concurrent nodes: density %d, %d messages\n",
+		nodes, density, pattern.MessageCount())
+
+	comm64, err := mpemu.New(nodes)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var sent, received int64
+	var phases int64 = -1
+	err = comm64.Run(func(nd *mpemu.Node) error {
+		// Step 0: this node's local knowledge — its sending vector only.
+		row := make([]int64, nodes)
+		for j := 0; j < nodes; j++ {
+			row[j] = pattern.At(nd.Rank(), j)
+		}
+		// Steps 1-3: concatenate, derive, execute.
+		res, err := mpemu.RuntimeSchedule(nd, cube, row, seed)
+		if err != nil {
+			return err
+		}
+		atomic.AddInt64(&sent, int64(res.Sent))
+		atomic.AddInt64(&received, int64(res.Received))
+		// All ranks must agree on the schedule; record one copy and
+		// verify the rest against it.
+		n := int64(res.Schedule.NumPhases())
+		if prev := atomic.SwapInt64(&phases, n); prev != -1 && prev != n {
+			return fmt.Errorf("rank %d derived %d phases, another rank %d — schedules diverged",
+				nd.Rank(), n, prev)
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("all %d nodes derived the same RS_NL schedule: %d phases\n", nodes, phases)
+	fmt.Printf("delivered %d messages (sent) / %d (received, CRC-verified) of %d scheduled\n",
+		sent, received, pattern.MessageCount())
+	if int(sent) != pattern.MessageCount() || int(received) != pattern.MessageCount() {
+		log.Fatal("message count mismatch")
+	}
+	fmt.Println("runtime scheduling pipeline verified: concatenate -> identical schedules -> intact delivery")
+}

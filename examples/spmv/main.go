@@ -1,0 +1,131 @@
+// Spmv: distributed sparse matrix-vector multiplication, the classic
+// irregular kernel behind the paper's "unstructured communication"
+// framing. Rows of a sparse matrix are block-distributed; each SpMV
+// needs the vector entries referenced by off-block columns, producing
+// an all-to-many exchange whose structure depends entirely on the
+// sparsity pattern.
+//
+// The example builds a synthetic power-law sparse matrix (a few dense
+// columns, like degree-skewed graphs), derives the communication
+// matrix, and shows why hot-spot patterns punish the asynchronous
+// baseline and reward contention-avoiding schedules.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"unsched"
+)
+
+const (
+	procs     = 64
+	rowsTotal = 8192
+	nnzPerRow = 12
+)
+
+func main() {
+	cube := unsched.NewCube(6)
+	params := unsched.DefaultIPSC860()
+	rng := rand.New(rand.NewSource(99))
+
+	// Synthetic sparsity: column j is referenced with probability
+	// proportional to a power law, giving a few very popular columns —
+	// the structure of web/social matrices.
+	colWeight := make([]float64, rowsTotal)
+	total := 0.0
+	for j := range colWeight {
+		colWeight[j] = 1.0 / float64(j+1)
+		total += colWeight[j]
+	}
+	pick := func() int {
+		x := rng.Float64() * total
+		for j, w := range colWeight {
+			x -= w
+			if x <= 0 {
+				return j
+			}
+		}
+		return rowsTotal - 1
+	}
+
+	owner := func(row int) int { return row * procs / rowsTotal }
+
+	// COM(p, q) accumulates 8 bytes for every vector entry owned by p
+	// that q's rows reference.
+	m, err := unsched.NewMatrix(procs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	seen := make(map[[2]int]bool) // (proc, col) pairs already counted
+	for row := 0; row < rowsTotal; row++ {
+		p := owner(row)
+		for k := 0; k < nnzPerRow; k++ {
+			col := pick()
+			q := owner(col)
+			if q == p {
+				continue
+			}
+			key := [2]int{p, col}
+			if seen[key] {
+				continue // vector entry fetched once per processor
+			}
+			seen[key] = true
+			m.Add(q, p, 8)
+		}
+	}
+
+	fmt.Printf("SpMV exchange: %d processors, %d messages, density %d\n",
+		procs, m.MessageCount(), m.Density())
+	fmt.Printf("message sizes: max %.1f KB, total %.1f KB (skewed: hot columns make hot processors)\n\n",
+		float64(m.MaxMessageBytes())/1024, float64(m.TotalBytes())/1024)
+
+	// Asynchronous baseline.
+	order, err := unsched.AC(m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	acRes, err := unsched.SimulateAC(cube, params, order, m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-22s %8.2f ms\n", "AC (asynchronous)", acRes.MakespanUS/1000)
+
+	// Node-contention avoidance alone.
+	rsn, err := unsched.RSN(m, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rsnRes, err := unsched.SimulateS2(cube, params, rsn)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-22s %8.2f ms  (%d phases)\n", "RS_N (node-free)", rsnRes.MakespanUS/1000, rsn.NumPhases())
+
+	// Node + link avoidance with pairwise exchange.
+	rsnl, err := unsched.RSNL(m, cube, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rsnlRes, err := unsched.SimulateS1(cube, params, rsnl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-22s %8.2f ms  (%d phases, %.0f%% pairwise)\n",
+		"RS_NL (node+link-free)", rsnlRes.MakespanUS/1000, rsnl.NumPhases(), 100*rsnl.PairwiseFraction())
+
+	// Non-uniform sizes are the norm here; the largest-first variant
+	// packs similar sizes into the same phase so the per-phase maxima
+	// shrink monotonically.
+	lf, err := unsched.GreedyLargestFirst(m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lfRes, err := unsched.SimulateS2(cube, params, lf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-22s %8.2f ms  (%d phases, size-aware packing)\n",
+		"GREEDY_LF (non-uniform)", lfRes.MakespanUS/1000, lf.NumPhases())
+}

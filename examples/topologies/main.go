@@ -1,0 +1,70 @@
+// Topologies: the paper's §5 parenthetical made concrete — the
+// link-contention-avoiding scheduler works on any deterministic-
+// routing network. This example schedules the same irregular pattern
+// on the paper's 64-node hypercube, on an 8x8 mesh (Touchstone
+// Delta/Paragon style, the machines that succeeded the iPSC/860), and
+// on an 8x8 torus, then compares phase counts and simulated time.
+//
+// The mesh has fewer channels and longer routes than the cube, so
+// link-free schedules need more phases and each phase carries fewer
+// messages — which is exactly what the run shows.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"unsched"
+)
+
+func main() {
+	const (
+		nodes   = 64
+		density = 8
+		msgSize = 16 * 1024
+	)
+	params := unsched.DefaultIPSC860()
+
+	m, err := unsched.DRegular(nodes, density, msgSize, rand.New(rand.NewSource(11)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pattern: %d nodes, density %d, %d KB messages\n\n", nodes, density, msgSize/1024)
+
+	mesh8, err := unsched.NewMesh2D(8, 8, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	torus8, err := unsched.NewMesh2D(8, 8, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nets := []unsched.Topology{unsched.NewCube(6), mesh8, torus8}
+
+	fmt.Printf("%-14s %8s %10s %10s %12s\n", "topology", "phases", "comp(ms)", "comm(ms)", "link-free")
+	for _, net := range nets {
+		rng := rand.New(rand.NewSource(23))
+		s, err := unsched.RSNL(m, net, rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := s.Validate(m); err != nil {
+			log.Fatalf("%s: %v", net.Name(), err)
+		}
+		linkFree := "yes"
+		if err := s.ValidateLinkFree(net); err != nil {
+			linkFree = "NO: " + err.Error()
+		}
+		res, err := unsched.SimulateS1(net, params, s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s %8d %10.2f %10.2f %12s\n",
+			net.Name(), s.NumPhases(), params.CompTimeMS(s.Ops), res.MakespanUS/1000, linkFree)
+	}
+
+	fmt.Println("\nThe cube's richer wiring (192 links vs the mesh's 112) packs the same")
+	fmt.Println("messages into fewer link-disjoint phases; the torus closes the boundary")
+	fmt.Println("and lands between the two.")
+}

@@ -1,0 +1,187 @@
+package comm
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Compressed is the paper's n x d matrix CCOM (§4.2): row i holds the
+// destinations of Pi's outgoing messages packed into the first few
+// columns, with the per-row pointer vector prt marking the last active
+// column. The randomized schedulers scan CCOM instead of COM, cutting
+// the per-permutation work from O(n^2) to O(dn).
+//
+// The compressing procedure also shuffles the active entries of each
+// row: without the shuffle the destinations sit in ascending order and
+// the first several phases suffer node contention among processors
+// with small IDs (paper §4.2). The shuffle is what keeps the expected
+// number of collisions bounded. NewCompressed applies it; the ablation
+// benchmark disables it via NewCompressedOrdered.
+type Compressed struct {
+	n     int
+	width int     // d: max send degree, the row capacity
+	dest  []int   // row-major n*width; destination id or -1
+	size  []int64 // row-major n*width; message bytes, parallel to dest
+	prt   []int   // prt[i]: index of last active column in row i, -1 if empty
+}
+
+// NewCompressed builds CCOM from COM, shuffling each row's active
+// entries with rng as the paper prescribes. rng may not be nil.
+func NewCompressed(m *Matrix, rng *rand.Rand) *Compressed {
+	c := compress(m)
+	for i := 0; i < c.n; i++ {
+		row := c.dest[i*c.width : i*c.width+c.prt[i]+1]
+		sz := c.size[i*c.width : i*c.width+c.prt[i]+1]
+		rng.Shuffle(len(row), func(a, b int) {
+			row[a], row[b] = row[b], row[a]
+			sz[a], sz[b] = sz[b], sz[a]
+		})
+	}
+	return c
+}
+
+// NewCompressedOrdered builds CCOM without the randomizing shuffle,
+// leaving each row's destinations in ascending order. It exists to
+// reproduce the paper's observation that the unshuffled form causes
+// early-phase node contention (ablation benchmark).
+func NewCompressedOrdered(m *Matrix) *Compressed {
+	return compress(m)
+}
+
+func compress(m *Matrix) *Compressed {
+	n := m.N()
+	width := 0
+	for i := 0; i < n; i++ {
+		if deg := m.SendDegree(i); deg > width {
+			width = deg
+		}
+	}
+	if width == 0 {
+		width = 1 // keep row storage non-degenerate for empty matrices
+	}
+	c := &Compressed{
+		n:     n,
+		width: width,
+		dest:  make([]int, n*width),
+		size:  make([]int64, n*width),
+		prt:   make([]int, n),
+	}
+	for i := range c.dest {
+		c.dest[i] = -1
+	}
+	for i := 0; i < n; i++ {
+		col := 0
+		for j := 0; j < n; j++ {
+			if b := m.At(i, j); b > 0 {
+				c.dest[i*width+col] = j
+				c.size[i*width+col] = b
+				col++
+			}
+		}
+		c.prt[i] = col - 1
+	}
+	return c
+}
+
+// N returns the number of processors.
+func (c *Compressed) N() int { return c.n }
+
+// Width returns d, the row capacity (maximum send degree at build time).
+func (c *Compressed) Width() int { return c.width }
+
+// Remaining returns the number of unscheduled messages in row i.
+func (c *Compressed) Remaining(i int) int { return c.prt[i] + 1 }
+
+// Empty reports whether every row has been fully drained.
+func (c *Compressed) Empty() bool {
+	for i := 0; i < c.n; i++ {
+		if c.prt[i] >= 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// TotalRemaining returns the number of unscheduled messages overall.
+func (c *Compressed) TotalRemaining() int {
+	total := 0
+	for i := 0; i < c.n; i++ {
+		total += c.prt[i] + 1
+	}
+	return total
+}
+
+// At returns the destination in row i, column z, or -1 if inactive.
+func (c *Compressed) At(i, z int) int {
+	if z > c.prt[i] {
+		return -1
+	}
+	return c.dest[i*c.width+z]
+}
+
+// SizeAt returns the message size in row i, column z.
+func (c *Compressed) SizeAt(i, z int) int64 {
+	if z > c.prt[i] {
+		return 0
+	}
+	return c.size[i*c.width+z]
+}
+
+// Remove deletes the entry at (i, z) exactly as the paper's inner loop
+// does: the last active entry of the row is moved into slot z and prt
+// is decremented. It returns the removed destination and size.
+func (c *Compressed) Remove(i, z int) (dest int, bytes int64) {
+	if z > c.prt[i] || z < 0 {
+		panic(fmt.Sprintf("comm: Remove(%d,%d) beyond prt %d", i, z, c.prt[i]))
+	}
+	base := i * c.width
+	dest = c.dest[base+z]
+	bytes = c.size[base+z]
+	last := c.prt[i]
+	c.dest[base+z] = c.dest[base+last]
+	c.size[base+z] = c.size[base+last]
+	c.dest[base+last] = -1
+	c.size[base+last] = 0
+	c.prt[i] = last - 1
+	return dest, bytes
+}
+
+// PartitionRows stable-partitions the active entries of every row so
+// that entries satisfying pred(row, dest) come first, preserving the
+// relative order within each group. The RS_NL scheduler uses it to
+// move pairwise-exchange candidates to the front of each row after the
+// randomizing shuffle.
+func (c *Compressed) PartitionRows(pred func(src, dst int) bool) {
+	destBuf := make([]int, 0, c.width)
+	sizeBuf := make([]int64, 0, c.width)
+	for i := 0; i < c.n; i++ {
+		base := i * c.width
+		live := c.prt[i] + 1
+		destBuf = destBuf[:0]
+		sizeBuf = sizeBuf[:0]
+		for z := 0; z < live; z++ {
+			if pred(i, c.dest[base+z]) {
+				destBuf = append(destBuf, c.dest[base+z])
+				sizeBuf = append(sizeBuf, c.size[base+z])
+			}
+		}
+		for z := 0; z < live; z++ {
+			if !pred(i, c.dest[base+z]) {
+				destBuf = append(destBuf, c.dest[base+z])
+				sizeBuf = append(sizeBuf, c.size[base+z])
+			}
+		}
+		copy(c.dest[base:base+live], destBuf)
+		copy(c.size[base:base+live], sizeBuf)
+	}
+}
+
+// RowDests returns the active destinations of row i (a copy, for tests
+// and trace output).
+func (c *Compressed) RowDests(i int) []int {
+	out := make([]int, 0, c.prt[i]+1)
+	for z := 0; z <= c.prt[i]; z++ {
+		out = append(out, c.dest[i*c.width+z])
+	}
+	return out
+}

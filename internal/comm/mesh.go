@@ -1,0 +1,88 @@
+package comm
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Mesh is a small irregular-mesh substrate used to build realistic
+// halo-exchange communication matrices (the PARTI-style workloads the
+// paper's introduction motivates). It is a planar grid of points with
+// randomly inserted diagonals, so element degrees vary and partition
+// boundaries are irregular.
+type Mesh struct {
+	Rows, Cols int
+	Adj        [][]int // Adj[u]: neighbors of element u (symmetric)
+}
+
+// NewIrregularMesh builds a rows x cols grid where each interior cell
+// additionally gets one of its two diagonals with probability
+// diagProb. Deterministic given rng.
+func NewIrregularMesh(rows, cols int, diagProb float64, rng *rand.Rand) (*Mesh, error) {
+	if rows < 2 || cols < 2 {
+		return nil, fmt.Errorf("comm: mesh needs at least 2x2 points, got %dx%d", rows, cols)
+	}
+	if diagProb < 0 || diagProb > 1 {
+		return nil, fmt.Errorf("comm: diagProb %v out of [0,1]", diagProb)
+	}
+	m := &Mesh{Rows: rows, Cols: cols, Adj: make([][]int, rows*cols)}
+	id := func(r, c int) int { return r*cols + c }
+	addEdge := func(u, v int) {
+		m.Adj[u] = append(m.Adj[u], v)
+		m.Adj[v] = append(m.Adj[v], u)
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				addEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				addEdge(id(r, c), id(r+1, c))
+			}
+			if r+1 < rows && c+1 < cols && rng.Float64() < diagProb {
+				if rng.Intn(2) == 0 {
+					addEdge(id(r, c), id(r+1, c+1))
+				} else {
+					addEdge(id(r, c+1), id(r+1, c))
+				}
+			}
+		}
+	}
+	return m, nil
+}
+
+// Elements returns the number of mesh points.
+func (m *Mesh) Elements() int { return m.Rows * m.Cols }
+
+// StripPartition assigns elements to n processors in contiguous row
+// strips, balancing element counts. It is the simple block partition a
+// compiler would emit before any load-balancing pass.
+func (m *Mesh) StripPartition(n int) []int {
+	total := m.Elements()
+	part := make([]int, total)
+	for u := 0; u < total; u++ {
+		part[u] = u * n / total
+	}
+	return part
+}
+
+// RandomPartition assigns elements to n processors uniformly at
+// random — the pathological partition with maximal boundary, useful as
+// a stress pattern (every processor talks to almost every other).
+func (m *Mesh) RandomPartition(n int, rng *rand.Rand) []int {
+	part := make([]int, m.Elements())
+	for u := range part {
+		part[u] = rng.Intn(n)
+	}
+	return part
+}
+
+// HaloMatrix builds the processor-level communication matrix induced
+// by a partition: one message per processor pair exchanging boundary
+// data, sized by the number of boundary elements times bytesPerElem.
+func (m *Mesh) HaloMatrix(n int, part []int, bytesPerElem int64) (*Matrix, error) {
+	if len(part) != m.Elements() {
+		return nil, fmt.Errorf("comm: partition covers %d elements, mesh has %d", len(part), m.Elements())
+	}
+	return HaloFromPartition(n, part, m.Adj, bytesPerElem)
+}

@@ -1,0 +1,144 @@
+package comm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNewIrregularMeshValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewIrregularMesh(1, 5, 0.3, rng); err == nil {
+		t.Error("1-row mesh should fail")
+	}
+	if _, err := NewIrregularMesh(5, 1, 0.3, rng); err == nil {
+		t.Error("1-col mesh should fail")
+	}
+	if _, err := NewIrregularMesh(5, 5, 1.5, rng); err == nil {
+		t.Error("diagProb > 1 should fail")
+	}
+}
+
+func TestMeshStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m, err := NewIrregularMesh(10, 10, 0.5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Elements() != 100 {
+		t.Fatalf("Elements = %d", m.Elements())
+	}
+	// Adjacency is symmetric.
+	for u, nbrs := range m.Adj {
+		for _, v := range nbrs {
+			found := false
+			for _, back := range m.Adj[v] {
+				if back == u {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("edge %d-%d not symmetric", u, v)
+			}
+		}
+	}
+	// Grid edges exist: corner 0 connects to 1 and 10.
+	has := func(u, v int) bool {
+		for _, x := range m.Adj[u] {
+			if x == v {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(0, 1) || !has(0, 10) {
+		t.Error("grid edges missing at corner")
+	}
+	// With diagProb 0.5 on 81 interior cells, some diagonals exist.
+	diagonals := 0
+	for u, nbrs := range m.Adj {
+		for _, v := range nbrs {
+			du, dv := u/10-v/10, u%10-v%10
+			if du != 0 && dv != 0 {
+				diagonals++
+			}
+		}
+	}
+	if diagonals == 0 {
+		t.Error("no diagonals inserted at diagProb 0.5")
+	}
+}
+
+func TestStripPartitionBalanced(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m, err := NewIrregularMesh(16, 16, 0.3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part := m.StripPartition(8)
+	counts := make([]int, 8)
+	for _, p := range part {
+		counts[p]++
+	}
+	for p, c := range counts {
+		if c != 32 {
+			t.Errorf("processor %d owns %d elements, want 32", p, c)
+		}
+	}
+}
+
+func TestHaloMatrixFromMesh(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	mesh, err := NewIrregularMesh(32, 32, 0.3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part := mesh.StripPartition(8)
+	m, err := mesh.HaloMatrix(8, part, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Strip partitions communicate with neighbors: every processor has
+	// at least one message and the pattern is symmetric.
+	if !m.Symmetric() {
+		t.Error("halo pattern from symmetric adjacency should be symmetric")
+	}
+	for p := 0; p < 8; p++ {
+		if m.SendDegree(p) == 0 {
+			t.Errorf("processor %d sends nothing", p)
+		}
+	}
+	// Strips only touch nearby strips; corner strips cannot talk to the
+	// far end.
+	if m.At(0, 7) != 0 {
+		t.Error("strip 0 should not talk to strip 7")
+	}
+}
+
+func TestHaloMatrixPartitionMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	mesh, err := NewIrregularMesh(4, 4, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mesh.HaloMatrix(4, []int{0, 1}, 8); err == nil {
+		t.Error("short partition should fail")
+	}
+}
+
+func TestRandomPartitionCoversRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	mesh, err := NewIrregularMesh(16, 16, 0.2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part := mesh.RandomPartition(8, rng)
+	for u, p := range part {
+		if p < 0 || p >= 8 {
+			t.Fatalf("element %d assigned out of range: %d", u, p)
+		}
+	}
+}

@@ -1,0 +1,264 @@
+package comm
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// UniformRandom returns the paper's experimental workload: each of the
+// n processors sends messages of the given size to d distinct random
+// destinations (never itself). Send degrees are exactly d; receive
+// degrees are approximately d (binomially distributed), matching the
+// paper's "all nodes send and receive an approximately equal number of
+// messages" assumption.
+func UniformRandom(n, d int, bytes int64, rng *rand.Rand) (*Matrix, error) {
+	if err := checkPatternArgs(n, d, bytes); err != nil {
+		return nil, err
+	}
+	m := MustNew(n)
+	perm := make([]int, n-1)
+	for i := 0; i < n; i++ {
+		// Sample d distinct destinations from [0,n) \ {i}.
+		k := 0
+		for j := 0; j < n; j++ {
+			if j != i {
+				perm[k] = j
+				k++
+			}
+		}
+		rng.Shuffle(len(perm), func(a, b int) { perm[a], perm[b] = perm[b], perm[a] })
+		for _, dst := range perm[:d] {
+			m.Set(i, dst, bytes)
+		}
+	}
+	return m, nil
+}
+
+// DRegular returns a pattern where every processor sends exactly d and
+// receives exactly d messages of the given size: the superposition of
+// d pairwise edge-disjoint fixed-point-free random permutations. This
+// is the workload the paper's experiments use (assumption 2: every
+// processor sends and receives d messages; "each node is sending d
+// messages to random destinations").
+//
+// Each round draws a uniform random permutation and repairs conflicts
+// (fixed points and edges already used by earlier rounds) with
+// targeted swaps: a conflicted position is swapped with a partner
+// chosen so both positions become conflict-free. If a round cannot be
+// repaired within its budget it is redrawn; if the pattern is too
+// dense for rejection to converge, the remaining rounds fall back to
+// relabeled-circulant shifts, which are always feasible.
+func DRegular(n, d int, bytes int64, rng *rand.Rand) (*Matrix, error) {
+	if err := checkPatternArgs(n, d, bytes); err != nil {
+		return nil, err
+	}
+	m := MustNew(n)
+	perm := make([]int, n)
+	round := 0
+nextRound:
+	for attempt := 0; round < d && attempt < 20*d; attempt++ {
+		for i := range perm {
+			perm[i] = i
+		}
+		rng.Shuffle(n, func(a, b int) { perm[a], perm[b] = perm[b], perm[a] })
+		bad := func(i int) bool { return perm[i] == i || m.At(i, perm[i]) > 0 }
+		for i := 0; i < n; i++ {
+			if !bad(i) {
+				continue
+			}
+			fixed := false
+			for try := 0; try < 4*n; try++ {
+				j := rng.Intn(n)
+				if j == i {
+					continue
+				}
+				perm[i], perm[j] = perm[j], perm[i]
+				if !bad(i) && !bad(j) {
+					fixed = true
+					break
+				}
+				perm[i], perm[j] = perm[j], perm[i]
+			}
+			if !fixed {
+				continue nextRound // redraw this round
+			}
+		}
+		for i := 0; i < n; i++ {
+			m.Set(i, perm[i], bytes)
+		}
+		round++
+	}
+	if round == d {
+		return m, nil
+	}
+	// Fallback for densities where rejection stalls: rebuild from
+	// scratch as a randomly relabeled circulant — σ(x) sends to
+	// σ((x+k) mod n) for k = 1..d — which is d-regular, fixed-point
+	// free, and duplicate free for every d < n.
+	m = MustNew(n)
+	sigma := rng.Perm(n)
+	for k := 1; k <= d; k++ {
+		for x := 0; x < n; x++ {
+			m.Set(sigma[x], sigma[(x+k)%n], bytes)
+		}
+	}
+	return m, nil
+}
+
+// HotSpot returns a skewed pattern: each processor sends d messages,
+// and with probability hotProb each message targets one of the first
+// hotCount processors. It exercises the node-contention behaviour that
+// AC suffers from and the randomized schedulers are designed to avoid.
+func HotSpot(n, d int, bytes int64, hotCount int, hotProb float64, rng *rand.Rand) (*Matrix, error) {
+	if err := checkPatternArgs(n, d, bytes); err != nil {
+		return nil, err
+	}
+	if hotCount <= 0 || hotCount > n {
+		return nil, fmt.Errorf("comm: hotCount %d out of range (0,%d]", hotCount, n)
+	}
+	if hotProb < 0 || hotProb > 1 {
+		return nil, fmt.Errorf("comm: hotProb %v out of [0,1]", hotProb)
+	}
+	m := MustNew(n)
+	for i := 0; i < n; i++ {
+		for placed := 0; placed < d; {
+			var dst int
+			if rng.Float64() < hotProb {
+				dst = rng.Intn(hotCount)
+			} else {
+				dst = rng.Intn(n)
+			}
+			if dst == i || m.At(i, dst) > 0 {
+				continue
+			}
+			m.Set(i, dst, bytes)
+			placed++
+		}
+	}
+	return m, nil
+}
+
+// BitComplement returns the classic bit-complement permutation on a
+// power-of-two machine: i sends to ^i & (n-1). It is one of the
+// link-contention-free permutations the paper cites (§1, referencing
+// hypercube algorithm texts). Density 1.
+func BitComplement(n int, bytes int64) (*Matrix, error) {
+	if err := checkPatternArgs(n, 1, bytes); err != nil {
+		return nil, err
+	}
+	if n&(n-1) != 0 {
+		return nil, fmt.Errorf("comm: BitComplement needs power-of-two n, got %d", n)
+	}
+	m := MustNew(n)
+	for i := 0; i < n; i++ {
+		m.Set(i, ^i&(n-1), bytes)
+	}
+	return m, nil
+}
+
+// Shift returns the cyclic-shift permutation i -> (i+k) mod n.
+// Density 1 for k not a multiple of n.
+func Shift(n, k int, bytes int64) (*Matrix, error) {
+	if err := checkPatternArgs(n, 1, bytes); err != nil {
+		return nil, err
+	}
+	k %= n
+	if k < 0 {
+		k += n
+	}
+	if k == 0 {
+		return nil, fmt.Errorf("comm: Shift by 0 produces self messages")
+	}
+	m := MustNew(n)
+	for i := 0; i < n; i++ {
+		m.Set(i, (i+k)%n, bytes)
+	}
+	return m, nil
+}
+
+// AllToAll returns the complete exchange: every processor sends to
+// every other processor. Density n-1; the worst case for every
+// scheduler and the pattern LP was originally designed for.
+func AllToAll(n int, bytes int64) (*Matrix, error) {
+	if err := checkPatternArgs(n, n-1, bytes); err != nil {
+		return nil, err
+	}
+	m := MustNew(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				m.Set(i, j, bytes)
+			}
+		}
+	}
+	return m, nil
+}
+
+// MixedSizes returns a d-regular pattern with non-uniform message
+// sizes: each message's size is an independent power of two drawn
+// log-uniformly from [minBytes, maxBytes]. This is the workload class
+// the paper defers to [15] ("non-uniform message size problems") and
+// the one the size-aware schedulers target.
+func MixedSizes(n, d int, minBytes, maxBytes int64, rng *rand.Rand) (*Matrix, error) {
+	if minBytes <= 0 || maxBytes < minBytes {
+		return nil, fmt.Errorf("comm: bad size range [%d, %d]", minBytes, maxBytes)
+	}
+	m, err := DRegular(n, d, minBytes, rng)
+	if err != nil {
+		return nil, err
+	}
+	steps := 0
+	for b := minBytes; b*2 <= maxBytes; b *= 2 {
+		steps++
+	}
+	for _, msg := range m.Messages() {
+		m.Set(msg.Src, msg.Dst, minBytes<<uint(rng.Intn(steps+1)))
+	}
+	return m, nil
+}
+
+// HaloFromPartition aggregates an element-level dependency graph into
+// a processor-level communication matrix: for every directed element
+// dependency u -> v with part[u] != part[v], COM(part[u], part[v])
+// grows by bytesPerElem. This is how PARTI-style runtime systems (the
+// paper's motivating use case, §1) derive COM from the data that local
+// computations require. adj[u] lists the elements u's value is needed
+// by. part values must lie in [0, n).
+func HaloFromPartition(n int, part []int, adj [][]int, bytesPerElem int64) (*Matrix, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("comm: processor count %d must be positive", n)
+	}
+	if bytesPerElem <= 0 {
+		return nil, fmt.Errorf("comm: bytesPerElem %d must be positive", bytesPerElem)
+	}
+	for u, owner := range part {
+		if owner < 0 || owner >= n {
+			return nil, fmt.Errorf("comm: element %d assigned to processor %d outside [0,%d)", u, owner, n)
+		}
+	}
+	m := MustNew(n)
+	for u, owner := range part {
+		for _, v := range adj[u] {
+			if v < 0 || v >= len(part) {
+				return nil, fmt.Errorf("comm: element %d has neighbor %d outside [0,%d)", u, v, len(part))
+			}
+			if other := part[v]; other != owner {
+				m.Add(owner, other, bytesPerElem)
+			}
+		}
+	}
+	return m, nil
+}
+
+func checkPatternArgs(n, d int, bytes int64) error {
+	if n <= 1 {
+		return fmt.Errorf("comm: need at least 2 processors, got %d", n)
+	}
+	if d <= 0 || d >= n {
+		return fmt.Errorf("comm: density %d out of range (0,%d)", d, n)
+	}
+	if bytes <= 0 {
+		return fmt.Errorf("comm: message size %d must be positive", bytes)
+	}
+	return nil
+}

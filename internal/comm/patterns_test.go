@@ -1,0 +1,273 @@
+package comm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestUniformRandomProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, d := range []int{1, 4, 8, 32, 48, 63} {
+		m, err := UniformRandom(64, d, 256, rng)
+		if err != nil {
+			t.Fatalf("d=%d: %v", d, err)
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("d=%d: %v", d, err)
+		}
+		for i := 0; i < 64; i++ {
+			if got := m.SendDegree(i); got != d {
+				t.Fatalf("d=%d: node %d send degree %d", d, i, got)
+			}
+		}
+		if b, u := m.Uniform(); !u || b != 256 {
+			t.Fatalf("d=%d: not uniform 256", d)
+		}
+	}
+}
+
+func TestUniformRandomArgValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cases := []struct {
+		n, d int
+		b    int64
+	}{
+		{1, 1, 10}, {64, 0, 10}, {64, 64, 10}, {64, 4, 0}, {64, 4, -1},
+	}
+	for _, c := range cases {
+		if _, err := UniformRandom(c.n, c.d, c.b, rng); err == nil {
+			t.Errorf("UniformRandom(%d,%d,%d) should fail", c.n, c.d, c.b)
+		}
+	}
+}
+
+func TestDRegularExactDegrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, d := range []int{1, 4, 8, 16, 32, 48} {
+		m, err := DRegular(64, d, 1024, rng)
+		if err != nil {
+			t.Fatalf("d=%d: %v", d, err)
+		}
+		for i := 0; i < 64; i++ {
+			if got := m.SendDegree(i); got != d {
+				t.Fatalf("d=%d: node %d send degree %d, want exactly d", d, i, got)
+			}
+			if got := m.RecvDegree(i); got != d {
+				t.Fatalf("d=%d: node %d recv degree %d, want exactly d", d, i, got)
+			}
+		}
+		if m.HasSelfMessages() {
+			t.Fatalf("d=%d: self messages present", d)
+		}
+		if got := m.Density(); got != d {
+			t.Fatalf("d=%d: density %d", d, got)
+		}
+	}
+}
+
+// Property: DRegular is d-regular for random small (n, d).
+func TestDRegularProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func(nRaw, dRaw uint8) bool {
+		n := 4 + int(nRaw)%29 // 4..32
+		d := 1 + int(dRaw)%(n-2)
+		m, err := DRegular(n, d, 64, rng)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if m.SendDegree(i) != d || m.RecvDegree(i) != d {
+				return false
+			}
+		}
+		return !m.HasSelfMessages()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHotSpotConcentratesTraffic(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m, err := HotSpot(64, 8, 128, 4, 0.8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot, cold := 0, 0
+	for _, msg := range m.Messages() {
+		if msg.Dst < 4 {
+			hot++
+		} else {
+			cold++
+		}
+	}
+	// 80% of 512 messages target 4 of 64 nodes; even after dedup the
+	// hot in-degree must far exceed uniform expectation (512*4/64 = 32).
+	if hot < 100 {
+		t.Errorf("hot destinations received only %d of %d messages", hot, hot+cold)
+	}
+	for i := 0; i < 64; i++ {
+		if got := m.SendDegree(i); got != 8 {
+			t.Fatalf("node %d send degree %d", i, got)
+		}
+	}
+}
+
+func TestHotSpotArgValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	if _, err := HotSpot(64, 8, 128, 0, 0.5, rng); err == nil {
+		t.Error("hotCount=0 should fail")
+	}
+	if _, err := HotSpot(64, 8, 128, 65, 0.5, rng); err == nil {
+		t.Error("hotCount>n should fail")
+	}
+	if _, err := HotSpot(64, 8, 128, 4, 1.5, rng); err == nil {
+		t.Error("hotProb>1 should fail")
+	}
+}
+
+func TestBitComplement(t *testing.T) {
+	m, err := BitComplement(64, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Density() != 1 {
+		t.Errorf("density %d, want 1", m.Density())
+	}
+	if m.At(0, 63) != 512 || m.At(63, 0) != 512 {
+		t.Error("complement edges missing")
+	}
+	if !m.Symmetric() {
+		t.Error("bit complement should be symmetric")
+	}
+	if _, err := BitComplement(48, 512); err == nil {
+		t.Error("non power of two should fail")
+	}
+}
+
+func TestShift(t *testing.T) {
+	m, err := Shift(8, 3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 3) != 100 || m.At(7, 2) != 100 {
+		t.Error("shift edges wrong")
+	}
+	if _, err := Shift(8, 0, 100); err == nil {
+		t.Error("shift by 0 should fail")
+	}
+	if _, err := Shift(8, 8, 100); err == nil {
+		t.Error("shift by n should fail")
+	}
+	// Negative shifts normalize.
+	m, err = Shift(8, -1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 7) != 100 {
+		t.Error("negative shift wrong")
+	}
+}
+
+func TestAllToAll(t *testing.T) {
+	m, err := AllToAll(16, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Density() != 15 {
+		t.Errorf("density %d, want 15", m.Density())
+	}
+	if m.MessageCount() != 16*15 {
+		t.Errorf("message count %d", m.MessageCount())
+	}
+}
+
+func TestHaloFromPartition(t *testing.T) {
+	// 4 elements in a path 0-1-2-3, split across 2 processors at 1|2.
+	adj := [][]int{{1}, {0, 2}, {1, 3}, {2}}
+	part := []int{0, 0, 1, 1}
+	m, err := HaloFromPartition(2, part, adj, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the 1-2 edge crosses: element 1 (proc 0) is needed by 2, and
+	// element 2 (proc 1) is needed by 1.
+	if m.At(0, 1) != 8 || m.At(1, 0) != 8 {
+		t.Errorf("halo matrix wrong: %v", m)
+	}
+}
+
+func TestHaloFromPartitionValidation(t *testing.T) {
+	adj := [][]int{{1}, {0}}
+	if _, err := HaloFromPartition(0, []int{0, 0}, adj, 8); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if _, err := HaloFromPartition(2, []int{0, 5}, adj, 8); err == nil {
+		t.Error("partition out of range should fail")
+	}
+	if _, err := HaloFromPartition(2, []int{0, 0}, [][]int{{9}, {}}, 8); err == nil {
+		t.Error("neighbor out of range should fail")
+	}
+	if _, err := HaloFromPartition(2, []int{0, 0}, adj, 0); err == nil {
+		t.Error("zero bytesPerElem should fail")
+	}
+}
+
+func TestMixedSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	m, err := MixedSizes(64, 8, 64, 64*1024, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		if m.SendDegree(i) != 8 || m.RecvDegree(i) != 8 {
+			t.Fatalf("node %d degrees %d/%d", i, m.SendDegree(i), m.RecvDegree(i))
+		}
+	}
+	sizes := map[int64]bool{}
+	for _, msg := range m.Messages() {
+		if msg.Bytes < 64 || msg.Bytes > 64*1024 {
+			t.Fatalf("size %d out of range", msg.Bytes)
+		}
+		if msg.Bytes&(msg.Bytes-1) != 0 {
+			t.Fatalf("size %d not a power of two", msg.Bytes)
+		}
+		sizes[msg.Bytes] = true
+	}
+	if len(sizes) < 5 {
+		t.Errorf("only %d distinct sizes drawn", len(sizes))
+	}
+}
+
+func TestMixedSizesValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	if _, err := MixedSizes(64, 8, 0, 1024, rng); err == nil {
+		t.Error("zero min accepted")
+	}
+	if _, err := MixedSizes(64, 8, 2048, 1024, rng); err == nil {
+		t.Error("inverted range accepted")
+	}
+	// Degenerate single-size range works.
+	m, err := MixedSizes(16, 2, 512, 512, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b, u := m.Uniform(); !u || b != 512 {
+		t.Errorf("single-size range not uniform: %d %v", b, u)
+	}
+}
+
+func TestPatternsDeterministicGivenSeed(t *testing.T) {
+	a, err := UniformRandom(64, 8, 256, rand.New(rand.NewSource(99)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := UniformRandom(64, 8, 256, rand.New(rand.NewSource(99)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Error("same seed produced different patterns")
+	}
+}

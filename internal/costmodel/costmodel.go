@@ -1,0 +1,167 @@
+// Package costmodel provides the timing model of iPSC/860
+// communication used by the machine simulator, and the scaling that
+// converts instrumented scheduler operation counts into i860
+// milliseconds (the "comp" rows of the paper's Table 1).
+//
+// The communication constants are calibrated against the published
+// measurements the paper relies on (Bokhari, "Communication Overhead
+// on the Intel iPSC/860 Hypercube", ICASE Interim Report 10, 1990, and
+// "Complete Exchange on the iPSC/860", ICASE 91-4): the NX messaging
+// layer switches protocol at 100 bytes — short messages travel
+// immediately with low latency, long messages pay an internal
+// handshake and then stream at about 2.8 MB/s — and circuit setup
+// costs roughly 10 µs per hop. This protocol switch is what produces
+// the sharp drop between 64 B and 128 B in the paper's Figures 10-11.
+//
+// All times are in microseconds (float64), the simulator's virtual
+// time unit.
+package costmodel
+
+import "fmt"
+
+// Params holds the machine timing constants. The zero value is not
+// meaningful; start from DefaultIPSC860.
+type Params struct {
+	// ShortMaxBytes is the largest message using the short protocol
+	// (100 on the iPSC/860).
+	ShortMaxBytes int64
+	// ShortLatencyUS / ShortPerByteUS: the short-protocol cost
+	// ShortLatencyUS + bytes*ShortPerByteUS.
+	ShortLatencyUS float64
+	ShortPerByteUS float64
+	// LongLatencyUS / LongPerByteUS: the long-protocol cost.
+	LongLatencyUS float64
+	LongPerByteUS float64
+	// HopSetupUS is the per-hop circuit establishment time; e-cube
+	// routes on a 64-node cube are at most 6 hops.
+	HopSetupUS float64
+	// SyncOverheadUS is the software cost of the pairwise
+	// synchronization that enables concurrent bidirectional exchange.
+	SyncOverheadUS float64
+	// PostOverheadUS is the CPU cost of posting a receive buffer and
+	// firing the 0-byte ready signal of the S1 protocol.
+	PostOverheadUS float64
+	// LoopOverheadUS is the per-phase software cost of walking the
+	// schedule loop even when the phase is empty for this node (LP
+	// pays it n-1 times).
+	LoopOverheadUS float64
+	// PhaseSoftwareUS is the per-phase bookkeeping cost of the S2
+	// execution scheme: consulting the scheduling table and managing
+	// the posted-buffer state on the 40 MHz i860. It is what makes
+	// RS_N's communication slightly costlier than AC's tight
+	// firehose loop at small message sizes (Table 1, d=4).
+	PhaseSoftwareUS float64
+	// CompOpUS converts one instrumented scheduler operation (a CCOM
+	// entry examination, a Tsend/Trecv update, or one link of a path
+	// check) into i860 time; calibrated so RS_N's comp at (n=64, d=16)
+	// lands near the paper's 6.4 ms and LP's near 0.06 ms.
+	CompOpUS float64
+}
+
+// DefaultIPSC860 returns the calibrated constants for the paper's
+// 64-node iPSC/860.
+func DefaultIPSC860() Params {
+	return Params{
+		ShortMaxBytes:   100,
+		ShortLatencyUS:  75,
+		ShortPerByteUS:  0.08,
+		LongLatencyUS:   136,
+		LongPerByteUS:   0.357, // ~2.8 MB/s
+		HopSetupUS:      10,
+		SyncOverheadUS:  50,
+		PostOverheadUS:  25,
+		LoopOverheadUS:  20,
+		PhaseSoftwareUS: 40,
+		CompOpUS:        1.3,
+	}
+}
+
+// DefaultIPSC2 returns approximate constants for the iPSC/860's
+// predecessor, the iPSC/2 (Seidel & Schmiermund, and Lee & Seidel,
+// cited by the paper): a 80386-based hypercube with the same circuit-
+// switched DCM network generation but slower injection — latency
+// ≈ 350 µs, streaming ≈ 2.8 MB/s beyond the 100-byte protocol switch —
+// and a slower CPU for the scheduling computation. Useful for checking
+// that algorithm orderings are not artifacts of one parameter set.
+func DefaultIPSC2() Params {
+	return Params{
+		ShortMaxBytes:   100,
+		ShortLatencyUS:  350,
+		ShortPerByteUS:  0.2,
+		LongLatencyUS:   700,
+		LongPerByteUS:   0.36,
+		HopSetupUS:      30,
+		SyncOverheadUS:  150,
+		PostOverheadUS:  60,
+		LoopOverheadUS:  50,
+		PhaseSoftwareUS: 100,
+		CompOpUS:        3.5, // 16 MHz 80386 vs 40 MHz i860
+	}
+}
+
+// Validate rejects non-positive or inconsistent constants.
+func (p Params) Validate() error {
+	if p.ShortMaxBytes < 0 {
+		return fmt.Errorf("costmodel: ShortMaxBytes %d negative", p.ShortMaxBytes)
+	}
+	for _, c := range []struct {
+		name string
+		v    float64
+	}{
+		{"ShortLatencyUS", p.ShortLatencyUS},
+		{"ShortPerByteUS", p.ShortPerByteUS},
+		{"LongLatencyUS", p.LongLatencyUS},
+		{"LongPerByteUS", p.LongPerByteUS},
+		{"HopSetupUS", p.HopSetupUS},
+		{"SyncOverheadUS", p.SyncOverheadUS},
+		{"PostOverheadUS", p.PostOverheadUS},
+		{"LoopOverheadUS", p.LoopOverheadUS},
+		{"PhaseSoftwareUS", p.PhaseSoftwareUS},
+		{"CompOpUS", p.CompOpUS},
+	} {
+		if c.v < 0 {
+			return fmt.Errorf("costmodel: %s = %v negative", c.name, c.v)
+		}
+	}
+	if p.ShortLatencyUS > p.LongLatencyUS {
+		return fmt.Errorf("costmodel: short latency %v exceeds long latency %v",
+			p.ShortLatencyUS, p.LongLatencyUS)
+	}
+	return nil
+}
+
+// TransferTime returns the time in µs for a circuit transfer of the
+// given size over a route of the given hop count: protocol latency +
+// per-hop circuit setup + streaming time. A zero-byte transfer is the
+// ready signal / dummy message of the paper's observation 4.
+func (p Params) TransferTime(bytes int64, hops int) float64 {
+	if bytes < 0 {
+		panic(fmt.Sprintf("costmodel: negative transfer size %d", bytes))
+	}
+	if hops < 0 {
+		panic(fmt.Sprintf("costmodel: negative hop count %d", hops))
+	}
+	setup := float64(hops) * p.HopSetupUS
+	if bytes <= p.ShortMaxBytes {
+		return p.ShortLatencyUS + float64(bytes)*p.ShortPerByteUS + setup
+	}
+	return p.LongLatencyUS + float64(bytes)*p.LongPerByteUS + setup
+}
+
+// SignalTime returns the flight time of a 0-byte ready signal over the
+// given hop count.
+func (p Params) SignalTime(hops int) float64 { return p.TransferTime(0, hops) }
+
+// PermutationTime returns the paper's idealized per-permutation cost
+// tau + M*phi (assumption 1, §2.1) for the phase's largest message,
+// using the worst-case hop count of the machine. The simulator refines
+// this; the bound is used by analytical sanity checks and tests.
+func (p Params) PermutationTime(maxBytes int64, maxHops int) float64 {
+	return p.TransferTime(maxBytes, maxHops)
+}
+
+// CompTimeMS converts an instrumented scheduler operation count into
+// modeled i860 milliseconds.
+func (p Params) CompTimeMS(ops int64) float64 {
+	return float64(ops) * p.CompOpUS / 1000
+}

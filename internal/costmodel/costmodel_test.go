@@ -1,0 +1,143 @@
+package costmodel
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultValidates(t *testing.T) {
+	if err := DefaultIPSC860().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsNegatives(t *testing.T) {
+	p := DefaultIPSC860()
+	p.LongPerByteUS = -1
+	if err := p.Validate(); err == nil {
+		t.Error("negative per-byte accepted")
+	}
+	p = DefaultIPSC860()
+	p.ShortMaxBytes = -1
+	if err := p.Validate(); err == nil {
+		t.Error("negative ShortMaxBytes accepted")
+	}
+	p = DefaultIPSC860()
+	p.ShortLatencyUS = p.LongLatencyUS + 1
+	if err := p.Validate(); err == nil {
+		t.Error("short latency above long latency accepted")
+	}
+}
+
+func TestProtocolRegimeSwitch(t *testing.T) {
+	p := DefaultIPSC860()
+	// 100 bytes rides the short protocol, 101 the long one; the jump
+	// is the paper's Figure 10/11 cliff.
+	short := p.TransferTime(100, 0)
+	long := p.TransferTime(101, 0)
+	if long <= short {
+		t.Errorf("no protocol jump: T(100)=%v, T(101)=%v", short, long)
+	}
+	if long-short < 30 {
+		t.Errorf("protocol jump too small to matter: %v µs", long-short)
+	}
+}
+
+func TestTransferTimeMonotoneInBytesWithinRegime(t *testing.T) {
+	p := DefaultIPSC860()
+	f := func(aRaw, bRaw uint16, hopsRaw uint8) bool {
+		a, b := int64(aRaw), int64(bRaw)
+		hops := int(hopsRaw) % 7
+		if a > b {
+			a, b = b, a
+		}
+		// Same regime only: within a regime more bytes never get cheaper.
+		if (a <= p.ShortMaxBytes) != (b <= p.ShortMaxBytes) {
+			return true
+		}
+		return p.TransferTime(a, hops) <= p.TransferTime(b, hops)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransferTimeMonotoneInHops(t *testing.T) {
+	p := DefaultIPSC860()
+	for hops := 0; hops < 6; hops++ {
+		if p.TransferTime(1024, hops) >= p.TransferTime(1024, hops+1) {
+			t.Fatalf("hop cost not monotone at %d hops", hops)
+		}
+	}
+}
+
+func TestTransferTimeKnownValues(t *testing.T) {
+	p := DefaultIPSC860()
+	// 128 KB over 6 hops: 136 + 131072*0.357 + 60 ≈ 46.99 ms.
+	got := p.TransferTime(128*1024, 6)
+	if got < 46000 || got > 48000 {
+		t.Errorf("T(128KB,6) = %v µs, want ≈ 47000", got)
+	}
+	// Signal is the short-protocol latency.
+	if s := p.SignalTime(0); s != p.ShortLatencyUS {
+		t.Errorf("SignalTime(0) = %v", s)
+	}
+}
+
+func TestTransferTimePanics(t *testing.T) {
+	p := DefaultIPSC860()
+	for _, f := range []func(){
+		func() { p.TransferTime(-1, 0) },
+		func() { p.TransferTime(10, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid TransferTime args did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPermutationTimeMatchesTransfer(t *testing.T) {
+	p := DefaultIPSC860()
+	if p.PermutationTime(4096, 6) != p.TransferTime(4096, 6) {
+		t.Error("PermutationTime should equal worst-case TransferTime")
+	}
+}
+
+func TestIPSC2Preset(t *testing.T) {
+	p2 := DefaultIPSC2()
+	if err := p2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p860 := DefaultIPSC860()
+	// The predecessor is slower in every respect that matters.
+	if p2.TransferTime(4096, 3) <= p860.TransferTime(4096, 3) {
+		t.Error("iPSC/2 transfers should be slower")
+	}
+	if p2.CompOpUS <= p860.CompOpUS {
+		t.Error("iPSC/2 scheduling ops should be slower")
+	}
+	// Same protocol-switch structure.
+	if p2.TransferTime(101, 0) <= p2.TransferTime(100, 0) {
+		t.Error("iPSC/2 protocol switch missing")
+	}
+}
+
+func TestCompTimeCalibration(t *testing.T) {
+	p := DefaultIPSC860()
+	// RS_N at (n=64, d=16) does, per processor, its row compression
+	// plus ~20 phases of ~(2n + n·ln d/phase-ish) work ≈ 4-5k ops; the
+	// model must put that in single-digit milliseconds like the
+	// paper's 6.37 ms.
+	ms := p.CompTimeMS(4500)
+	if ms < 2 || ms > 12 {
+		t.Errorf("CompTimeMS(11600) = %v ms, want single digits", ms)
+	}
+	if p.CompTimeMS(0) != 0 {
+		t.Error("zero ops should cost zero")
+	}
+}

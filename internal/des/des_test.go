@@ -1,0 +1,104 @@
+package des
+
+import (
+	"testing"
+)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	e := New()
+	var order []int
+	e.At(5, func() { order = append(order, 2) })
+	e.At(1, func() { order = append(order, 1) })
+	e.At(9, func() { order = append(order, 3) })
+	end := e.Run(0)
+	if end != 9 {
+		t.Errorf("final time %v, want 9", end)
+	}
+	for i, v := range []int{1, 2, 3} {
+		if order[i] != v {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}
+
+func TestTiesBreakByInsertion(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(7, func() { order = append(order, i) })
+	}
+	e.Run(0)
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("tie order = %v", order)
+		}
+	}
+}
+
+func TestClockAdvancesDuringEvents(t *testing.T) {
+	e := New()
+	var seen []float64
+	e.At(2, func() {
+		seen = append(seen, e.Now())
+		e.After(3, func() { seen = append(seen, e.Now()) })
+	})
+	e.Run(0)
+	if len(seen) != 2 || seen[0] != 2 || seen[1] != 5 {
+		t.Errorf("seen = %v", seen)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := New()
+	e.At(5, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("past scheduling did not panic")
+			}
+		}()
+		e.At(1, func() {})
+	})
+	e.Run(0)
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	e := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("negative After did not panic")
+		}
+	}()
+	e.After(-1, func() {})
+}
+
+func TestRunBoundPanicsOnCascade(t *testing.T) {
+	e := New()
+	var loop func()
+	loop = func() { e.After(1, loop) }
+	e.After(0, loop)
+	defer func() {
+		if recover() == nil {
+			t.Error("event cascade did not trip the bound")
+		}
+	}()
+	e.Run(100)
+}
+
+func TestStepAndPending(t *testing.T) {
+	e := New()
+	if e.Step() {
+		t.Error("Step on empty queue should be false")
+	}
+	e.At(1, func() {})
+	e.At(2, func() {})
+	if e.Pending() != 2 {
+		t.Errorf("Pending = %d", e.Pending())
+	}
+	if !e.Step() {
+		t.Error("Step should run an event")
+	}
+	if e.Pending() != 1 {
+		t.Errorf("Pending after Step = %d", e.Pending())
+	}
+}

@@ -1,0 +1,410 @@
+// Package expt is the experiment harness that regenerates every table
+// and figure of the paper's evaluation (§6): Table 1 (communication
+// cost, phase counts, scheduling cost), Figures 6-9 (communication
+// cost versus message size per density), Figures 10-11 (scheduling
+// overhead fraction), and Figure 5 (the (d, M) region map of winning
+// algorithms).
+//
+// The measurement protocol follows the paper: a test set of random
+// samples per density (the paper uses 50; configurable here), each
+// sample's communication cost is the maximum time spent by any
+// processor, and cells report the average over samples. All
+// randomness is derived from a single master seed.
+package expt
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"unsched/internal/comm"
+	"unsched/internal/costmodel"
+	"unsched/internal/hypercube"
+	"unsched/internal/ipsc"
+	"unsched/internal/plot"
+	"unsched/internal/sched"
+	"unsched/internal/stats"
+)
+
+// Algorithm names the paper's four contenders.
+type Algorithm string
+
+const (
+	AC   Algorithm = "AC"
+	LP   Algorithm = "LP"
+	RSN  Algorithm = "RS_N"
+	RSNL Algorithm = "RS_NL"
+)
+
+// Algorithms lists the contenders in the paper's column order.
+var Algorithms = []Algorithm{AC, LP, RSN, RSNL}
+
+// Config parameterizes a measurement campaign.
+type Config struct {
+	Cube    *hypercube.Cube
+	Params  costmodel.Params
+	Samples int   // random samples per (d, M) cell; the paper uses 50
+	Seed    int64 // master seed; everything derives from it
+}
+
+// DefaultConfig returns the paper's machine (64-node cube) with the
+// calibrated cost model and a modest sample count suitable for quick
+// runs; raise Samples to 50 to match the paper's protocol exactly.
+func DefaultConfig() Config {
+	return Config{
+		Cube:    hypercube.MustNew(6),
+		Params:  costmodel.DefaultIPSC860(),
+		Samples: 10,
+		Seed:    1994,
+	}
+}
+
+// Validate rejects unusable configurations.
+func (c Config) Validate() error {
+	if c.Cube == nil {
+		return fmt.Errorf("expt: nil cube")
+	}
+	if c.Samples <= 0 {
+		return fmt.Errorf("expt: Samples must be positive, got %d", c.Samples)
+	}
+	return c.Params.Validate()
+}
+
+// Cell is one measured table cell: an algorithm at one (d, M) point.
+type Cell struct {
+	Algorithm Algorithm
+	Density   int
+	MsgBytes  int64
+	CommMS    float64 // mean over samples of per-run makespan, ms
+	CompMS    float64 // mean modeled scheduling cost, ms (0 for AC)
+	Iters     float64 // mean phase count (0 for AC)
+	CommStd   float64 // std-dev of makespan across samples, ms
+}
+
+// MeasureCell runs the full sample set for one (d, M) point and
+// returns a Cell per algorithm, measured on the same samples so
+// algorithms are compared pattern-for-pattern.
+func (c Config) MeasureCell(d int, msgBytes int64) (map[Algorithm]Cell, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	src := stats.NewSource(c.Seed)
+	comms := map[Algorithm][]float64{}
+	comps := map[Algorithm][]float64{}
+	iters := map[Algorithm][]float64{}
+
+	for sample := 0; sample < c.Samples; sample++ {
+		streamBase := int64(d)*1_000_000 + msgBytes*1_000 + int64(sample)
+		patRNG := src.Stream(streamBase)
+		m, err := comm.DRegular(c.Cube.Nodes(), d, msgBytes, patRNG)
+		if err != nil {
+			return nil, err
+		}
+		for _, alg := range Algorithms {
+			schedRNG := src.Stream(streamBase*4 + algIndex(alg))
+			commUS, compMS, nPhases, err := c.runOne(alg, m, schedRNG)
+			if err != nil {
+				return nil, fmt.Errorf("expt: %s d=%d M=%d sample %d: %w", alg, d, msgBytes, sample, err)
+			}
+			comms[alg] = append(comms[alg], commUS/1000)
+			comps[alg] = append(comps[alg], compMS)
+			iters[alg] = append(iters[alg], nPhases)
+		}
+	}
+
+	out := map[Algorithm]Cell{}
+	for _, alg := range Algorithms {
+		s := stats.Summarize(comms[alg])
+		out[alg] = Cell{
+			Algorithm: alg,
+			Density:   d,
+			MsgBytes:  msgBytes,
+			CommMS:    s.Mean,
+			CommStd:   s.Std,
+			CompMS:    stats.Mean(comps[alg]),
+			Iters:     stats.Mean(iters[alg]),
+		}
+	}
+	return out, nil
+}
+
+func algIndex(a Algorithm) int64 {
+	for i, x := range Algorithms {
+		if x == a {
+			return int64(i)
+		}
+	}
+	return int64(len(Algorithms))
+}
+
+// runOne schedules and simulates one sample under one algorithm,
+// returning (makespan µs, scheduling cost ms, phase count).
+func (c Config) runOne(alg Algorithm, m *comm.Matrix, rng *rand.Rand) (float64, float64, float64, error) {
+	switch alg {
+	case AC:
+		order, err := sched.AC(m)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		res, err := ipsc.RunAC(c.Cube, c.Params, order, m)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		return res.MakespanUS, 0, 0, nil
+	case LP:
+		s, err := sched.LP(m)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		res, err := ipsc.RunLP(c.Cube, c.Params, s)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		return res.MakespanUS, c.Params.CompTimeMS(s.Ops), float64(s.NumPhases()), nil
+	case RSN:
+		s, err := sched.RSN(m, rng)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		res, err := ipsc.RunS2(c.Cube, c.Params, s)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		return res.MakespanUS, c.Params.CompTimeMS(s.Ops), float64(s.NumPhases()), nil
+	case RSNL:
+		s, err := sched.RSNL(m, c.Cube, rng)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		res, err := ipsc.RunS1(c.Cube, c.Params, s)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		return res.MakespanUS, c.Params.CompTimeMS(s.Ops), float64(s.NumPhases()), nil
+	default:
+		return 0, 0, 0, fmt.Errorf("expt: unknown algorithm %q", alg)
+	}
+}
+
+// Table1Row holds the paper's Table 1 block for one density.
+type Table1Row struct {
+	Density int
+	// Comm[msgBytes][alg] in ms, for msgBytes in Table1Sizes.
+	Comm map[int64]map[Algorithm]Cell
+	// Iters and Comp are reported per algorithm (AC has none).
+	Iters map[Algorithm]float64
+	Comp  map[Algorithm]float64
+}
+
+// Table1Sizes are the paper's three reported message sizes.
+var Table1Sizes = []int64{256, 1024, 128 * 1024}
+
+// Table1Densities are the paper's five densities.
+var Table1Densities = []int{4, 8, 16, 32, 48}
+
+// Table1 measures the full Table 1 grid.
+func Table1(cfg Config) ([]Table1Row, error) {
+	var rows []Table1Row
+	for _, d := range Table1Densities {
+		row := Table1Row{
+			Density: d,
+			Comm:    map[int64]map[Algorithm]Cell{},
+			Iters:   map[Algorithm]float64{},
+			Comp:    map[Algorithm]float64{},
+		}
+		for _, size := range Table1Sizes {
+			cells, err := cfg.MeasureCell(d, size)
+			if err != nil {
+				return nil, err
+			}
+			row.Comm[size] = cells
+			// The paper reports one iters/comp per density; use the
+			// 1 KB column (phase counts are size-independent, comp
+			// nearly so).
+			if size == 1024 {
+				for _, alg := range Algorithms {
+					row.Iters[alg] = cells[alg].Iters
+					row.Comp[alg] = cells[alg].CompMS
+				}
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// WriteTable1 renders rows in the layout of the paper's Table 1.
+func WriteTable1(w io.Writer, rows []Table1Row) error {
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "d\tmsg size\tAC\tLP\tRS_N\tRS_NL")
+	for _, row := range rows {
+		for i, size := range Table1Sizes {
+			label := fmt.Sprintf("%d", row.Density)
+			if i > 0 {
+				label = ""
+			}
+			cells := row.Comm[size]
+			fmt.Fprintf(tw, "%s\tcomm %s\t%.2f\t%.2f\t%.2f\t%.2f\n",
+				label, sizeLabel(size),
+				cells[AC].CommMS, cells[LP].CommMS, cells[RSN].CommMS, cells[RSNL].CommMS)
+		}
+		fmt.Fprintf(tw, "\t# iters\t-\t%.2f\t%.2f\t%.2f\n",
+			row.Iters[LP], row.Iters[RSN], row.Iters[RSNL])
+		fmt.Fprintf(tw, "\tcomp\t-\t%.2f\t%.2f\t%.2f\n",
+			row.Comp[LP], row.Comp[RSN], row.Comp[RSNL])
+	}
+	return tw.Flush()
+}
+
+func sizeLabel(bytes int64) string {
+	switch {
+	case bytes >= 1024 && bytes%1024 == 0:
+		return fmt.Sprintf("%dK", bytes/1024)
+	default:
+		return fmt.Sprintf("%d", bytes)
+	}
+}
+
+// FigureSizes returns the message-size sweep of Figures 6-9: 16 B to
+// 128 KB in powers of two.
+func FigureSizes() []int64 {
+	var sizes []int64
+	for b := int64(16); b <= 128*1024; b *= 2 {
+		sizes = append(sizes, b)
+	}
+	return sizes
+}
+
+// CommVsSize measures communication cost as a function of message size
+// at fixed density — one of Figures 6-9. Returns one series per
+// algorithm with X = message bytes, Y = comm ms.
+func CommVsSize(cfg Config, d int, sizes []int64) ([]plot.Series, error) {
+	series := make([]plot.Series, len(Algorithms))
+	for i, alg := range Algorithms {
+		series[i].Label = string(alg)
+	}
+	for _, size := range sizes {
+		cells, err := cfg.MeasureCell(d, size)
+		if err != nil {
+			return nil, err
+		}
+		for i, alg := range Algorithms {
+			series[i].X = append(series[i].X, float64(size))
+			series[i].Y = append(series[i].Y, cells[alg].CommMS)
+		}
+	}
+	return series, nil
+}
+
+// OverheadVsSize measures the scheduling-overhead fraction comp/comm
+// as a function of message size, one series per density — Figure 10
+// (RS_N) and Figure 11 (RS_NL).
+func OverheadVsSize(cfg Config, alg Algorithm, densities []int, sizes []int64) ([]plot.Series, error) {
+	if alg != RSN && alg != RSNL {
+		return nil, fmt.Errorf("expt: overhead figures exist for RS_N and RS_NL, not %s", alg)
+	}
+	var series []plot.Series
+	for _, d := range densities {
+		s := plot.Series{Label: fmt.Sprintf("d = %d", d)}
+		for _, size := range sizes {
+			cells, err := cfg.MeasureCell(d, size)
+			if err != nil {
+				return nil, err
+			}
+			cell := cells[alg]
+			if cell.CommMS > 0 {
+				s.X = append(s.X, float64(size))
+				s.Y = append(s.Y, cell.CompMS/cell.CommMS)
+			}
+		}
+		series = append(series, s)
+	}
+	return series, nil
+}
+
+// Region is one cell of the Figure 5 map: the algorithm with the
+// lowest mean communication cost at (d, M), ignoring scheduling cost
+// exactly as the paper's Figure 5 does.
+type Region struct {
+	Density  int
+	MsgBytes int64
+	Winner   Algorithm
+	Margin   float64 // winner's advantage over the runner-up, fraction
+}
+
+// RegionMap computes the winner grid of Figure 5.
+func RegionMap(cfg Config, densities []int, sizes []int64) ([]Region, error) {
+	var regions []Region
+	for _, d := range densities {
+		for _, size := range sizes {
+			cells, err := cfg.MeasureCell(d, size)
+			if err != nil {
+				return nil, err
+			}
+			type cand struct {
+				alg Algorithm
+				ms  float64
+			}
+			var cands []cand
+			for _, alg := range Algorithms {
+				cands = append(cands, cand{alg, cells[alg].CommMS})
+			}
+			sort.Slice(cands, func(a, b int) bool { return cands[a].ms < cands[b].ms })
+			margin := 0.0
+			if cands[1].ms > 0 {
+				margin = (cands[1].ms - cands[0].ms) / cands[1].ms
+			}
+			regions = append(regions, Region{
+				Density:  d,
+				MsgBytes: size,
+				Winner:   cands[0].alg,
+				Margin:   margin,
+			})
+		}
+	}
+	return regions, nil
+}
+
+// WriteRegionMap renders the Figure 5 grid: rows are densities,
+// columns message sizes, cells the winning algorithm.
+func WriteRegionMap(w io.Writer, regions []Region) error {
+	densities := []int{}
+	sizes := []int64{}
+	seenD := map[int]bool{}
+	seenS := map[int64]bool{}
+	for _, r := range regions {
+		if !seenD[r.Density] {
+			seenD[r.Density] = true
+			densities = append(densities, r.Density)
+		}
+		if !seenS[r.MsgBytes] {
+			seenS[r.MsgBytes] = true
+			sizes = append(sizes, r.MsgBytes)
+		}
+	}
+	sort.Ints(densities)
+	sort.Slice(sizes, func(a, b int) bool { return sizes[a] < sizes[b] })
+
+	lookup := map[[2]int64]Region{}
+	for _, r := range regions {
+		lookup[[2]int64{int64(r.Density), r.MsgBytes}] = r
+	}
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	header := []string{"d \\ M"}
+	for _, s := range sizes {
+		header = append(header, sizeLabel(s))
+	}
+	fmt.Fprintln(tw, strings.Join(header, "\t"))
+	for _, d := range densities {
+		row := []string{fmt.Sprintf("%d", d)}
+		for _, s := range sizes {
+			r := lookup[[2]int64{int64(d), s}]
+			row = append(row, string(r.Winner))
+		}
+		fmt.Fprintln(tw, strings.Join(row, "\t"))
+	}
+	return tw.Flush()
+}

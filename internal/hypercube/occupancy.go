@@ -1,0 +1,80 @@
+package hypercube
+
+// Occupancy is a per-phase channel-claim table: the dense-array
+// analogue of the paper's n x n PATHS matrix (§5 notes that "for
+// regular topologies like mesh and hypercube, the size of PATHS can be
+// much smaller"). It supports the Check_Path / Mark_Path operations
+// used by RS_NL.
+//
+// Claims are tracked per directed channel because iPSC/860 links are
+// full-duplex: two circuits may cross the same physical wire in
+// opposite directions without contention (this is what makes pairwise
+// exchange concurrent, and what makes the LP algorithm's XOR
+// permutations contention-free). Clearing is O(1) amortized via an
+// epoch counter, so a scheduler iterating over many phases does not
+// pay O(channels) per phase.
+type Occupancy struct {
+	cube  *Cube
+	epoch uint32
+	marks []uint32 // marks[channelIndex] == epoch means claimed this phase
+	buf   []Channel
+}
+
+// NewOccupancy returns an empty occupancy table for the cube.
+func NewOccupancy(c *Cube) *Occupancy {
+	return &Occupancy{
+		cube:  c,
+		epoch: 1,
+		marks: make([]uint32, c.NumChannels()),
+	}
+}
+
+// Reset clears all claims; O(1) amortized.
+func (o *Occupancy) Reset() {
+	o.epoch++
+	if o.epoch == 0 { // wrapped: flush the whole table once per 2^32 resets
+		for i := range o.marks {
+			o.marks[i] = 0
+		}
+		o.epoch = 1
+	}
+}
+
+// CheckPath reports whether the e-cube route src->dst is entirely
+// unclaimed in the current phase. It corresponds to the paper's
+// Check_Path(x, y). A zero-length route (src == dst) is always free.
+func (o *Occupancy) CheckPath(src, dst int) bool {
+	o.buf = o.cube.Route(src, dst, o.buf[:0])
+	for _, ch := range o.buf {
+		if o.marks[o.cube.ChannelIndex(ch)] == o.epoch {
+			return false
+		}
+	}
+	return true
+}
+
+// MarkPath claims every channel on the e-cube route src->dst for the
+// current phase. It corresponds to the paper's Mark_Path(x, y).
+func (o *Occupancy) MarkPath(src, dst int) {
+	o.buf = o.cube.Route(src, dst, o.buf[:0])
+	for _, ch := range o.buf {
+		o.marks[o.cube.ChannelIndex(ch)] = o.epoch
+	}
+}
+
+// Claimed reports whether a specific channel is claimed in this phase.
+func (o *Occupancy) Claimed(ch Channel) bool {
+	return o.marks[o.cube.ChannelIndex(ch)] == o.epoch
+}
+
+// ClaimedCount returns the number of channels currently claimed.
+// O(channels); intended for tests and trace output.
+func (o *Occupancy) ClaimedCount() int {
+	n := 0
+	for _, m := range o.marks {
+		if m == o.epoch {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,572 @@
+// Package ipsc simulates the Intel iPSC/860: i860 compute nodes on a
+// circuit-switched hypercube with deterministic e-cube routing. It is
+// the machine substitute for the paper's 64-node CalTech system (see
+// DESIGN.md §2) and reproduces the communication behaviour the paper's
+// §2.2 observations describe:
+//
+//  1. each node supports one send and one receive at a time, and a
+//     non-pairwise send + receive at the same node serialize;
+//  2. a pairwise-synchronized exchange transfers both directions
+//     concurrently;
+//  3. circuits passing through a node do not disturb that node, and
+//     crossing circuits do not disturb each other — contention exists
+//     only when two circuits want the same directed channel;
+//  4. long messages are sent only after the receiver indicates
+//     readiness (the S1 ready signal / 0-byte message).
+//
+// The simulator executes per-node op programs compiled from a schedule
+// (see program.go) under a deterministic discrete-event engine, and
+// reports the makespan — the maximum node finish time — exactly as the
+// paper measures "the maximum time spent by any processor" per run.
+//
+// Simplification (documented substitution): circuit acquisition is
+// atomic — a transfer starts when its channels and its receiver are
+// simultaneously available, rather than incrementally holding partial
+// paths. This keeps the model deadlock-free while preserving the
+// serialization that link contention causes.
+package ipsc
+
+import (
+	"fmt"
+	"sort"
+
+	"unsched/internal/costmodel"
+	"unsched/internal/des"
+	"unsched/internal/topo"
+)
+
+// Machine is a single-run simulator instance. Create one per
+// simulation with NewMachine; Run consumes it.
+type Machine struct {
+	net    topo.Topology
+	params costmodel.Params
+	eng    *des.Engine
+	nodes  []*node
+	// chanBusy[channelIndex] marks channels held by active circuits.
+	chanBusy []bool
+	routeBuf []int
+	pending  []*attempt
+	nextSeq  int64
+	// barrier state: arrivals and blocked nodes per barrier id.
+	barrierCount   map[int]int
+	barrierWaiters map[int][]*node
+	// stats
+	transfers     int
+	exchanges     int
+	waitedUS      float64 // total time attempts spent blocked on resources
+	maxEvents     int64
+	totalExpected int
+	arrivedTotal  int
+}
+
+type node struct {
+	id      int
+	program []op
+	pc      int
+	// blocked marks a node waiting for an external event (signal,
+	// rendezvous, arrival, or resources). Its engine is idle, so it
+	// can absorb incoming circuits.
+	blocked bool
+	// transmitting marks an active outgoing unidirectional transfer;
+	// absorbing marks an active incoming one. A pairwise exchange sets
+	// both on both partners.
+	transmitting bool
+	absorbing    bool
+	// readyFrom[r] is set when the ready signal from receiver r has
+	// arrived (S1). Each (sender, receiver) message is scheduled at
+	// most once, so a bool per peer suffices.
+	readyFrom []bool
+	// arrived[s] / consumed[s] count fully delivered messages from
+	// source s; opWaitRecv consumes them.
+	arrived  []int
+	consumed []int
+	received int // total messages absorbed (for opWaitAll)
+	expected int
+	done     bool
+	finishUS float64
+	// rendezvous state for opExchange
+	atExchange bool
+	// outstanding counts initiated-but-incomplete asynchronous sends
+	// (opSendAsync); opWaitSent blocks while it is nonzero.
+	outstanding int
+}
+
+// attempt is a transfer or exchange blocked on resources, queued for
+// deterministic retry when circuits free up.
+type attempt struct {
+	seq      int64
+	exchange bool
+	async    bool // opSendAsync: completion decrements outstanding instead of advancing pc
+	src, dst int  // for exchange: src < dst pair
+	bytes    int64
+	backSize int64 // exchange reverse direction
+	queuedAt float64
+}
+
+// Result summarizes one simulated run.
+type Result struct {
+	// MakespanUS is the maximum node finish time in microseconds —
+	// the paper's per-run communication cost.
+	MakespanUS float64
+	// Transfers is the number of unidirectional circuits carried;
+	// Exchanges the number of pairwise bidirectional exchanges (each
+	// moving two messages).
+	Transfers int
+	Exchanges int
+	// ResourceWaitUS accumulates time attempts spent queued for
+	// channels or receivers — a direct measure of contention.
+	ResourceWaitUS float64
+}
+
+// NewMachine returns a simulator for one run on the given cube with
+// the given timing parameters.
+func NewMachine(net topo.Topology, params costmodel.Params) (*Machine, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	n := net.Nodes()
+	m := &Machine{
+		net:       net,
+		params:    params,
+		eng:       des.New(),
+		chanBusy:  make([]bool, net.NumChannels()),
+		maxEvents: int64(n) * 1_000_000,
+	}
+	for i := 0; i < n; i++ {
+		m.nodes = append(m.nodes, &node{
+			id:        i,
+			readyFrom: make([]bool, n),
+			arrived:   make([]int, n),
+			consumed:  make([]int, n),
+		})
+	}
+	return m, nil
+}
+
+// run loads the per-node programs and processes events to completion.
+func (m *Machine) run(programs [][]op) (Result, error) {
+	if len(programs) != len(m.nodes) {
+		return Result{}, fmt.Errorf("ipsc: %d programs for %d nodes", len(programs), len(m.nodes))
+	}
+	for i, nd := range m.nodes {
+		nd.program = programs[i]
+		nd.expected = countExpected(programs, i)
+		m.totalExpected += nd.expected
+	}
+	for i := range m.nodes {
+		i := i
+		m.eng.At(0, func() { m.advance(m.nodes[i]) })
+	}
+	m.eng.Run(m.maxEvents)
+
+	makespan := 0.0
+	for _, nd := range m.nodes {
+		if !nd.done {
+			return Result{}, m.deadlockError()
+		}
+		if nd.finishUS > makespan {
+			makespan = nd.finishUS
+		}
+	}
+	return Result{
+		MakespanUS:     makespan,
+		Transfers:      m.transfers,
+		Exchanges:      m.exchanges,
+		ResourceWaitUS: m.waitedUS,
+	}, nil
+}
+
+// countExpected counts messages destined to node i across all
+// programs: each opSendReady/opSendFire targeting i, plus exchange
+// reverse halves.
+func countExpected(programs [][]op, i int) int {
+	count := 0
+	for src, prog := range programs {
+		for _, o := range prog {
+			switch o.kind {
+			case opSendReady, opSendFire, opSendAsync:
+				if o.peer == i {
+					count++
+				}
+			case opExchange:
+				// Each endpoint's opExchange carries its outgoing
+				// bytes; count the halves directed at i.
+				if o.peer == i && o.bytes > 0 && src != i {
+					count++
+				}
+			}
+		}
+	}
+	return count
+}
+
+func (m *Machine) deadlockError() error {
+	var stuck []string
+	for _, nd := range m.nodes {
+		if !nd.done {
+			desc := "end"
+			if nd.pc < len(nd.program) {
+				desc = nd.program[nd.pc].String()
+			}
+			stuck = append(stuck, fmt.Sprintf("P%d@%d:%s", nd.id, nd.pc, desc))
+			if len(stuck) >= 8 {
+				stuck = append(stuck, "...")
+				break
+			}
+		}
+	}
+	return fmt.Errorf("ipsc: simulation deadlocked at t=%.1fµs: %v", m.eng.Now(), stuck)
+}
+
+// advance executes ops of nd until it blocks or finishes. It must be
+// called with the node unblocked and its engine free.
+func (m *Machine) advance(nd *node) {
+	nd.blocked = false
+	for {
+		if nd.pc >= len(nd.program) {
+			if !nd.done {
+				nd.done = true
+				nd.finishUS = m.eng.Now()
+			}
+			return
+		}
+		o := nd.program[nd.pc]
+		switch o.kind {
+		case opDelay:
+			nd.pc++
+			if o.cost > 0 {
+				m.eng.After(o.cost, func() { m.advance(nd) })
+				return
+			}
+
+		case opPostRecv:
+			// Post the buffer and fire the ready signal to the sender;
+			// costs CPU locally, then the signal flies.
+			src := o.peer
+			cost := m.params.PostOverheadUS
+			flight := m.params.SignalTime(m.net.Hops(nd.id, src))
+			sender := m.nodes[src]
+			me := nd
+			m.eng.After(cost+flight, func() {
+				sender.readyFrom[me.id] = true
+				if sender.blocked && sender.pc < len(sender.program) {
+					so := sender.program[sender.pc]
+					if so.kind == opSendReady && so.peer == me.id {
+						m.advance(sender)
+					}
+				}
+			})
+			nd.pc++
+			m.eng.After(cost, func() { m.advance(nd) })
+			return
+
+		case opSendReady:
+			if !nd.readyFrom[o.peer] {
+				nd.blocked = true
+				return
+			}
+			m.tryOrQueue(&attempt{
+				seq: m.seq(), src: nd.id, dst: o.peer, bytes: o.bytes,
+				queuedAt: m.eng.Now(),
+			})
+			return
+
+		case opSendFire:
+			m.tryOrQueue(&attempt{
+				seq: m.seq(), src: nd.id, dst: o.peer, bytes: o.bytes,
+				queuedAt: m.eng.Now(),
+			})
+			return
+
+		case opSendAsync:
+			nd.outstanding++
+			m.tryOrQueue(&attempt{
+				seq: m.seq(), async: true, src: nd.id, dst: o.peer, bytes: o.bytes,
+				queuedAt: m.eng.Now(),
+			})
+			nd.pc++
+			continue
+
+		case opWaitSent:
+			if nd.outstanding == 0 {
+				nd.pc++
+				continue
+			}
+			nd.blocked = true
+			return
+
+		case opBarrier:
+			if m.barrierCount == nil {
+				m.barrierCount = map[int]int{}
+				m.barrierWaiters = map[int][]*node{}
+			}
+			id := o.peer
+			m.barrierCount[id]++
+			if m.barrierCount[id] < len(m.nodes) {
+				m.barrierWaiters[id] = append(m.barrierWaiters[id], nd)
+				nd.blocked = true
+				return
+			}
+			// Last arrival: everyone pays the dissemination sweep —
+			// log2(n) rounds of signal exchanges — then proceeds.
+			waiters := m.barrierWaiters[id]
+			delete(m.barrierWaiters, id)
+			rounds := 0
+			for x := 1; x < len(m.nodes); x *= 2 {
+				rounds++
+			}
+			cost := float64(rounds) * (m.params.SyncOverheadUS + m.params.SignalTime(1))
+			me := nd
+			m.eng.After(cost, func() {
+				me.pc++
+				m.advance(me)
+				for _, w := range waiters {
+					w.pc++
+					m.advance(w)
+				}
+			})
+			return
+
+		case opWaitRecv:
+			if nd.arrived[o.peer] > nd.consumed[o.peer] {
+				nd.consumed[o.peer]++
+				nd.pc++
+				continue
+			}
+			nd.blocked = true
+			return
+
+		case opWaitAll:
+			if nd.received >= nd.expected {
+				nd.pc++
+				continue
+			}
+			nd.blocked = true
+			return
+
+		case opExchange:
+			peer := m.nodes[o.peer]
+			nd.atExchange = true
+			if !peer.atExchange || peer.pc >= len(peer.program) {
+				nd.blocked = true
+				return
+			}
+			po := peer.program[peer.pc]
+			if po.kind != opExchange || po.peer != nd.id {
+				nd.blocked = true
+				return
+			}
+			// Rendezvous complete: attempt the exchange once, owned by
+			// the lower id to avoid double-queueing.
+			lo, hi := nd.id, o.peer
+			loBytes, hiBytes := o.bytes, po.bytes
+			if lo > hi {
+				lo, hi = hi, lo
+				loBytes, hiBytes = hiBytes, loBytes
+			}
+			nd.blocked = true
+			m.tryOrQueue(&attempt{
+				seq: m.seq(), exchange: true, src: lo, dst: hi,
+				bytes: loBytes, backSize: hiBytes, queuedAt: m.eng.Now(),
+			})
+			return
+
+		default:
+			panic(fmt.Sprintf("ipsc: unknown op kind %d", o.kind))
+		}
+	}
+}
+
+func (m *Machine) seq() int64 {
+	m.nextSeq++
+	return m.nextSeq
+}
+
+// tryOrQueue starts the attempt if its resources are free, otherwise
+// queues it for retry on the next release.
+func (m *Machine) tryOrQueue(a *attempt) {
+	if m.tryStart(a) {
+		return
+	}
+	m.pending = append(m.pending, a)
+}
+
+// retryPending re-attempts queued transfers in FIFO order. Called
+// whenever resources are released.
+func (m *Machine) retryPending() {
+	if len(m.pending) == 0 {
+		return
+	}
+	remaining := m.pending[:0]
+	for _, a := range m.pending {
+		if !m.tryStart(a) {
+			remaining = append(remaining, a)
+		}
+	}
+	m.pending = remaining
+}
+
+// routeFree reports whether all channels of the deterministic route
+// are free.
+func (m *Machine) routeFree(src, dst int) bool {
+	m.routeBuf = m.net.RouteIDs(src, dst, m.routeBuf[:0])
+	for _, id := range m.routeBuf {
+		if m.chanBusy[id] {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *Machine) setRoute(src, dst int, busy bool) {
+	m.routeBuf = m.net.RouteIDs(src, dst, m.routeBuf[:0])
+	for _, id := range m.routeBuf {
+		m.chanBusy[id] = busy
+	}
+}
+
+// tryStart checks resources and, if available, claims them and
+// schedules the completion event. Returns false if the attempt must
+// wait.
+func (m *Machine) tryStart(a *attempt) bool {
+	if a.exchange {
+		return m.tryStartExchange(a)
+	}
+	src, dst := m.nodes[a.src], m.nodes[a.dst]
+	// Short messages (the NX short protocol, <= 100 B) travel
+	// fire-and-forget into the receiver's system buffer: they need the
+	// circuit but not the receiver's engine. Long messages engage the
+	// receiver: no two incoming at once, and a non-pairwise send and
+	// receive at one node serialize (§2.2 observation 1) — a blocked
+	// or idle receiver absorbs fine.
+	short := a.bytes <= m.params.ShortMaxBytes
+	if !short && (dst.absorbing || dst.transmitting) {
+		return false
+	}
+	// A node drives at most one outgoing circuit at a time; async
+	// attempts from the same node queue behind the active one.
+	if a.async && src.transmitting {
+		return false
+	}
+	if !m.routeFree(a.src, a.dst) {
+		return false
+	}
+	hops := m.net.Hops(a.src, a.dst)
+	dur := m.params.TransferTime(a.bytes, hops)
+	m.setRoute(a.src, a.dst, true)
+	src.transmitting = true
+	if !short {
+		dst.absorbing = true
+	}
+	m.waitedUS += m.eng.Now() - a.queuedAt
+	m.transfers++
+	m.eng.After(dur, func() {
+		m.setRoute(a.src, a.dst, false)
+		src.transmitting = false
+		if !short {
+			dst.absorbing = false
+		}
+		dst.arrived[a.src]++
+		dst.received++
+		m.arrivedTotal++
+		if a.async {
+			src.outstanding--
+			if src.blocked && src.pc < len(src.program) &&
+				src.program[src.pc].kind == opWaitSent && src.outstanding == 0 {
+				m.advance(src)
+			}
+		} else {
+			// Sender finished its blocking send op.
+			src.pc++
+			m.advance(src)
+		}
+		// Receiver may be waiting on this arrival.
+		if dst.blocked && dst.pc < len(dst.program) {
+			o := dst.program[dst.pc]
+			if (o.kind == opWaitRecv && o.peer == a.src) || o.kind == opWaitAll {
+				m.advance(dst)
+			}
+		}
+		m.retryPending()
+	})
+	return true
+}
+
+func (m *Machine) tryStartExchange(a *attempt) bool {
+	lo, hi := m.nodes[a.src], m.nodes[a.dst]
+	// Both nodes are blocked at their exchange op; their engines are
+	// dedicated. Other circuits may still occupy the routes.
+	if lo.absorbing || lo.transmitting || hi.absorbing || hi.transmitting {
+		return false
+	}
+	if !m.routeFree(a.src, a.dst) || !m.routeFree(a.dst, a.src) {
+		return false
+	}
+	hops := m.net.Hops(a.src, a.dst)
+	fwd, rev := 0.0, 0.0
+	if a.bytes > 0 {
+		fwd = m.params.TransferTime(a.bytes, hops)
+	}
+	if a.backSize > 0 {
+		rev = m.params.TransferTime(a.backSize, hops)
+	}
+	// The pairwise synchronization itself is a 0-byte message exchange
+	// (§2.2 observation 4: "the exchange of a dummy message"), so even
+	// a data-less sync phase — LP walks all n-1 of them — costs the
+	// signal flight plus software overhead.
+	dur := m.params.SyncOverheadUS + m.params.SignalTime(hops) + maxf(fwd, rev)
+	m.setRoute(a.src, a.dst, true)
+	m.setRoute(a.dst, a.src, true)
+	for _, nd := range []*node{lo, hi} {
+		nd.transmitting = true
+		nd.absorbing = true
+	}
+	m.waitedUS += m.eng.Now() - a.queuedAt
+	m.exchanges++
+	m.eng.After(dur, func() {
+		m.setRoute(a.src, a.dst, false)
+		m.setRoute(a.dst, a.src, false)
+		for _, nd := range []*node{lo, hi} {
+			nd.transmitting = false
+			nd.absorbing = false
+			nd.atExchange = false
+		}
+		if a.bytes > 0 {
+			hi.arrived[a.src]++
+			hi.received++
+			m.arrivedTotal++
+		}
+		if a.backSize > 0 {
+			lo.arrived[a.dst]++
+			lo.received++
+			m.arrivedTotal++
+		}
+		lo.pc++
+		hi.pc++
+		m.advance(lo)
+		m.advance(hi)
+		m.retryPending()
+	})
+	return true
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// sortAttempts is used by tests to inspect pending state.
+func (m *Machine) pendingSummary() []string {
+	out := make([]string, 0, len(m.pending))
+	for _, a := range m.pending {
+		kind := "send"
+		if a.exchange {
+			kind = "xchg"
+		}
+		out = append(out, fmt.Sprintf("%s %d->%d", kind, a.src, a.dst))
+	}
+	sort.Strings(out)
+	return out
+}

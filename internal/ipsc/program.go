@@ -1,0 +1,353 @@
+package ipsc
+
+import (
+	"fmt"
+
+	"unsched/internal/comm"
+	"unsched/internal/costmodel"
+	"unsched/internal/sched"
+	"unsched/internal/topo"
+)
+
+// opKind enumerates the primitive operations node programs are built
+// from. They correspond to the NX-level actions the paper's execution
+// schemes S1 and S2 compose (§6).
+type opKind int
+
+const (
+	// opDelay charges fixed CPU time (phase loop overhead, buffer
+	// posting batches).
+	opDelay opKind = iota
+	// opPostRecv posts a receive buffer for a message from peer and
+	// fires the 0-byte ready signal to it (S1).
+	opPostRecv
+	// opSendReady waits for peer's ready signal, then acquires the
+	// circuit and transfers bytes (S1 send).
+	opSendReady
+	// opSendFire acquires the circuit and transfers without waiting
+	// for a ready signal (S2 send; receives are pre-posted).
+	opSendFire
+	// opWaitRecv blocks until the message from peer has fully arrived.
+	opWaitRecv
+	// opWaitAll blocks until every message destined to this node has
+	// arrived (S2's final confirmation step).
+	opWaitAll
+	// opExchange performs a pairwise-synchronized bidirectional
+	// exchange with peer: both directions move concurrently after the
+	// rendezvous (§2.2 observation 1).
+	opExchange
+	// opSendAsync initiates a transfer without blocking the program:
+	// the node "can keep sending outgoing messages till they are all
+	// done" (§3). At most one of a node's transfers is active at a
+	// time, but a blocked one does not stall the others.
+	opSendAsync
+	// opWaitSent blocks until all of this node's asynchronous sends
+	// have completed.
+	opWaitSent
+	// opBarrier blocks until every node has reached the same barrier
+	// id — the "expensive global synchronization at the end of every
+	// phase" that §6's loose synchrony exists to avoid. The barrier
+	// itself costs a dissemination sweep once the last node arrives.
+	opBarrier
+)
+
+type op struct {
+	kind  opKind
+	peer  int
+	bytes int64
+	cost  float64 // opDelay only
+}
+
+func (o op) String() string {
+	switch o.kind {
+	case opDelay:
+		return fmt.Sprintf("delay(%.1fµs)", o.cost)
+	case opPostRecv:
+		return fmt.Sprintf("post(from=%d)", o.peer)
+	case opSendReady:
+		return fmt.Sprintf("sendReady(to=%d,%dB)", o.peer, o.bytes)
+	case opSendFire:
+		return fmt.Sprintf("sendFire(to=%d,%dB)", o.peer, o.bytes)
+	case opWaitRecv:
+		return fmt.Sprintf("waitRecv(from=%d)", o.peer)
+	case opWaitAll:
+		return "waitAll"
+	case opExchange:
+		return fmt.Sprintf("exchange(with=%d,%dB)", o.peer, o.bytes)
+	case opSendAsync:
+		return fmt.Sprintf("sendAsync(to=%d,%dB)", o.peer, o.bytes)
+	case opWaitSent:
+		return "waitSent"
+	case opBarrier:
+		return fmt.Sprintf("barrier(%d)", o.peer)
+	default:
+		return "?"
+	}
+}
+
+// CompileS1 translates a phase schedule into per-node programs under
+// the S1 protocol (paper §6): at each phase, a receiver posts its
+// buffer and signals the sender; the sender transfers on receipt of
+// the signal; matched send/receive pairs between the same two nodes
+// become pairwise exchanges. Receivers do not block on the arrival
+// itself — §6's loose synchrony gates only the sends; arrivals are
+// confirmed at the end, like S2's final step. This is the execution
+// the paper uses for LP and RS_NL.
+func CompileS1(s *sched.Schedule, params costmodel.Params) [][]op {
+	n := s.N
+	programs := make([][]op, n)
+	for _, p := range s.Phases {
+		recv := p.Recv()
+		for i := 0; i < n; i++ {
+			programs[i] = append(programs[i], op{kind: opDelay, cost: params.LoopOverheadUS})
+			j := p.Send[i]
+			r := recv[i]
+			switch {
+			case j >= 0 && r == j:
+				// Bidirectional pair: both nodes compile the exchange.
+				programs[i] = append(programs[i], op{kind: opExchange, peer: j, bytes: p.Bytes[i]})
+			default:
+				// Post first (never blocks), then the blocking ops, so
+				// every phase's ready signals fire before anyone
+				// stalls. Waiting for the phase's own arrival is the
+				// loose synchrony that keeps later phases aligned —
+				// and with them, the contention-freedom the scheduler
+				// arranged.
+				if r >= 0 {
+					programs[i] = append(programs[i], op{kind: opPostRecv, peer: r})
+				}
+				if j >= 0 {
+					programs[i] = append(programs[i], op{kind: opSendReady, peer: j, bytes: p.Bytes[i]})
+				}
+				if r >= 0 {
+					programs[i] = append(programs[i], op{kind: opWaitRecv, peer: r})
+				}
+			}
+		}
+	}
+	return programs
+}
+
+// CompileS1Barrier is CompileS1 with a global barrier after every
+// phase — the strict phase synchronization the paper's algorithms
+// assume in the abstract and that the S1 scheme was designed to avoid
+// (§6). It exists for the ablation benchmark that prices loose
+// synchrony against global synchronization.
+func CompileS1Barrier(s *sched.Schedule, params costmodel.Params) [][]op {
+	programs := CompileS1(s, params)
+	// Interleave a barrier after each phase's ops. Rebuild per node:
+	// phase boundaries are where the next opDelay(LoopOverheadUS)
+	// begins; simplest is to recompile phase by phase.
+	n := s.N
+	programs = make([][]op, n)
+	for k, p := range s.Phases {
+		recv := p.Recv()
+		for i := 0; i < n; i++ {
+			programs[i] = append(programs[i], op{kind: opDelay, cost: params.LoopOverheadUS})
+			j := p.Send[i]
+			r := recv[i]
+			switch {
+			case j >= 0 && r == j:
+				programs[i] = append(programs[i], op{kind: opExchange, peer: j, bytes: p.Bytes[i]})
+			default:
+				if r >= 0 {
+					programs[i] = append(programs[i], op{kind: opPostRecv, peer: r})
+				}
+				if j >= 0 {
+					programs[i] = append(programs[i], op{kind: opSendReady, peer: j, bytes: p.Bytes[i]})
+				}
+				if r >= 0 {
+					programs[i] = append(programs[i], op{kind: opWaitRecv, peer: r})
+				}
+			}
+			programs[i] = append(programs[i], op{kind: opBarrier, peer: k})
+		}
+	}
+	return programs
+}
+
+// RunS1Barrier simulates the schedule under S1 with a global barrier
+// after every phase.
+func RunS1Barrier(net topo.Topology, params costmodel.Params, s *sched.Schedule) (Result, error) {
+	if net.Nodes() != s.N {
+		return Result{}, fmt.Errorf("ipsc: topology %d nodes vs schedule %d", net.Nodes(), s.N)
+	}
+	m, err := NewMachine(net, params)
+	if err != nil {
+		return Result{}, err
+	}
+	return m.run(CompileS1Barrier(s, params))
+}
+
+// CompileS2 translates a phase schedule into per-node programs under
+// the S2 protocol (paper §6): every node pre-posts all its receive
+// buffers, fires its sends in schedule order without waiting for any
+// signal, and finally confirms all arrivals. The phase structure
+// survives only as the send ordering — which is precisely what the
+// paper says S2 is ("essentially the scheme described in Section 3,
+// with the communication ordering chosen to reduce contention"). Used
+// for RS_N.
+func CompileS2(s *sched.Schedule, params costmodel.Params) [][]op {
+	n := s.N
+	programs := make([][]op, n)
+	recvCount := make([]int, n)
+	for _, p := range s.Phases {
+		for _, j := range p.Send {
+			if j >= 0 {
+				recvCount[j]++
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		// Posting all buffers up front costs CPU proportional to the
+		// number of expected messages.
+		programs[i] = append(programs[i], op{kind: opDelay, cost: float64(recvCount[i]) * params.PostOverheadUS})
+	}
+	for _, p := range s.Phases {
+		for i := 0; i < n; i++ {
+			// Walking the scheduling table costs per-phase bookkeeping
+			// on every node, sender or not.
+			programs[i] = append(programs[i], op{kind: opDelay, cost: params.PhaseSoftwareUS})
+			if j := p.Send[i]; j >= 0 {
+				programs[i] = append(programs[i], op{kind: opSendFire, peer: j, bytes: p.Bytes[i]})
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		programs[i] = append(programs[i], op{kind: opWaitAll})
+	}
+	return programs
+}
+
+// CompileLP translates an LP schedule into programs that perform a
+// pairwise-synchronized exchange with the XOR partner in *every*
+// phase, with or without data — exactly how complete-exchange codes
+// drive the iPSC/860 (§4.1: "the entire communication uses pairwise
+// exchanges"). A data-less phase still costs the synchronization
+// handshake, which is why LP is expensive at low density. The schedule
+// must come from sched.LP (phase k pairs i with i XOR (k+1)).
+func CompileLP(s *sched.Schedule, params costmodel.Params) ([][]op, error) {
+	if s.Algorithm != "LP" {
+		return nil, fmt.Errorf("ipsc: CompileLP needs an LP schedule, got %s", s.Algorithm)
+	}
+	n := s.N
+	programs := make([][]op, n)
+	for k, p := range s.Phases {
+		for i := 0; i < n; i++ {
+			partner := i ^ (k + 1)
+			if p.Send[i] >= 0 && p.Send[i] != partner {
+				return nil, fmt.Errorf("ipsc: phase %d sends %d->%d, not the XOR partner %d",
+					k, i, p.Send[i], partner)
+			}
+			programs[i] = append(programs[i],
+				op{kind: opDelay, cost: params.LoopOverheadUS},
+				op{kind: opExchange, peer: partner, bytes: p.Bytes[i]})
+		}
+	}
+	return programs, nil
+}
+
+// RunLP simulates an LP schedule with exchange-every-phase semantics.
+func RunLP(net topo.Topology, params costmodel.Params, s *sched.Schedule) (Result, error) {
+	if net.Nodes() != s.N {
+		return Result{}, fmt.Errorf("ipsc: topology %d nodes vs schedule %d", net.Nodes(), s.N)
+	}
+	programs, err := CompileLP(s, params)
+	if err != nil {
+		return Result{}, err
+	}
+	m, err := NewMachine(net, params)
+	if err != nil {
+		return Result{}, err
+	}
+	return m.run(programs)
+}
+
+// CompileAC translates the asynchronous algorithm (paper §3, Figure 1)
+// into node programs: pre-post everything, fire the whole send vector
+// in order (csend semantics: each long-protocol send blocks until the
+// transfer completes), then confirm arrivals.
+func CompileAC(o *sched.ACOrder, m *comm.Matrix, params costmodel.Params) [][]op {
+	n := o.N
+	programs := make([][]op, n)
+	for i := 0; i < n; i++ {
+		programs[i] = append(programs[i], op{kind: opDelay, cost: float64(m.RecvDegree(i)) * params.PostOverheadUS})
+		for _, j := range o.Order[i] {
+			programs[i] = append(programs[i], op{kind: opSendFire, peer: j, bytes: m.At(i, j)})
+		}
+		programs[i] = append(programs[i], op{kind: opWaitAll})
+	}
+	return programs
+}
+
+// CompileACAsync is the idealized variant with unbounded asynchronous
+// send depth: a send blocked on a busy receiver does not stall the
+// rest of the send vector. Real NX csend cannot do this for
+// long-protocol messages; the variant exists for the ablation
+// benchmark that measures how much of AC's large-message collapse is
+// head-of-line blocking versus raw contention.
+func CompileACAsync(o *sched.ACOrder, m *comm.Matrix, params costmodel.Params) [][]op {
+	n := o.N
+	programs := make([][]op, n)
+	for i := 0; i < n; i++ {
+		programs[i] = append(programs[i], op{kind: opDelay, cost: float64(m.RecvDegree(i)) * params.PostOverheadUS})
+		for _, j := range o.Order[i] {
+			programs[i] = append(programs[i],
+				op{kind: opDelay, cost: params.PostOverheadUS},
+				op{kind: opSendAsync, peer: j, bytes: m.At(i, j)})
+		}
+		programs[i] = append(programs[i], op{kind: opWaitSent}, op{kind: opWaitAll})
+	}
+	return programs
+}
+
+// RunACAsync simulates the idealized asynchronous variant.
+func RunACAsync(net topo.Topology, params costmodel.Params, o *sched.ACOrder, com *comm.Matrix) (Result, error) {
+	if net.Nodes() != o.N || com.N() != o.N {
+		return Result{}, fmt.Errorf("ipsc: size mismatch topology=%d order=%d matrix=%d",
+			net.Nodes(), o.N, com.N())
+	}
+	m, err := NewMachine(net, params)
+	if err != nil {
+		return Result{}, err
+	}
+	return m.run(CompileACAsync(o, com, params))
+}
+
+// RunS1 simulates the schedule under the S1 protocol and returns the
+// makespan and contention statistics.
+func RunS1(net topo.Topology, params costmodel.Params, s *sched.Schedule) (Result, error) {
+	if net.Nodes() != s.N {
+		return Result{}, fmt.Errorf("ipsc: topology %d nodes vs schedule %d", net.Nodes(), s.N)
+	}
+	m, err := NewMachine(net, params)
+	if err != nil {
+		return Result{}, err
+	}
+	return m.run(CompileS1(s, params))
+}
+
+// RunS2 simulates the schedule under the S2 protocol.
+func RunS2(net topo.Topology, params costmodel.Params, s *sched.Schedule) (Result, error) {
+	if net.Nodes() != s.N {
+		return Result{}, fmt.Errorf("ipsc: topology %d nodes vs schedule %d", net.Nodes(), s.N)
+	}
+	m, err := NewMachine(net, params)
+	if err != nil {
+		return Result{}, err
+	}
+	return m.run(CompileS2(s, params))
+}
+
+// RunAC simulates the asynchronous algorithm on the matrix.
+func RunAC(net topo.Topology, params costmodel.Params, o *sched.ACOrder, com *comm.Matrix) (Result, error) {
+	if net.Nodes() != o.N || com.N() != o.N {
+		return Result{}, fmt.Errorf("ipsc: size mismatch topology=%d order=%d matrix=%d",
+			net.Nodes(), o.N, com.N())
+	}
+	m, err := NewMachine(net, params)
+	if err != nil {
+		return Result{}, err
+	}
+	return m.run(CompileAC(o, com, params))
+}

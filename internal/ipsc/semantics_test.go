@@ -1,0 +1,352 @@
+package ipsc
+
+// Deeper machine-semantics tests: asymmetric exchanges, short-message
+// fire-and-forget, async sends, mesh topologies, conservation
+// properties, and compile-level validation.
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"unsched/internal/comm"
+	"unsched/internal/costmodel"
+	"unsched/internal/hypercube"
+	"unsched/internal/mesh"
+	"unsched/internal/sched"
+)
+
+func TestExchangeAsymmetricSizesCostsMax(t *testing.T) {
+	m := mustMachine(t, 3)
+	p := params()
+	programs := make([][]op, 8)
+	programs[0] = []op{{kind: opExchange, peer: 1, bytes: 128 * 1024}}
+	programs[1] = []op{{kind: opExchange, peer: 0, bytes: 256}}
+	res, err := m.run(programs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := p.TransferTime(128*1024, 1)
+	want := p.SyncOverheadUS + p.SignalTime(1) + big
+	if res.MakespanUS != want {
+		t.Errorf("asymmetric exchange = %v, want %v (the larger direction)", res.MakespanUS, want)
+	}
+}
+
+func TestExchangeWaitsForBusyRoute(t *testing.T) {
+	// A third party's circuit across the exchange's wires delays it.
+	m := mustMachine(t, 3)
+	programs := make([][]op, 8)
+	// 0->3 routes 0->1->3, claiming channel 1->3 (up).
+	programs[0] = []op{{kind: opSendFire, peer: 3, bytes: 128 * 1024}}
+	programs[3] = []op{{kind: opWaitAll}}
+	// Exchange 1<->3 needs channels 1->3 and 3->1; the up channel is
+	// busy until the transfer ends.
+	programs[1] = []op{{kind: opExchange, peer: 3, bytes: 1024}}
+	// Node 3's program: waitAll first would deadlock (exchange must be
+	// reached); order exchange then waitAll.
+	programs[3] = []op{{kind: opExchange, peer: 1, bytes: 1024}, {kind: opWaitAll}}
+	res, err := m.run(programs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := params()
+	firstDone := p.TransferTime(128*1024, 2)
+	if res.MakespanUS <= firstDone {
+		t.Errorf("exchange did not wait for the crossing circuit: %v <= %v",
+			res.MakespanUS, firstDone)
+	}
+}
+
+func TestShortMessagesBypassReceiverEngine(t *testing.T) {
+	// Two senders fire 64 B messages at one receiver simultaneously;
+	// short protocol means no receiver serialization (only distinct
+	// channels), so both complete in one transfer time.
+	m := mustMachine(t, 3)
+	p := params()
+	programs := make([][]op, 8)
+	programs[1] = []op{{kind: opSendFire, peer: 0, bytes: 64}}
+	programs[2] = []op{{kind: opSendFire, peer: 0, bytes: 64}}
+	programs[0] = []op{{kind: opWaitAll}}
+	res, err := m.run(programs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowest := p.TransferTime(64, 1) // 2->0 is 1 hop; 1->0 is 1 hop
+	if res.MakespanUS != slowest {
+		t.Errorf("short messages serialized: %v, want %v", res.MakespanUS, slowest)
+	}
+}
+
+func TestAsyncSendsSkipBlockedReceiver(t *testing.T) {
+	// Node 0 sends to 1 (busy transmitting for a long time) and to 2
+	// (idle). With async sends the 0->2 transfer must not wait for
+	// 0->1 to become possible.
+	m := mustMachine(t, 3)
+	p := params()
+	longSend := p.TransferTime(128*1024, 1)
+	programs := make([][]op, 8)
+	programs[1] = []op{{kind: opSendFire, peer: 5, bytes: 128 * 1024}, {kind: opWaitAll}}
+	programs[5] = []op{{kind: opWaitAll}}
+	programs[0] = []op{
+		// Small delay so node 1 is already mid-transmit when the async
+		// sends are initiated.
+		{kind: opDelay, cost: 100},
+		{kind: opSendAsync, peer: 1, bytes: 4096},
+		{kind: opSendAsync, peer: 2, bytes: 4096},
+		{kind: opWaitSent},
+	}
+	programs[2] = []op{{kind: opWaitAll}}
+	res, err := m.run(programs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0's send to 2 finishes quickly; 0's send to 1 waits out the long
+	// transfer. Makespan ≈ longSend + short, NOT 2x longSend.
+	if res.MakespanUS >= 2*longSend {
+		t.Errorf("async sends convoyed: %v", res.MakespanUS)
+	}
+	if res.MakespanUS <= longSend {
+		t.Errorf("0->1 should have waited for the long transfer: %v", res.MakespanUS)
+	}
+}
+
+func TestSimulationOnMeshTopology(t *testing.T) {
+	net := mesh.MustNew(4, 4, false)
+	rng := rand.New(rand.NewSource(31))
+	m, err := comm.UniformRandom(16, 3, 2048, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sched.RSNL(m, net, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunS1(net, params(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Transfers+2*res.Exchanges != m.MessageCount() {
+		t.Errorf("mesh run delivered %d+2*%d of %d", res.Transfers, res.Exchanges, m.MessageCount())
+	}
+	// S2 on the mesh too.
+	s2, err := sched.RSN(m, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := RunS2(net, params(), s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Transfers != m.MessageCount() {
+		t.Errorf("mesh S2 delivered %d of %d", res2.Transfers, m.MessageCount())
+	}
+}
+
+func TestSimulationOnTorusFasterThanMesh(t *testing.T) {
+	// Wraparound halves route lengths for boundary traffic; the same
+	// schedule-and-simulate flow on the torus should not be slower.
+	rng := rand.New(rand.NewSource(32))
+	m, err := comm.DRegular(64, 6, 16*1024, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := mesh.MustNew(8, 8, false)
+	wrap := mesh.MustNew(8, 8, true)
+	var flatMS, wrapMS float64
+	for seed := int64(0); seed < 3; seed++ {
+		sf, err := sched.RSNL(m, flat, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rf, err := RunS1(flat, params(), sf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sw, err := sched.RSNL(m, wrap, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rw, err := RunS1(wrap, params(), sw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flatMS += rf.MakespanUS
+		wrapMS += rw.MakespanUS
+	}
+	if wrapMS >= flatMS {
+		t.Errorf("torus (%v) should beat mesh (%v)", wrapMS, flatMS)
+	}
+}
+
+// Property: for any random workload and any of the three executors,
+// every scheduled message is delivered exactly once (conservation).
+func TestConservationProperty(t *testing.T) {
+	cube := hypercube.MustNew(5)
+	f := func(seed int64, dRaw uint8) bool {
+		d := 1 + int(dRaw)%8
+		rng := rand.New(rand.NewSource(seed))
+		m, err := comm.UniformRandom(32, d, 1024, rng)
+		if err != nil {
+			return false
+		}
+		s, err := sched.RSNL(m, cube, rng)
+		if err != nil {
+			return false
+		}
+		r1, err := RunS1(cube, params(), s)
+		if err != nil {
+			return false
+		}
+		if r1.Transfers+2*r1.Exchanges != m.MessageCount() {
+			return false
+		}
+		r2, err := RunS2(cube, params(), s)
+		if err != nil {
+			return false
+		}
+		if r2.Transfers != m.MessageCount() {
+			return false
+		}
+		o, err := sched.AC(m)
+		if err != nil {
+			return false
+		}
+		r3, err := RunAC(cube, params(), o, m)
+		if err != nil {
+			return false
+		}
+		return r3.Transfers == m.MessageCount()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: makespan is at least the cost of the largest single
+// transfer and at most the fully serialized sum.
+func TestMakespanBoundsProperty(t *testing.T) {
+	cube := hypercube.MustNew(5)
+	p := params()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, err := comm.UniformRandom(32, 4, 8192, rng)
+		if err != nil {
+			return false
+		}
+		s, err := sched.RSN(m, rng)
+		if err != nil {
+			return false
+		}
+		res, err := RunS2(cube, p, s)
+		if err != nil {
+			return false
+		}
+		minOne := p.TransferTime(8192, 1)
+		serial := float64(m.MessageCount())*p.TransferTime(8192, 5) + 1e6
+		return res.MakespanUS >= minOne && res.MakespanUS < serial
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompileLPRejectsNonLP(t *testing.T) {
+	m, err := comm.UniformRandom(8, 2, 256, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sched.RSN(m, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CompileLP(s, params()); err == nil {
+		t.Error("CompileLP accepted a non-LP schedule")
+	}
+	// A forged LP schedule with a non-XOR transfer is also rejected.
+	forged := &sched.Schedule{Algorithm: "LP", N: 8}
+	ph := sched.NewPhase(8)
+	ph.Send[0], ph.Bytes[0] = 3, 100 // phase 0 pairs with XOR 1, not 3
+	forged.Phases = append(forged.Phases, ph)
+	if _, err := CompileLP(forged, params()); err == nil {
+		t.Error("CompileLP accepted a forged LP schedule")
+	}
+}
+
+func TestRunLPOnBitComplement(t *testing.T) {
+	// Bit complement is a single XOR permutation (k = n-1): LP carries
+	// it in exactly one non-empty phase, and the simulated time is one
+	// concurrent exchange plus the phase sweep.
+	cube := hypercube.MustNew(6)
+	m, err := comm.BitComplement(64, 32*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sched.LP(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonEmpty := 0
+	for _, ph := range s.Phases {
+		if ph.Messages() > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty != 1 {
+		t.Fatalf("bit complement spread over %d phases", nonEmpty)
+	}
+	res, err := RunLP(cube, params(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// LP performs a pairwise-synchronized exchange in every phase for
+	// every pair — 63 phases x 32 pairs — of which exactly one phase
+	// carries the data; nothing travels as a unidirectional transfer.
+	if res.Exchanges != 63*32 {
+		t.Errorf("exchanges = %d, want %d", res.Exchanges, 63*32)
+	}
+	if res.Transfers != 0 {
+		t.Errorf("transfers = %d, want 0", res.Transfers)
+	}
+	p := params()
+	if res.MakespanUS < p.TransferTime(32*1024, 6) {
+		t.Errorf("makespan %v below one data exchange", res.MakespanUS)
+	}
+}
+
+func TestIPSC2PresetRuns(t *testing.T) {
+	// The predecessor machine's constants: same orderings, slower
+	// absolute times.
+	cube := hypercube.MustNew(6)
+	rng := rand.New(rand.NewSource(33))
+	m, err := comm.DRegular(64, 8, 16*1024, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sched.RSNL(m, cube, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p860 := params()
+	p2 := ipsc2Params(t)
+	r860, err := RunS1(cube, p860, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunS1(cube, p2, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.MakespanUS <= r860.MakespanUS {
+		t.Errorf("iPSC/2 (%v) should be slower than iPSC/860 (%v)", r2.MakespanUS, r860.MakespanUS)
+	}
+}
+
+func ipsc2Params(t *testing.T) costmodel.Params {
+	t.Helper()
+	p := costmodel.DefaultIPSC2()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}

@@ -1,0 +1,68 @@
+package mpemu
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// The concatenate wire format: a count, then (rank, length, bytes) for
+// every contribution present. Hand-rolled rather than gob because the
+// exchange happens O(n log n) times per collective and the payloads
+// are tiny.
+
+func putInt64(b []byte, v int64) { binary.LittleEndian.PutUint64(b, uint64(v)) }
+func getInt64(b []byte) int64    { return int64(binary.LittleEndian.Uint64(b)) }
+
+// encodeContributions serializes the non-nil entries of gathered.
+func encodeContributions(gathered [][]byte) []byte {
+	count := 0
+	size := 4
+	for _, g := range gathered {
+		if g != nil {
+			count++
+			size += 8 + len(g)
+		}
+	}
+	out := make([]byte, 0, size)
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(count))
+	out = append(out, hdr[:4]...)
+	for rank, g := range gathered {
+		if g == nil {
+			continue
+		}
+		binary.LittleEndian.PutUint32(hdr[:4], uint32(rank))
+		binary.LittleEndian.PutUint32(hdr[4:], uint32(len(g)))
+		out = append(out, hdr[:]...)
+		out = append(out, g...)
+	}
+	return out
+}
+
+// decodeContributions merges a serialized blob into gathered.
+func decodeContributions(blob []byte, gathered [][]byte) error {
+	if len(blob) < 4 {
+		return fmt.Errorf("mpemu: contribution blob too short (%d bytes)", len(blob))
+	}
+	count := int(binary.LittleEndian.Uint32(blob[:4]))
+	off := 4
+	for i := 0; i < count; i++ {
+		if off+8 > len(blob) {
+			return fmt.Errorf("mpemu: truncated contribution header at %d", off)
+		}
+		rank := int(binary.LittleEndian.Uint32(blob[off : off+4]))
+		length := int(binary.LittleEndian.Uint32(blob[off+4 : off+8]))
+		off += 8
+		if off+length > len(blob) {
+			return fmt.Errorf("mpemu: truncated contribution body at %d", off)
+		}
+		if rank < 0 || rank >= len(gathered) {
+			return fmt.Errorf("mpemu: contribution for invalid rank %d", rank)
+		}
+		if gathered[rank] == nil {
+			gathered[rank] = append([]byte(nil), blob[off:off+length]...)
+		}
+		off += length
+	}
+	return nil
+}

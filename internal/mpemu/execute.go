@@ -1,0 +1,180 @@
+package mpemu
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math/rand"
+
+	"unsched/internal/comm"
+	"unsched/internal/hypercube"
+	"unsched/internal/sched"
+)
+
+// payloadFor builds a deterministic, self-describing payload for the
+// message src->dst: an 8-byte header (src, dst) followed by a
+// pseudo-random body of the scheduled size (capped — functional tests
+// need integrity, not bulk) and a CRC. Both ends can regenerate and
+// check it independently.
+func payloadFor(src, dst int, scheduledBytes int64) []byte {
+	const maxBody = 4096
+	body := scheduledBytes
+	if body > maxBody {
+		body = maxBody
+	}
+	buf := make([]byte, 8+body+4)
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(src))
+	binary.LittleEndian.PutUint32(buf[4:8], uint32(dst))
+	rng := rand.New(rand.NewSource(int64(src)<<32 | int64(dst)))
+	for i := int64(0); i < body; i++ {
+		buf[8+i] = byte(rng.Intn(256))
+	}
+	sum := crc32.ChecksumIEEE(buf[:8+body])
+	binary.LittleEndian.PutUint32(buf[8+body:], sum)
+	return buf
+}
+
+// verifyPayload checks a received payload against the expected
+// (src, dst) and its embedded CRC.
+func verifyPayload(data []byte, src, dst int) error {
+	if len(data) < 12 {
+		return fmt.Errorf("mpemu: payload too short (%d bytes)", len(data))
+	}
+	gotSrc := int(binary.LittleEndian.Uint32(data[0:4]))
+	gotDst := int(binary.LittleEndian.Uint32(data[4:8]))
+	if gotSrc != src || gotDst != dst {
+		return fmt.Errorf("mpemu: payload labeled %d->%d, expected %d->%d", gotSrc, gotDst, src, dst)
+	}
+	body := data[:len(data)-4]
+	want := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if got := crc32.ChecksumIEEE(body); got != want {
+		return fmt.Errorf("mpemu: payload %d->%d CRC mismatch", src, dst)
+	}
+	if !bytes.Equal(data, payloadFor(src, dst, int64(len(data)-12))) {
+		return fmt.Errorf("mpemu: payload %d->%d content corrupted", src, dst)
+	}
+	return nil
+}
+
+// ExecuteSchedule runs the node's part of a phase schedule over the
+// real message-passing runtime, phase by phase in the S1 style: post
+// (implicit — channels buffer), send, then wait for the phase's
+// incoming message. Every received payload is integrity-checked.
+// Returns the number of messages sent and received by this node.
+func ExecuteSchedule(nd *Node, s *sched.Schedule) (sent, received int, err error) {
+	if nd.N() != s.N {
+		return 0, 0, fmt.Errorf("mpemu: communicator has %d ranks, schedule %d", nd.N(), s.N)
+	}
+	me := nd.Rank()
+	for k, p := range s.Phases {
+		recv := p.Recv()
+		if dst := p.Send[me]; dst >= 0 {
+			if err := nd.Send(dst, k, payloadFor(me, dst, p.Bytes[me])); err != nil {
+				return sent, received, err
+			}
+			sent++
+		}
+		if src := recv[me]; src >= 0 {
+			data, err := nd.Recv(src, k)
+			if err != nil {
+				return sent, received, err
+			}
+			if err := verifyPayload(data, src, me); err != nil {
+				return sent, received, err
+			}
+			received++
+		}
+	}
+	return sent, received, nil
+}
+
+// ExecuteAC runs the asynchronous algorithm (§3, Figure 1) over the
+// runtime: fire every send, then drain every expected incoming message
+// in arrival order, checking integrity. The acTag namespace keeps AC
+// traffic apart from phase tags.
+const acTag = 1 << 20
+
+func ExecuteAC(nd *Node, order *sched.ACOrder, m *comm.Matrix) (sent, received int, err error) {
+	if nd.N() != order.N {
+		return 0, 0, fmt.Errorf("mpemu: communicator has %d ranks, order %d", nd.N(), order.N)
+	}
+	me := nd.Rank()
+	for _, dst := range order.Order[me] {
+		if err := nd.Send(dst, acTag, payloadFor(me, dst, m.At(me, dst))); err != nil {
+			return sent, received, err
+		}
+		sent++
+	}
+	expect := m.RecvDegree(me)
+	for received < expect {
+		data, err := nd.Recv(AnySource, acTag)
+		if err != nil {
+			return sent, received, err
+		}
+		if len(data) < 8 {
+			return sent, received, fmt.Errorf("mpemu: runt AC payload")
+		}
+		src := int(binary.LittleEndian.Uint32(data[0:4]))
+		if err := verifyPayload(data, src, me); err != nil {
+			return sent, received, err
+		}
+		received++
+	}
+	return sent, received, nil
+}
+
+// RuntimeScheduleResult is what every rank gets back from the runtime
+// scheduling pipeline.
+type RuntimeScheduleResult struct {
+	Schedule *sched.Schedule
+	Sent     int
+	Received int
+}
+
+// RuntimeSchedule is the paper's runtime-scheduling pipeline run for
+// real on the message-passing layer (§4.2): each rank knows only its
+// own sending vector; all ranks concatenate their rows to materialize
+// COM everywhere; every rank then derives the *same* schedule by
+// seeding the randomized scheduler identically; finally the schedule
+// is executed with payload verification. sendRow[j] is the size of the
+// message this rank sends to rank j (0 for none).
+func RuntimeSchedule(nd *Node, cube *hypercube.Cube, sendRow []int64, seed int64) (*RuntimeScheduleResult, error) {
+	n := nd.N()
+	if len(sendRow) != n {
+		return nil, fmt.Errorf("mpemu: sendRow has %d entries for %d ranks", len(sendRow), n)
+	}
+	// 1. Compact + concatenate: every rank contributes its row.
+	row := make([]byte, 8*n)
+	for j, b := range sendRow {
+		putInt64(row[8*j:], b)
+	}
+	rows, err := nd.Concatenate(row)
+	if err != nil {
+		return nil, err
+	}
+	// 2. Materialize COM locally.
+	m := comm.MustNew(n)
+	for i, blob := range rows {
+		if len(blob) != 8*n {
+			return nil, fmt.Errorf("mpemu: rank %d contributed %d bytes, want %d", i, len(blob), 8*n)
+		}
+		for j := 0; j < n; j++ {
+			if b := getInt64(blob[8*j:]); b > 0 {
+				m.Set(i, j, b)
+			}
+		}
+	}
+	// 3. Identical schedules from the shared seed — no further
+	// communication needed to agree.
+	s, err := sched.RSNL(m, cube, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, err
+	}
+	// 4. Execute with integrity checking.
+	sent, received, err := ExecuteSchedule(nd, s)
+	if err != nil {
+		return nil, err
+	}
+	return &RuntimeScheduleResult{Schedule: s, Sent: sent, Received: received}, nil
+}

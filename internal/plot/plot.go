@@ -1,0 +1,167 @@
+// Package plot emits the repository's experiment figures in two
+// forms: CSV series for external plotting and ASCII line charts for
+// the terminal — the latter mirror the gnuplot figures of the paper
+// closely enough to check shapes at a glance.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one labeled curve: X[i] maps to Y[i].
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// WriteCSV emits all series over the union of X values, one column per
+// series, blank cells where a series has no sample at that X.
+func WriteCSV(w io.Writer, series []Series) error {
+	xs := map[float64]bool{}
+	for _, s := range series {
+		for _, x := range s.X {
+			xs[x] = true
+		}
+	}
+	sorted := make([]float64, 0, len(xs))
+	for x := range xs {
+		sorted = append(sorted, x)
+	}
+	sort.Float64s(sorted)
+
+	header := []string{"x"}
+	for _, s := range series {
+		header = append(header, s.Label)
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
+		return err
+	}
+	for _, x := range sorted {
+		row := []string{trimFloat(x)}
+		for _, s := range series {
+			cell := ""
+			for i, sx := range s.X {
+				if sx == x {
+					cell = trimFloat(s.Y[i])
+					break
+				}
+			}
+			row = append(row, cell)
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func trimFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// Options configures an ASCII chart.
+type Options struct {
+	Width  int  // plot area columns (default 64)
+	Height int  // plot area rows (default 20)
+	LogX   bool // log2-scale the x axis
+	Title  string
+	XLabel string
+	YLabel string
+}
+
+// ASCII renders the series as a character line chart. Each series gets
+// a marker from a fixed palette; the legend maps markers to labels.
+func ASCII(series []Series, opt Options) string {
+	if opt.Width <= 0 {
+		opt.Width = 64
+	}
+	if opt.Height <= 0 {
+		opt.Height = 20
+	}
+	markers := []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	tx := func(x float64) float64 {
+		if opt.LogX {
+			return math.Log2(x)
+		}
+		return x
+	}
+	any := false
+	for _, s := range series {
+		for i := range s.X {
+			x, y := tx(s.X[i]), s.Y[i]
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.IsNaN(y) {
+				continue
+			}
+			any = true
+			xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
+			ymin, ymax = math.Min(ymin, y), math.Max(ymax, y)
+		}
+	}
+	if !any {
+		return "(no data)\n"
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	// Zero-base the y axis when the data starts near zero, like the
+	// paper's figures.
+	if ymin > 0 && ymin < ymax/3 {
+		ymin = 0
+	}
+
+	grid := make([][]byte, opt.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", opt.Width))
+	}
+	for si, s := range series {
+		mk := markers[si%len(markers)]
+		for i := range s.X {
+			x, y := tx(s.X[i]), s.Y[i]
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.IsNaN(y) {
+				continue
+			}
+			col := int((x - xmin) / (xmax - xmin) * float64(opt.Width-1))
+			row := opt.Height - 1 - int((y-ymin)/(ymax-ymin)*float64(opt.Height-1))
+			if col >= 0 && col < opt.Width && row >= 0 && row < opt.Height {
+				grid[row][col] = mk
+			}
+		}
+	}
+
+	var b strings.Builder
+	if opt.Title != "" {
+		fmt.Fprintf(&b, "%s\n", opt.Title)
+	}
+	for r, line := range grid {
+		yVal := ymax - (ymax-ymin)*float64(r)/float64(opt.Height-1)
+		fmt.Fprintf(&b, "%10.1f |%s|\n", yVal, string(line))
+	}
+	fmt.Fprintf(&b, "%10s +%s+\n", "", strings.Repeat("-", opt.Width))
+	xl, xr := xmin, xmax
+	unit := ""
+	if opt.LogX {
+		unit = " (log2)"
+	}
+	fmt.Fprintf(&b, "%10s  %-*.1f%*.1f%s\n", "", opt.Width/2, xl, opt.Width/2, xr, unit)
+	if opt.XLabel != "" || opt.YLabel != "" {
+		fmt.Fprintf(&b, "x: %s   y: %s\n", opt.XLabel, opt.YLabel)
+	}
+	for si, s := range series {
+		fmt.Fprintf(&b, "  %c %s\n", markers[si%len(markers)], s.Label)
+	}
+	return b.String()
+}

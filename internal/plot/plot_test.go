@@ -1,0 +1,82 @@
+package plot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sample() []Series {
+	return []Series{
+		{Label: "AC", X: []float64{16, 32, 64}, Y: []float64{1, 2, 4}},
+		{Label: "LP", X: []float64{16, 32, 64}, Y: []float64{3, 3.5, 4.5}},
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, sample()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "x,AC,LP" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if len(lines) != 4 {
+		t.Fatalf("%d lines: %v", len(lines), lines)
+	}
+	if lines[1] != "16,1,3" {
+		t.Errorf("row = %q", lines[1])
+	}
+}
+
+func TestWriteCSVSparseSeries(t *testing.T) {
+	series := []Series{
+		{Label: "a", X: []float64{1, 2}, Y: []float64{10, 20}},
+		{Label: "b", X: []float64{2, 3}, Y: []float64{5, 6}},
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, series); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[1] != "1,10," {
+		t.Errorf("sparse row = %q", lines[1])
+	}
+	if lines[3] != "3,,6" {
+		t.Errorf("sparse row = %q", lines[3])
+	}
+}
+
+func TestASCIIContainsMarkersAndLegend(t *testing.T) {
+	out := ASCII(sample(), Options{Width: 40, Height: 10, Title: "test plot", LogX: true,
+		XLabel: "bytes", YLabel: "ms"})
+	for _, want := range []string{"test plot", "*", "+", "AC", "LP", "bytes", "ms", "(log2)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ASCII output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestASCIIEmpty(t *testing.T) {
+	if out := ASCII(nil, Options{}); !strings.Contains(out, "no data") {
+		t.Errorf("empty plot = %q", out)
+	}
+}
+
+func TestASCIISinglePoint(t *testing.T) {
+	s := []Series{{Label: "p", X: []float64{5}, Y: []float64{7}}}
+	out := ASCII(s, Options{Width: 10, Height: 5})
+	if !strings.Contains(out, "*") {
+		t.Errorf("single point not plotted:\n%s", out)
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	if trimFloat(5) != "5" {
+		t.Errorf("trimFloat(5) = %q", trimFloat(5))
+	}
+	if trimFloat(2.5) != "2.5" {
+		t.Errorf("trimFloat(2.5) = %q", trimFloat(2.5))
+	}
+}

@@ -1,0 +1,97 @@
+package sched
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"unsched/internal/comm"
+)
+
+func TestScheduleRoundTrip(t *testing.T) {
+	m := randomMatrix(t, 64, 8, 1024, 70)
+	s, err := RSNL(m, cube64(), rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSchedule(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Algorithm != s.Algorithm || got.N != s.N || got.Ops != s.Ops {
+		t.Errorf("header mismatch: %v vs %v", got, s)
+	}
+	if got.NumPhases() != s.NumPhases() {
+		t.Fatalf("phases %d vs %d", got.NumPhases(), s.NumPhases())
+	}
+	for k := range s.Phases {
+		for i := range s.Phases[k].Send {
+			if got.Phases[k].Send[i] != s.Phases[k].Send[i] ||
+				got.Phases[k].Bytes[i] != s.Phases[k].Bytes[i] {
+				t.Fatalf("phase %d node %d differs", k, i)
+			}
+		}
+	}
+	// The loaded schedule still validates against the matrix.
+	if err := got.Validate(m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadScheduleRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"bogus\n",
+		"schedule X n -3 phases 0 ops 0\n",
+		"schedule X n 4 phases zz ops 0\n",
+		"schedule X n 4 phases 0 ops xx\n",
+		"schedule X n 4 phases 1 ops 0\n",                        // missing phase
+		"schedule X n 4 phases 1 ops 0\n0 1 10\n",                // transfer before phase
+		"schedule X n 4 phases 1 ops 0\nphase 1\n",               // phase out of order
+		"schedule X n 4 phases 1 ops 0\nphase 0\n0 1\n",          // short transfer
+		"schedule X n 4 phases 1 ops 0\nphase 0\n0 9 10\n",       // bad endpoint
+		"schedule X n 4 phases 1 ops 0\nphase 0\n2 2 10\n",       // self send
+		"schedule X n 4 phases 1 ops 0\nphase 0\n0 1 0\n",        // zero size
+		"schedule X n 4 phases 1 ops 0\nphase 0\n0 1 5\n0 2 5\n", // double send
+		"schedule X n 4 phases 1 ops 0\nphase 0\n0 1 5\n2 1 5\n", // node contention
+	}
+	for _, in := range cases {
+		if _, err := ReadSchedule(strings.NewReader(in)); err == nil {
+			t.Errorf("garbage accepted: %q", in)
+		}
+	}
+}
+
+func TestReadScheduleSkipsComments(t *testing.T) {
+	in := "schedule LP n 4 phases 1 ops 3\n# comment\nphase 0\n\n0 1 10\n"
+	s, err := ReadSchedule(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Phases[0].Send[0] != 1 {
+		t.Error("comment handling broke parsing")
+	}
+}
+
+func TestWriteEmptySchedule(t *testing.T) {
+	s := &Schedule{Algorithm: "RS_N", N: 8}
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSchedule(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumPhases() != 0 {
+		t.Errorf("phases = %d", got.NumPhases())
+	}
+	if err := got.Validate(comm.MustNew(8)); err != nil {
+		t.Fatal(err)
+	}
+}

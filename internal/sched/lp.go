@@ -1,0 +1,54 @@
+package sched
+
+import (
+	"fmt"
+
+	"unsched/internal/comm"
+)
+
+// LP implements the paper's §4.1 "scheduling using a special class of
+// permutations" (Figure 2): in phase k (k = 1..n-1) processor Pi
+// exchanges with P(i XOR k) — sending iff COM(i, i^k) > 0 and
+// receiving iff COM(i^k, i) > 0.
+//
+// Properties (paper §4.1 and §7): the whole schedule is pairwise
+// exchanges, so the iPSC/860's concurrent bidirectional transfer
+// applies throughout; within a phase distinct pairs' e-cube routes are
+// channel-disjoint, so there is no node or link contention; and the
+// scheduling cost is trivially O(n) per processor. The drawback is the
+// fixed n-1 phase count regardless of density, which is why LP loses
+// at small d.
+//
+// n must be a power of two (XOR pairing needs a full address space).
+func LP(m *comm.Matrix) (*Schedule, error) {
+	n := m.N()
+	if n&(n-1) != 0 {
+		return nil, fmt.Errorf("sched: LP requires a power-of-two processor count, got %d", n)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Schedule{Algorithm: "LP", N: n}
+	for k := 1; k < n; k++ {
+		p := NewPhase(n)
+		for i := 0; i < n; i++ {
+			j := i ^ k
+			if b := m.At(i, j); b > 0 {
+				p.Send[i] = j
+				p.Bytes[i] = b
+			}
+		}
+		// The paper's LP walks all n-1 iterations even when a phase is
+		// empty (that is exactly its weakness at low density); keep
+		// empty phases so the phase count is n-1 and the executor pays
+		// the per-phase loop cost.
+		s.Phases = append(s.Phases, p)
+	}
+	// Ops models the per-processor scheduling cost ("comp" in Table 1):
+	// each processor derives its own partner sequence with one XOR and
+	// one row lookup per phase — the "very low computation overhead" of
+	// §7. The n-way loop above is this simulator materializing every
+	// processor's view at once, not work the machine would do serially.
+	s.Ops = int64(n - 1)
+	return s, nil
+}

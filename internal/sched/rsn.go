@@ -1,0 +1,129 @@
+package sched
+
+import (
+	"math/rand"
+
+	"unsched/internal/comm"
+)
+
+// RSN implements the paper's §4.2 randomized scheduling that avoids
+// node contention (Figure 3, "Random_Scheduling_Node").
+//
+// The communication matrix is first compressed into the n x d CCOM
+// with randomly shuffled rows. Then, repeatedly, one partial
+// permutation is formed: starting from a random row x and wrapping
+// around all n rows, each row contributes its first entry whose
+// destination has not yet been claimed in this phase (Trecv = -1).
+// Chosen entries are removed from CCOM by the swap-with-last trick so
+// that the scan per phase stays O(dn). The loop ends when every
+// message has been scheduled.
+//
+// Expected behaviour for random workloads (paper, citing [15]): the
+// number of phases is bounded by d + log d, and each phase costs
+// O(n ln d + n) scheduling operations.
+func RSN(m *comm.Matrix, rng *rand.Rand) (*Schedule, error) {
+	return rsn(m, rng, true)
+}
+
+// RSNOrdered is RSN without the randomizing row shuffle during
+// compression. The paper warns that the unshuffled, ascending-order
+// rows cause node contention among small processor IDs in the first
+// phases, inflating the phase count; this variant exists so the
+// ablation benchmark can measure exactly that effect.
+func RSNOrdered(m *comm.Matrix, rng *rand.Rand) (*Schedule, error) {
+	return rsn(m, rng, false)
+}
+
+// RSNUncompressed is RS_N scanning the full n x n COM matrix directly
+// instead of the compressed CCOM — the O(n^2)-per-permutation worst
+// case the compression of §4.2 exists to avoid. Schedules are
+// equivalent in quality; only the scheduling cost differs. It exists
+// for the compression ablation benchmark.
+func RSNUncompressed(m *comm.Matrix, rng *rand.Rand) (*Schedule, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	n := m.N()
+	rem := m.Clone()
+	remaining := m.MessageCount()
+	s := &Schedule{Algorithm: "RS_N_UNC", N: n}
+	trecv := make([]int, n)
+	var ops int64
+	for remaining > 0 {
+		p := NewPhase(n)
+		for i := range trecv {
+			trecv[i] = -1
+		}
+		ops += int64(n)
+		x := rng.Intn(n)
+		for k := 0; k < n; k++ {
+			ops++
+			// Full row scan: every column is examined, active or not.
+			for j := 0; j < n; j++ {
+				ops++
+				if b := rem.At(x, j); b > 0 && trecv[j] == -1 {
+					p.Send[x] = j
+					p.Bytes[x] = b
+					trecv[j] = x
+					rem.Set(x, j, 0)
+					remaining--
+					break
+				}
+			}
+			x = (x + 1) % n
+		}
+		s.Phases = append(s.Phases, p)
+	}
+	s.Ops = ops
+	return s, nil
+}
+
+func rsn(m *comm.Matrix, rng *rand.Rand, shuffle bool) (*Schedule, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	n := m.N()
+	var ccom *comm.Compressed
+	var ops int64
+	if shuffle {
+		ccom = comm.NewCompressed(m, rng)
+	} else {
+		ccom = comm.NewCompressedOrdered(m)
+	}
+	// Ops models the paper's "comp" column: the per-processor cost of
+	// runtime scheduling. Compression is parallelized — each processor
+	// compacts its own row, O(n), and the rows are combined by a
+	// concatenate (§4.2), whose cost is communication, not comp.
+	ops += int64(n)
+
+	s := &Schedule{Algorithm: "RS_N", N: n}
+	trecv := make([]int, n)
+	for !ccom.Empty() {
+		p := NewPhase(n)
+		for i := range trecv {
+			trecv[i] = -1
+		}
+		ops += int64(n) // vector reset
+		x := rng.Intn(n)
+		for k := 0; k < n; k++ {
+			ops++
+			// Along row x, find the first entry whose destination is
+			// still free this phase.
+			for z := 0; z < ccom.Remaining(x); z++ {
+				ops++
+				y := ccom.At(x, z)
+				if trecv[y] == -1 {
+					dest, bytes := ccom.Remove(x, z)
+					p.Send[x] = dest
+					p.Bytes[x] = bytes
+					trecv[dest] = x
+					break
+				}
+			}
+			x = (x + 1) % n
+		}
+		s.Phases = append(s.Phases, p)
+	}
+	s.Ops = ops
+	return s, nil
+}

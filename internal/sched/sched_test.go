@@ -1,0 +1,664 @@
+package sched
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"unsched/internal/comm"
+	"unsched/internal/hypercube"
+)
+
+func cube64() *hypercube.Cube { return hypercube.MustNew(6) }
+
+func randomMatrix(t *testing.T, n, d int, bytes int64, seed int64) *comm.Matrix {
+	t.Helper()
+	m, err := comm.UniformRandom(n, d, bytes, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// --- Phase ---
+
+func TestNewPhaseEmpty(t *testing.T) {
+	p := NewPhase(8)
+	if p.Messages() != 0 {
+		t.Errorf("fresh phase has %d messages", p.Messages())
+	}
+	for _, j := range p.Send {
+		if j != -1 {
+			t.Fatal("fresh phase not all -1")
+		}
+	}
+}
+
+func TestPhaseRecvDerivation(t *testing.T) {
+	p := NewPhase(4)
+	p.Send[0] = 2
+	p.Send[3] = 1
+	recv := p.Recv()
+	want := []int{-1, 3, 0, -1}
+	for i := range want {
+		if recv[i] != want[i] {
+			t.Fatalf("Recv = %v, want %v", recv, want)
+		}
+	}
+}
+
+func TestPhasePairwiseCount(t *testing.T) {
+	p := NewPhase(4)
+	p.Send[0] = 1
+	p.Send[1] = 0 // pair {0,1}
+	p.Send[2] = 3 // one-way
+	if got := p.PairwiseCount(); got != 1 {
+		t.Errorf("PairwiseCount = %d, want 1", got)
+	}
+}
+
+func TestPhaseMaxBytes(t *testing.T) {
+	p := NewPhase(4)
+	p.Send[0] = 1
+	p.Bytes[0] = 100
+	p.Send[2] = 3
+	p.Bytes[2] = 400
+	if got := p.MaxBytes(); got != 400 {
+		t.Errorf("MaxBytes = %d", got)
+	}
+}
+
+// --- Validate ---
+
+func TestValidateAcceptsGoodSchedule(t *testing.T) {
+	m := comm.MustNew(4)
+	m.Set(0, 1, 10)
+	m.Set(2, 3, 20)
+	s := &Schedule{Algorithm: "X", N: 4}
+	p := NewPhase(4)
+	p.Send[0], p.Bytes[0] = 1, 10
+	p.Send[2], p.Bytes[2] = 3, 20
+	s.Phases = append(s.Phases, p)
+	if err := s.Validate(m); err != nil {
+		t.Errorf("good schedule rejected: %v", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	m := comm.MustNew(4)
+	m.Set(0, 1, 10)
+	m.Set(2, 1, 20)
+
+	build := func(mutate func(*Schedule)) *Schedule {
+		s := &Schedule{Algorithm: "X", N: 4}
+		p1 := NewPhase(4)
+		p1.Send[0], p1.Bytes[0] = 1, 10
+		p2 := NewPhase(4)
+		p2.Send[2], p2.Bytes[2] = 1, 20
+		s.Phases = []Phase{p1, p2}
+		if mutate != nil {
+			mutate(s)
+		}
+		return s
+	}
+
+	if err := build(nil).Validate(m); err != nil {
+		t.Fatalf("baseline schedule should validate: %v", err)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(*Schedule)
+		substr string
+	}{
+		{"node contention", func(s *Schedule) {
+			// both messages to P1 in the same phase
+			s.Phases[0].Send[2], s.Phases[0].Bytes[2] = 1, 20
+			s.Phases[1] = NewPhase(4)
+		}, "contention"},
+		{"duplicate", func(s *Schedule) {
+			s.Phases[1] = NewPhase(4)
+			s.Phases[1].Send[0], s.Phases[1].Bytes[0] = 1, 10
+		}, "twice"},
+		{"not in COM", func(s *Schedule) {
+			s.Phases[0].Send[3], s.Phases[0].Bytes[3] = 2, 5
+		}, "not present"},
+		{"wrong size", func(s *Schedule) {
+			s.Phases[0].Bytes[0] = 99
+		}, "bytes"},
+		{"self send", func(s *Schedule) {
+			s.Phases[0].Send[3], s.Phases[0].Bytes[3] = 3, 1
+		}, "itself"},
+		{"invalid node", func(s *Schedule) {
+			s.Phases[0].Send[3], s.Phases[0].Bytes[3] = 7, 1
+		}, "invalid"},
+		{"silent with bytes", func(s *Schedule) {
+			s.Phases[0].Bytes[3] = 5
+		}, "silent"},
+		{"missing coverage", func(s *Schedule) {
+			s.Phases[1] = NewPhase(4)
+		}, "cover"},
+	}
+	for _, tc := range cases {
+		err := build(tc.mutate).Validate(m)
+		if err == nil {
+			t.Errorf("%s: not rejected", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.substr) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.substr)
+		}
+	}
+}
+
+func TestValidateSizeMismatch(t *testing.T) {
+	m := comm.MustNew(4)
+	s := &Schedule{Algorithm: "X", N: 8}
+	if err := s.Validate(m); err == nil {
+		t.Error("size mismatch not rejected")
+	}
+}
+
+func TestValidateLinkFreeDetectsContention(t *testing.T) {
+	cube := hypercube.MustNew(3)
+	m := comm.MustNew(8)
+	m.Set(0, 3, 10) // route 0->1->3
+	m.Set(4, 1, 10) // route 4->5->1? e-cube: 4(100)->1(001): flip bit0: 5, flip bit2: 1. Links 4-5, 5-1.
+	s := &Schedule{Algorithm: "X", N: 8}
+	p := NewPhase(8)
+	p.Send[0], p.Bytes[0] = 3, 10
+	p.Send[4], p.Bytes[4] = 1, 10
+	s.Phases = []Phase{p}
+	if err := s.Validate(m); err != nil {
+		t.Fatalf("node-level validation should pass: %v", err)
+	}
+	// No shared channel here; now force one: 0->3 and 1->2? 1->0->2
+	// doesn't share with 0->1->3 (channels directed). Use 0->3 and a
+	// second 0-sourced... can't (node contention). Use 2->1 vs 0->3:
+	// 2(010)->1(001): flip bit0: 3, flip bit1: 1 → links 2-3, 3-1 — the
+	// channel 3->1 vs 1->3 differ. Build a genuine conflict: 0->6 via
+	// 0->2->6 and 4->2 via 4->5? no. 1->6: 1->0->2->6 shares 2->6? with
+	// 0->6: 0->2->6 shares channel 2->6. Yes.
+	m2 := comm.MustNew(8)
+	m2.Set(0, 6, 10)
+	m2.Set(1, 6, 10)
+	// Node contention at receiver 6 — must use different receivers.
+	// 1->14 impossible on 8 nodes. Instead: 0->6 (0->2->6) and 3->2
+	// (3->2 direct, channel 3->2) — no. Try 1->2 (1->0->2) and 5->0
+	// (5->4->0): no shared channel. Simplest true link conflict with
+	// distinct endpoints: 0->3 (0->1,1->3) and 2->1? 2->3->1: channel
+	// 3->1 vs 1->3 — opposite. 4->3: 4->5->7->3: channels 4->5,5->7,
+	// 7->3. 6->5: 6->7->5: 7->5 vs 5->7 opposite...
+	// e-cube fixes LSB first, so "up" channels in low dims come from
+	// low sources: 0->5 (0->1, 1->5) and 1->4? 1(001)->4(100): flip
+	// bit0 -> 0, flip bit2 -> 4: 1->0, 0->4. 0->5 uses 0->1 (up dim0),
+	// 1->5 (up dim2). 1->4 uses 1->0 (down), 0->4 (up dim2). Distinct.
+	// Use 0->5 and 1->5: receiver contention. OK: 0->5 and 1->7:
+	// 1->7: flips bit1: 1->3, bit2: 3->7: links 1->3, 3->7. Distinct...
+	// 0->7: 0->1,1->3,3->7 and 1->3: shares 1->3!
+	m3 := comm.MustNew(8)
+	m3.Set(0, 7, 10)
+	m3.Set(1, 3, 10)
+	s3 := &Schedule{Algorithm: "X", N: 8}
+	p3 := NewPhase(8)
+	p3.Send[0], p3.Bytes[0] = 7, 10
+	p3.Send[1], p3.Bytes[1] = 3, 10
+	s3.Phases = []Phase{p3}
+	if err := s3.Validate(m3); err != nil {
+		t.Fatalf("node-level validation should pass: %v", err)
+	}
+	if err := s3.ValidateLinkFree(cube); err == nil {
+		t.Error("link contention 0->7 vs 1->3 not detected")
+	}
+	// And the contention-free pair passes.
+	if err := s.ValidateLinkFree(cube); err != nil {
+		t.Errorf("disjoint routes flagged: %v", err)
+	}
+}
+
+func TestValidateLinkFreeCubeSizeMismatch(t *testing.T) {
+	s := &Schedule{Algorithm: "X", N: 64}
+	if err := s.ValidateLinkFree(hypercube.MustNew(3)); err == nil {
+		t.Error("cube size mismatch not rejected")
+	}
+}
+
+// --- LP ---
+
+func TestLPStructure(t *testing.T) {
+	m := randomMatrix(t, 64, 8, 256, 1)
+	s, err := LP(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumPhases() != 63 {
+		t.Errorf("LP phases = %d, want 63", s.NumPhases())
+	}
+	if err := s.Validate(m); err != nil {
+		t.Errorf("LP invalid: %v", err)
+	}
+	if err := s.ValidateLinkFree(cube64()); err != nil {
+		t.Errorf("LP has link contention: %v", err)
+	}
+	// Phase k holds exactly the messages with i^j == k+1.
+	for k, p := range s.Phases {
+		for i, j := range p.Send {
+			if j >= 0 && i^j != k+1 {
+				t.Fatalf("phase %d holds message %d->%d (xor %d)", k, i, j, i^j)
+			}
+		}
+	}
+}
+
+func TestLPSymmetricIsAllPairwise(t *testing.T) {
+	// Symmetric pattern: every scheduled message pairs up.
+	m := comm.MustNew(64)
+	rng := rand.New(rand.NewSource(7))
+	for count := 0; count < 100; count++ {
+		i, j := rng.Intn(64), rng.Intn(64)
+		if i != j {
+			m.Set(i, j, 512)
+			m.Set(j, i, 512)
+		}
+	}
+	s, err := LP(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.PairwiseFraction(); got != 1.0 {
+		t.Errorf("symmetric LP pairwise fraction = %v, want 1", got)
+	}
+}
+
+func TestLPRejectsNonPowerOfTwo(t *testing.T) {
+	m := comm.MustNew(48)
+	m.Set(0, 1, 10)
+	if _, err := LP(m); err == nil {
+		t.Error("LP on 48 nodes should fail")
+	}
+}
+
+func TestLPRejectsInvalidMatrix(t *testing.T) {
+	m := comm.MustNew(8)
+	m.Set(3, 3, 10)
+	if _, err := LP(m); err == nil {
+		t.Error("self-message matrix should fail")
+	}
+}
+
+// --- RS_N ---
+
+func TestRSNCoversAndAvoidsNodeContention(t *testing.T) {
+	for _, d := range []int{1, 4, 8, 16, 32, 48} {
+		m := randomMatrix(t, 64, d, 1024, int64(d))
+		s, err := RSN(m, rand.New(rand.NewSource(int64(d)+100)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Validate(m); err != nil {
+			t.Fatalf("d=%d: %v", d, err)
+		}
+		if s.NumPhases() < LowerBoundPhases(m) {
+			t.Fatalf("d=%d: %d phases below lower bound %d", d, s.NumPhases(), LowerBoundPhases(m))
+		}
+	}
+}
+
+func TestRSNPhaseCountNearPaperBound(t *testing.T) {
+	// Paper: expected phases <= d + log d for random workloads. Allow
+	// slack for the randomized constant, but catch regressions to O(n).
+	rng := rand.New(rand.NewSource(77))
+	for _, d := range []int{4, 8, 16, 32} {
+		total := 0
+		const samples = 10
+		for s := 0; s < samples; s++ {
+			m, err := comm.DRegular(64, d, 1024, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc, err := RSN(m, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += sc.NumPhases()
+		}
+		avg := float64(total) / samples
+		if avg > float64(d)+8 {
+			t.Errorf("d=%d: avg phases %.1f far above d + log d", d, avg)
+		}
+	}
+}
+
+func TestRSNDeterministicGivenSeed(t *testing.T) {
+	m := randomMatrix(t, 64, 8, 256, 5)
+	a, err := RSN(m, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RSN(m, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumPhases() != b.NumPhases() {
+		t.Fatal("same seed produced different phase counts")
+	}
+	for k := range a.Phases {
+		for i := range a.Phases[k].Send {
+			if a.Phases[k].Send[i] != b.Phases[k].Send[i] {
+				t.Fatal("same seed produced different schedules")
+			}
+		}
+	}
+}
+
+func TestRSNOrderedStillValid(t *testing.T) {
+	m := randomMatrix(t, 64, 8, 256, 6)
+	s, err := RSNOrdered(m, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(m); err != nil {
+		t.Errorf("ordered variant invalid: %v", err)
+	}
+}
+
+func TestRSNEmptyMatrix(t *testing.T) {
+	m := comm.MustNew(8)
+	s, err := RSN(m, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumPhases() != 0 {
+		t.Errorf("empty matrix produced %d phases", s.NumPhases())
+	}
+	if err := s.Validate(m); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRSNOpsCounted(t *testing.T) {
+	m := randomMatrix(t, 64, 8, 256, 8)
+	s, err := RSN(m, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-processor cost: row compression (n) plus several phases of
+	// O(n)+ scan work — far more than the compression term alone, far
+	// less than a serial O(n^2) scan per phase.
+	if s.Ops <= 64 {
+		t.Errorf("Ops = %d, should exceed the row compression alone", s.Ops)
+	}
+	phases := int64(s.NumPhases())
+	if s.Ops > 64+phases*64*10 {
+		t.Errorf("Ops = %d implausibly large for %d phases", s.Ops, phases)
+	}
+}
+
+// --- RS_NL ---
+
+func TestRSNLAllInvariants(t *testing.T) {
+	cube := cube64()
+	for _, d := range []int{1, 4, 8, 16, 32, 48} {
+		m := randomMatrix(t, 64, d, 2048, int64(d)*3+1)
+		s, err := RSNL(m, cube, rand.New(rand.NewSource(int64(d))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Validate(m); err != nil {
+			t.Fatalf("d=%d: %v", d, err)
+		}
+		if err := s.ValidateLinkFree(cube); err != nil {
+			t.Fatalf("d=%d: %v", d, err)
+		}
+	}
+}
+
+func TestRSNLPairwisePriorityFindsExchanges(t *testing.T) {
+	// Fully symmetric pattern: the pairwise pass should pair most
+	// messages; without it, pairing is incidental.
+	cube := cube64()
+	m := comm.MustNew(64)
+	rng := rand.New(rand.NewSource(21))
+	for count := 0; count < 120; count++ {
+		i, j := rng.Intn(64), rng.Intn(64)
+		if i != j {
+			m.Set(i, j, 512)
+			m.Set(j, i, 512)
+		}
+	}
+	with, err := RSNL(m, cube, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := RSNLNoPairwise(m, cube, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := without.Validate(m); err != nil {
+		t.Fatal(err)
+	}
+	if with.PairwiseFraction() < 0.5 {
+		t.Errorf("pairwise priority achieved only %.0f%% pairing", 100*with.PairwiseFraction())
+	}
+	if with.PairwiseFraction() <= without.PairwiseFraction() {
+		t.Errorf("priority (%.2f) should beat no-priority (%.2f)",
+			with.PairwiseFraction(), without.PairwiseFraction())
+	}
+}
+
+func TestRSNLMoreOpsThanRSN(t *testing.T) {
+	// Path checking makes RS_NL's scheduling several times costlier
+	// than RS_N (Table 1 comp rows); the op counts must reflect it.
+	m := randomMatrix(t, 64, 16, 1024, 30)
+	rsn, err := RSN(m, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsnl, err := RSNL(m, cube64(), rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rsnl.Ops <= rsn.Ops {
+		t.Errorf("RS_NL ops %d should exceed RS_N ops %d", rsnl.Ops, rsn.Ops)
+	}
+}
+
+func TestRSNLCubeMismatch(t *testing.T) {
+	m := comm.MustNew(64)
+	if _, err := RSNL(m, hypercube.MustNew(3), rand.New(rand.NewSource(1))); err == nil {
+		t.Error("cube/matrix size mismatch not rejected")
+	}
+}
+
+// --- AC ---
+
+func TestACOrderContainsAllMessages(t *testing.T) {
+	m := randomMatrix(t, 64, 8, 256, 40)
+	o, err := AC(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.TotalMessages() != m.MessageCount() {
+		t.Errorf("AC order has %d messages, matrix %d", o.TotalMessages(), m.MessageCount())
+	}
+	for i, row := range o.Order {
+		for _, j := range row {
+			if m.At(i, j) == 0 {
+				t.Fatalf("AC order includes %d->%d not in COM", i, j)
+			}
+		}
+	}
+}
+
+func TestACShuffledSameMultiset(t *testing.T) {
+	m := randomMatrix(t, 64, 8, 256, 41)
+	a, err := AC(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ACShuffled(m, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Order {
+		if len(a.Order[i]) != len(b.Order[i]) {
+			t.Fatalf("row %d length differs", i)
+		}
+		seen := map[int]bool{}
+		for _, j := range b.Order[i] {
+			seen[j] = true
+		}
+		for _, j := range a.Order[i] {
+			if !seen[j] {
+				t.Fatalf("row %d lost destination %d", i, j)
+			}
+		}
+	}
+}
+
+// --- Greedy / sized ---
+
+func TestGreedyValid(t *testing.T) {
+	m := randomMatrix(t, 64, 16, 1024, 50)
+	s, err := Greedy(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(m); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGreedyLargestFirstValidAndBalanced(t *testing.T) {
+	// Non-uniform sizes: geometric spread.
+	m := comm.MustNew(64)
+	rng := rand.New(rand.NewSource(51))
+	for i := 0; i < 64; i++ {
+		for placed := 0; placed < 6; {
+			j := rng.Intn(64)
+			if j == i || m.At(i, j) > 0 {
+				continue
+			}
+			m.Set(i, j, int64(64<<uint(rng.Intn(8))))
+			placed++
+		}
+	}
+	s, err := GreedyLargestFirst(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(m); err != nil {
+		t.Fatal(err)
+	}
+	// Largest-first packs the big messages into the early phases:
+	// per-phase maxima are non-increasing.
+	prev := s.Phases[0].MaxBytes()
+	for _, p := range s.Phases[1:] {
+		cur := p.MaxBytes()
+		if cur > prev {
+			t.Fatalf("phase maxima not non-increasing: %d after %d", cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestGreedyLargestFirstLinkFree(t *testing.T) {
+	cube := cube64()
+	m := randomMatrix(t, 64, 12, 4096, 52)
+	s, err := GreedyLargestFirstLinkFree(m, cube)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ValidateLinkFree(cube); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- cross-algorithm properties ---
+
+// Property: every scheduler produces a valid, covering, node-
+// contention-free schedule on random inputs.
+func TestAllSchedulersValidProperty(t *testing.T) {
+	cube := cube64()
+	f := func(seed int64, dRaw uint8) bool {
+		d := 1 + int(dRaw)%48
+		rng := rand.New(rand.NewSource(seed))
+		m, err := comm.UniformRandom(64, d, 256, rng)
+		if err != nil {
+			return false
+		}
+		schedules := []*Schedule{}
+		if s, err := LP(m); err != nil {
+			return false
+		} else {
+			schedules = append(schedules, s)
+		}
+		if s, err := RSN(m, rng); err != nil {
+			return false
+		} else {
+			schedules = append(schedules, s)
+		}
+		if s, err := RSNL(m, cube, rng); err != nil {
+			return false
+		} else {
+			schedules = append(schedules, s)
+		}
+		if s, err := Greedy(m); err != nil {
+			return false
+		} else {
+			schedules = append(schedules, s)
+		}
+		if s, err := GreedyLargestFirst(m); err != nil {
+			return false
+		} else {
+			schedules = append(schedules, s)
+		}
+		for _, s := range schedules {
+			if s.Validate(m) != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: RS_NL schedules are link-contention-free for arbitrary
+// random workloads and seeds.
+func TestRSNLLinkFreeProperty(t *testing.T) {
+	cube := cube64()
+	f := func(seed int64, dRaw uint8) bool {
+		d := 1 + int(dRaw)%32
+		rng := rand.New(rand.NewSource(seed))
+		m, err := comm.UniformRandom(64, d, 128, rng)
+		if err != nil {
+			return false
+		}
+		s, err := RSNL(m, cube, rng)
+		if err != nil {
+			return false
+		}
+		return s.Validate(m) == nil && s.ValidateLinkFree(cube) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScheduleString(t *testing.T) {
+	m := randomMatrix(t, 64, 4, 256, 60)
+	s, err := RSN(m, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	str := s.String()
+	if !strings.Contains(str, "RS_N") || !strings.Contains(str, "phases") {
+		t.Errorf("String() = %q", str)
+	}
+}

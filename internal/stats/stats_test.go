@@ -1,0 +1,118 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 {
+		t.Errorf("empty Summarize = %+v", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{5})
+	if s.N != 1 || s.Mean != 5 || s.Min != 5 || s.Max != 5 || s.Median != 5 || s.Std != 0 {
+		t.Errorf("single Summarize = %+v", s)
+	}
+}
+
+func TestSummarizeKnownValues(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.Mean != 5 {
+		t.Errorf("Mean = %v, want 5", s.Mean)
+	}
+	if math.Abs(s.Std-2.138) > 0.001 {
+		t.Errorf("Std = %v, want ~2.138", s.Std)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("Min/Max = %v/%v", s.Min, s.Max)
+	}
+	if s.Median != 4.5 {
+		t.Errorf("Median = %v, want 4.5", s.Median)
+	}
+}
+
+func TestSummarizeOddMedian(t *testing.T) {
+	s := Summarize([]float64{9, 1, 5})
+	if s.Median != 5 {
+		t.Errorf("Median = %v, want 5", s.Median)
+	}
+}
+
+func TestMeanMaxMin(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5}
+	if Mean(xs) != 2.8 {
+		t.Errorf("Mean = %v", Mean(xs))
+	}
+	if Max(xs) != 5 {
+		t.Errorf("Max = %v", Max(xs))
+	}
+	if Min(xs) != 1 {
+		t.Errorf("Min = %v", Min(xs))
+	}
+	if Mean(nil) != 0 || Max(nil) != 0 || Min(nil) != 0 {
+		t.Error("empty-slice helpers should return 0")
+	}
+}
+
+func TestSourceDeterministic(t *testing.T) {
+	a := NewSource(42).Stream(3)
+	b := NewSource(42).Stream(3)
+	for i := 0; i < 100; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatal("same (seed, stream) produced different values")
+		}
+	}
+}
+
+func TestSourceStreamsIndependent(t *testing.T) {
+	src := NewSource(42)
+	a := src.Stream(0)
+	b := src.Stream(1)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Int63() == b.Int63() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("streams 0 and 1 collided %d/100 times", same)
+	}
+}
+
+// Property: mean lies within [min, max] for nonempty samples.
+func TestSummaryBoundsProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		s := Summarize(clean)
+		return s.Mean >= s.Min-1e-9 && s.Mean <= s.Max+1e-9 &&
+			s.Median >= s.Min-1e-9 && s.Median <= s.Max+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPerm(t *testing.T) {
+	r := NewSource(7).Stream(0)
+	p := Perm(r, 10)
+	seen := make([]bool, 10)
+	for _, v := range p {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}

@@ -1,0 +1,87 @@
+// Package topo abstracts the deterministic-routing topologies the
+// link-contention-avoiding scheduler and the machine simulator run on.
+// The paper's machine is a hypercube with e-cube routing, but §5 notes
+// the approach applies to any regular topology with deterministic
+// routing ("for regular topologies like mesh and hypercube, the size
+// of PATHS can be much smaller"); this interface is that observation
+// made concrete. internal/hypercube and internal/mesh implement it.
+package topo
+
+// Topology is a network with deterministic routing over directed
+// channels. Channels are identified by dense indices in
+// [0, NumChannels()), so occupancy tables are flat arrays.
+type Topology interface {
+	// Name identifies the topology in output ("hypercube-6",
+	// "mesh-8x8", ...).
+	Name() string
+	// Nodes returns the number of processors.
+	Nodes() int
+	// NumChannels returns the number of directed channels.
+	NumChannels() int
+	// RouteIDs appends the directed-channel indices of the
+	// deterministic route from src to dst and returns the extended
+	// slice. An empty route (src == dst) appends nothing.
+	RouteIDs(src, dst int, buf []int) []int
+	// Hops returns the route length from src to dst.
+	Hops(src, dst int) int
+}
+
+// Occupancy is a per-phase channel-claim table over any Topology: the
+// generic form of the paper's PATHS array with O(1) amortized
+// clearing. It supports the Check_Path / Mark_Path operations of the
+// RS_NL algorithm (Figure 4).
+type Occupancy struct {
+	t     Topology
+	epoch uint32
+	marks []uint32
+	buf   []int
+}
+
+// NewOccupancy returns an empty claim table for t.
+func NewOccupancy(t Topology) *Occupancy {
+	return &Occupancy{t: t, epoch: 1, marks: make([]uint32, t.NumChannels())}
+}
+
+// Reset clears all claims; O(1) amortized.
+func (o *Occupancy) Reset() {
+	o.epoch++
+	if o.epoch == 0 {
+		for i := range o.marks {
+			o.marks[i] = 0
+		}
+		o.epoch = 1
+	}
+}
+
+// CheckPath reports whether the route src->dst is entirely unclaimed
+// in the current phase (the paper's Check_Path).
+func (o *Occupancy) CheckPath(src, dst int) bool {
+	o.buf = o.t.RouteIDs(src, dst, o.buf[:0])
+	for _, id := range o.buf {
+		if o.marks[id] == o.epoch {
+			return false
+		}
+	}
+	return true
+}
+
+// MarkPath claims every channel on the route src->dst for the current
+// phase (the paper's Mark_Path).
+func (o *Occupancy) MarkPath(src, dst int) {
+	o.buf = o.t.RouteIDs(src, dst, o.buf[:0])
+	for _, id := range o.buf {
+		o.marks[id] = o.epoch
+	}
+}
+
+// ClaimedCount returns the number of channels currently claimed;
+// O(channels), for tests and traces.
+func (o *Occupancy) ClaimedCount() int {
+	n := 0
+	for _, m := range o.marks {
+		if m == o.epoch {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,87 @@
+package topo_test
+
+import (
+	"testing"
+
+	"unsched/internal/hypercube"
+	"unsched/internal/mesh"
+	"unsched/internal/topo"
+)
+
+// Both concrete networks satisfy the interface.
+var (
+	_ topo.Topology = (*hypercube.Cube)(nil)
+	_ topo.Topology = (*mesh.Mesh)(nil)
+)
+
+func TestHypercubeImplementsTopology(t *testing.T) {
+	var net topo.Topology = hypercube.MustNew(3)
+	if net.Nodes() != 8 || net.NumChannels() != 24 {
+		t.Errorf("nodes=%d channels=%d", net.Nodes(), net.NumChannels())
+	}
+	if net.Name() != "hypercube-3" {
+		t.Errorf("name = %q", net.Name())
+	}
+	// RouteIDs agrees with Hops for all pairs.
+	for src := 0; src < 8; src++ {
+		for dst := 0; dst < 8; dst++ {
+			ids := net.RouteIDs(src, dst, nil)
+			if len(ids) != net.Hops(src, dst) {
+				t.Fatalf("%d->%d: %d ids, %d hops", src, dst, len(ids), net.Hops(src, dst))
+			}
+			for _, id := range ids {
+				if id < 0 || id >= net.NumChannels() {
+					t.Fatalf("channel id %d out of range", id)
+				}
+			}
+		}
+	}
+}
+
+func TestOccupancyAcrossTopologies(t *testing.T) {
+	for _, net := range []topo.Topology{
+		hypercube.MustNew(4),
+		mesh.MustNew(4, 4, false),
+		mesh.MustNew(4, 4, true),
+	} {
+		occ := topo.NewOccupancy(net)
+		if !occ.CheckPath(0, net.Nodes()-1) {
+			t.Fatalf("%s: fresh table not free", net.Name())
+		}
+		occ.MarkPath(0, net.Nodes()-1)
+		if occ.CheckPath(0, net.Nodes()-1) {
+			t.Fatalf("%s: marked path still free", net.Name())
+		}
+		if occ.ClaimedCount() != net.Hops(0, net.Nodes()-1) {
+			t.Fatalf("%s: claimed %d, hops %d", net.Name(),
+				occ.ClaimedCount(), net.Hops(0, net.Nodes()-1))
+		}
+		occ.Reset()
+		if occ.ClaimedCount() != 0 {
+			t.Fatalf("%s: reset left claims", net.Name())
+		}
+	}
+}
+
+func TestOccupancyManyResetCycles(t *testing.T) {
+	net := hypercube.MustNew(4)
+	occ := topo.NewOccupancy(net)
+	for cycle := 0; cycle < 10_000; cycle++ {
+		occ.Reset()
+		if !occ.CheckPath(cycle%16, (cycle+7)%16) {
+			t.Fatalf("cycle %d: stale claim", cycle)
+		}
+		occ.MarkPath(cycle%16, (cycle+7)%16)
+	}
+}
+
+func TestSelfRouteAlwaysFree(t *testing.T) {
+	net := mesh.MustNew(3, 3, false)
+	occ := topo.NewOccupancy(net)
+	occ.MarkPath(0, 8)
+	for i := 0; i < 9; i++ {
+		if !occ.CheckPath(i, i) {
+			t.Fatalf("self route at %d blocked", i)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+// Package trace renders schedules and simulation outcomes as text:
+// phase-by-phase listings, per-node Gantt charts, and compact summary
+// tables. It exists for the CLI, the examples, and for debugging
+// scheduler changes — a schedule you can read is a schedule you can
+// check against the paper's figures by eye.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"unsched/internal/comm"
+	"unsched/internal/sched"
+)
+
+// WriteSchedule prints every phase of the schedule: one line per
+// phase, listing the scheduled transfers and marking pairwise
+// exchanges with '='.
+func WriteSchedule(w io.Writer, s *sched.Schedule) error {
+	if _, err := fmt.Fprintf(w, "%s\n", s.String()); err != nil {
+		return err
+	}
+	for k, p := range s.Phases {
+		var parts []string
+		for i, j := range p.Send {
+			if j < 0 {
+				continue
+			}
+			arrow := "->"
+			if p.Send[j] == i {
+				if j < i {
+					continue // the pair was printed from the lower end
+				}
+				arrow = "="
+			}
+			parts = append(parts, fmt.Sprintf("%d%s%d(%dB)", i, arrow, j, p.Bytes[i]))
+		}
+		line := strings.Join(parts, " ")
+		if line == "" {
+			line = "(empty)"
+		}
+		if _, err := fmt.Fprintf(w, "phase %3d: %s\n", k+1, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Gantt renders a per-processor occupancy chart of the schedule: one
+// row per processor, one column per phase; 'S' marks a send, 'R' a
+// receive, 'X' a pairwise exchange, '.' silence. Only sensible for
+// small machines and phase counts; wider inputs are truncated with a
+// marker.
+func Gantt(s *sched.Schedule, maxPhases int) string {
+	var b strings.Builder
+	phases := s.Phases
+	truncated := false
+	if maxPhases > 0 && len(phases) > maxPhases {
+		phases = phases[:maxPhases]
+		truncated = true
+	}
+	recvs := make([][]int, len(phases))
+	for k, p := range phases {
+		recvs[k] = p.Recv()
+	}
+	fmt.Fprintf(&b, "node|phases 1..%d\n", len(phases))
+	for i := 0; i < s.N; i++ {
+		fmt.Fprintf(&b, "%4d|", i)
+		for k, p := range phases {
+			switch {
+			case p.Send[i] >= 0 && p.Send[i] == recvsAt(recvs[k], i) && recvsAt(recvs[k], i) >= 0:
+				b.WriteByte('X')
+			case p.Send[i] >= 0 && recvsAt(recvs[k], i) >= 0:
+				b.WriteByte('B')
+			case p.Send[i] >= 0:
+				b.WriteByte('S')
+			case recvsAt(recvs[k], i) >= 0:
+				b.WriteByte('R')
+			default:
+				b.WriteByte('.')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	if truncated {
+		fmt.Fprintf(&b, "(%d more phases)\n", len(s.Phases)-maxPhases)
+	}
+	return b.String()
+}
+
+func recvsAt(recv []int, i int) int {
+	if i < len(recv) {
+		return recv[i]
+	}
+	return -1
+}
+
+// MatrixHeatmap renders the communication matrix as a character grid:
+// '.' for no message, digits for log2 scale of the message size in
+// units of the smallest message. Useful to eyeball pattern structure.
+func MatrixHeatmap(m *comm.Matrix) string {
+	var b strings.Builder
+	minBytes := int64(0)
+	for _, msg := range m.Messages() {
+		if minBytes == 0 || msg.Bytes < minBytes {
+			minBytes = msg.Bytes
+		}
+	}
+	fmt.Fprintf(&b, "COM %dx%d (min message %dB)\n", m.N(), m.N(), minBytes)
+	for i := 0; i < m.N(); i++ {
+		for j := 0; j < m.N(); j++ {
+			v := m.At(i, j)
+			switch {
+			case v == 0:
+				b.WriteByte('.')
+			default:
+				mag := 0
+				for x := v / minBytes; x > 1; x >>= 1 {
+					mag++
+				}
+				if mag > 9 {
+					mag = 9
+				}
+				b.WriteByte(byte('0' + mag))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"unsched/internal/comm"
+	"unsched/internal/sched"
+)
+
+func testSchedule(t *testing.T) (*comm.Matrix, *sched.Schedule) {
+	t.Helper()
+	m := comm.MustNew(8)
+	m.Set(0, 1, 100)
+	m.Set(1, 0, 100) // pairwise pair
+	m.Set(2, 5, 200)
+	s, err := sched.RSN(m, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, s
+}
+
+func TestWriteSchedule(t *testing.T) {
+	_, s := testSchedule(t)
+	var buf bytes.Buffer
+	if err := WriteSchedule(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "phase") {
+		t.Errorf("missing phases:\n%s", out)
+	}
+	if !strings.Contains(out, "2->5(200B)") {
+		t.Errorf("missing transfer:\n%s", out)
+	}
+}
+
+func TestWriteScheduleMarksPairwise(t *testing.T) {
+	m := comm.MustNew(4)
+	m.Set(0, 1, 50)
+	m.Set(1, 0, 50)
+	s := &sched.Schedule{Algorithm: "X", N: 4}
+	p := sched.NewPhase(4)
+	p.Send[0], p.Bytes[0] = 1, 50
+	p.Send[1], p.Bytes[1] = 0, 50
+	s.Phases = append(s.Phases, p)
+	if err := s.Validate(m); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSchedule(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "0=1") {
+		t.Errorf("pairwise exchange not marked:\n%s", buf.String())
+	}
+}
+
+func TestGantt(t *testing.T) {
+	m := comm.MustNew(4)
+	m.Set(0, 1, 50)
+	m.Set(1, 0, 50)
+	m.Set(2, 3, 10)
+	s := &sched.Schedule{Algorithm: "X", N: 4}
+	p := sched.NewPhase(4)
+	p.Send[0], p.Bytes[0] = 1, 50
+	p.Send[1], p.Bytes[1] = 0, 50
+	p.Send[2], p.Bytes[2] = 3, 10
+	s.Phases = append(s.Phases, p)
+	out := Gantt(s, 0)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // header + 4 nodes
+		t.Fatalf("gantt lines: %v", lines)
+	}
+	if !strings.HasSuffix(lines[1], "X") { // node 0 exchanges
+		t.Errorf("node 0 row = %q, want exchange marker", lines[1])
+	}
+	if !strings.HasSuffix(lines[3], "S") { // node 2 sends
+		t.Errorf("node 2 row = %q", lines[3])
+	}
+	if !strings.HasSuffix(lines[4], "R") { // node 3 receives
+		t.Errorf("node 3 row = %q", lines[4])
+	}
+}
+
+func TestGanttTruncation(t *testing.T) {
+	_, s := testSchedule(t)
+	for len(s.Phases) < 5 {
+		s.Phases = append(s.Phases, sched.NewPhase(8))
+	}
+	out := Gantt(s, 2)
+	if !strings.Contains(out, "more phases") {
+		t.Errorf("truncation marker missing:\n%s", out)
+	}
+}
+
+func TestMatrixHeatmap(t *testing.T) {
+	m := comm.MustNew(4)
+	m.Set(0, 1, 64)
+	m.Set(2, 3, 256) // 4x the min -> magnitude 2
+	out := MatrixHeatmap(m)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("heatmap lines: %d", len(lines))
+	}
+	if lines[1] != ".0.." {
+		t.Errorf("row 0 = %q", lines[1])
+	}
+	if lines[3] != "...2" {
+		t.Errorf("row 2 = %q", lines[3])
+	}
+}
+
+func TestMatrixHeatmapEmpty(t *testing.T) {
+	out := MatrixHeatmap(comm.MustNew(2))
+	if !strings.Contains(out, "..") {
+		t.Errorf("empty heatmap = %q", out)
+	}
+}
