@@ -42,6 +42,20 @@ type (
 	Result = ipsc.Result
 	// ExperimentConfig parameterizes the paper's measurement protocol.
 	ExperimentConfig = expt.Config
+	// ExperimentRunner is the parallel campaign engine: it fans the
+	// (density, size, sample, algorithm) units of a measurement
+	// campaign across a bounded worker pool with deterministic per-unit
+	// RNG streams, so results are bit-identical at any parallelism.
+	ExperimentRunner = expt.Runner
+	// ExperimentPoint is one (density, message size) cell of a grid.
+	ExperimentPoint = expt.Point
+	// ExperimentCell is one measured (algorithm, density, size) result.
+	ExperimentCell = expt.Cell
+	// ExperimentAlgorithm names one of the paper's four contenders.
+	ExperimentAlgorithm = expt.Algorithm
+	// SimMachine is a reusable single-run simulator instance; its Run
+	// methods reset and reuse its state, avoiding per-run allocation.
+	SimMachine = ipsc.Machine
 )
 
 // NewMatrix returns an empty n x n communication matrix.
@@ -159,3 +173,19 @@ func ScheduleFor(m *Matrix, cube *Cube, rng *rand.Rand) (*Schedule, error) {
 // nodes, calibrated model) with a reduced sample count; set Samples to
 // 50 for the paper's exact protocol.
 func DefaultExperimentConfig() ExperimentConfig { return expt.DefaultConfig() }
+
+// NewExperimentRunner returns a parallel campaign runner over cfg.
+// parallelism <= 0 uses one worker per GOMAXPROCS; set the runner's
+// Progress field for streaming completion callbacks. Campaign output
+// is bit-identical at every parallelism, including 1.
+func NewExperimentRunner(cfg ExperimentConfig, parallelism int) *ExperimentRunner {
+	return &ExperimentRunner{Config: cfg, Parallelism: parallelism}
+}
+
+// NewSimMachine returns a reusable simulator for the topology and
+// timing model. One machine drives many runs through its RunS1/RunS2/
+// RunLP/RunAC methods without reallocating per-node state — create one
+// per goroutine, as a Machine must not be shared concurrently.
+func NewSimMachine(net Topology, params Params) (*SimMachine, error) {
+	return ipsc.NewMachine(net, params)
+}

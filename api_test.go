@@ -1,6 +1,7 @@
 package unsched
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 )
@@ -223,5 +224,57 @@ func TestDefaultExperimentConfig(t *testing.T) {
 	}
 	if cfg.Cube.Nodes() != 64 {
 		t.Errorf("default config should model the 64-node machine, got %d", cfg.Cube.Nodes())
+	}
+}
+
+func TestExperimentRunnerFacade(t *testing.T) {
+	cfg := DefaultExperimentConfig()
+	cfg.Samples = 2
+	seq := NewExperimentRunner(cfg, 1)
+	par := NewExperimentRunner(cfg, 4)
+	points := []ExperimentPoint{{Density: 4, MsgBytes: 1024}, {Density: 8, MsgBytes: 1024}}
+	a, err := seq.MeasureCells(context.Background(), points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := par.MeasureCells(context.Background(), points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range points {
+		for alg, cell := range a[i] {
+			if b[i][alg] != cell {
+				t.Errorf("point %d %s: parallel %+v != sequential %+v", i, alg, b[i][alg], cell)
+			}
+		}
+	}
+}
+
+func TestSimMachineFacadeReuse(t *testing.T) {
+	cube := NewCube(4)
+	params := DefaultIPSC860()
+	rng := rand.New(rand.NewSource(99))
+	m, err := DRegular(16, 4, 2048, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := RSNL(m, cube, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach, err := NewSimMachine(cube, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := mach.RunS1(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := mach.RunS1(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Errorf("reused machine diverged: %+v vs %+v", first, second)
 	}
 }

@@ -9,8 +9,10 @@ package unsched
 // tool prints the same data in the paper's layout.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"unsched/internal/comm"
@@ -456,6 +458,33 @@ func BenchmarkPhaseCountScaling(b *testing.B) {
 	}
 }
 
+// --- Campaign engine: parallel vs sequential fan-out ----------------
+
+// benchCampaign measures a multi-cell campaign (a density sweep at two
+// message sizes) at a fixed worker count. The parallel and sequential
+// variants produce bit-identical results; on a multi-core machine the
+// parallel one finishes close to GOMAXPROCS times sooner.
+func benchCampaign(b *testing.B, parallelism int) {
+	cfg := benchConfig()
+	r := &expt.Runner{Config: cfg, Parallelism: parallelism}
+	var points []expt.Point
+	for _, d := range []int{4, 8, 16, 32} {
+		for _, size := range []int64{1024, 16 * 1024} {
+			points = append(points, expt.Point{Density: d, MsgBytes: size})
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.MeasureCells(context.Background(), points); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(parallelism), "workers")
+}
+
+func BenchmarkCampaignSequential(b *testing.B) { benchCampaign(b, 1) }
+func BenchmarkCampaignParallel(b *testing.B)   { benchCampaign(b, runtime.GOMAXPROCS(0)) }
+
 // --- Micro-benchmarks: raw scheduler and simulator throughput -------
 
 func benchScheduler(b *testing.B, build func(*comm.Matrix, *rand.Rand) (*sched.Schedule, error)) {
@@ -507,9 +536,38 @@ func BenchmarkSimulatorRSNL(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := ipsc.RunS1(cube, params, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorRSNLReused is BenchmarkSimulatorRSNL on one
+// reusable Machine — the configuration every campaign worker runs in.
+// Compare allocs/op against the fresh-machine benchmark above.
+func BenchmarkSimulatorRSNLReused(b *testing.B) {
+	cube := hypercube.MustNew(6)
+	params := costmodel.DefaultIPSC860()
+	rng := rand.New(rand.NewSource(11))
+	m, err := comm.DRegular(64, 16, 4096, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := sched.RSNL(m, cube, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mach, err := ipsc.NewMachine(cube, params)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mach.RunS1(s); err != nil {
 			b.Fatal(err)
 		}
 	}

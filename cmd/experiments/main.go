@@ -13,9 +13,16 @@
 //	-seed S      master seed (default 1994)
 //	-csv         emit figures as CSV instead of ASCII charts
 //	-dim D       hypercube dimension (default 6, the 64-node machine)
+//	-parallel P  worker goroutines (default 0 = GOMAXPROCS)
+//	-progress    report campaign progress on stderr
+//
+// Output is bit-identical at every -parallel value: each simulated run
+// derives its randomness from (seed, density, size, sample, algorithm)
+// alone, never from worker scheduling.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -30,6 +37,8 @@ func main() {
 	seed := flag.Int64("seed", 1994, "master seed")
 	csv := flag.Bool("csv", false, "emit figure data as CSV instead of ASCII charts")
 	dim := flag.Int("dim", 6, "hypercube dimension (6 = the paper's 64-node machine)")
+	parallel := flag.Int("parallel", 0, "worker goroutines; 0 means GOMAXPROCS")
+	progress := flag.Bool("progress", false, "report campaign progress on stderr")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -47,7 +56,17 @@ func main() {
 	cfg.Samples = *samples
 	cfg.Seed = *seed
 
-	targets := map[string]func(expt.Config, bool) error{
+	runner := &expt.Runner{Config: cfg, Parallelism: *parallel}
+	if *progress {
+		runner.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\r%d/%d units", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+
+	targets := map[string]func(*expt.Runner, bool) error{
 		"table1": runTable1,
 		"fig5":   runFig5,
 		"fig6":   figComm(4),
@@ -62,7 +81,7 @@ func main() {
 	if name == "all" {
 		for _, key := range []string{"table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11"} {
 			fmt.Printf("==== %s ====\n", key)
-			if err := targets[key](cfg, *csv); err != nil {
+			if err := targets[key](runner, *csv); err != nil {
 				fatal(err)
 			}
 			fmt.Println()
@@ -73,7 +92,7 @@ func main() {
 	if !ok {
 		fatal(fmt.Errorf("unknown target %q", name))
 	}
-	if err := run(cfg, *csv); err != nil {
+	if err := run(runner, *csv); err != nil {
 		fatal(err)
 	}
 }
@@ -83,32 +102,33 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-func runTable1(cfg expt.Config, _ bool) error {
+func runTable1(r *expt.Runner, _ bool) error {
+	cfg := r.Config
 	fmt.Printf("Table 1: %d-node machine, %d samples per cell, seed %d (timings in ms)\n",
 		cfg.Cube.Nodes(), cfg.Samples, cfg.Seed)
-	rows, err := expt.Table1(cfg)
+	rows, err := r.Table1(context.Background())
 	if err != nil {
 		return err
 	}
 	return expt.WriteTable1(os.Stdout, rows)
 }
 
-func runFig5(cfg expt.Config, _ bool) error {
+func runFig5(r *expt.Runner, _ bool) error {
 	fmt.Println("Figure 5: winning algorithm per (density, message size), comm cost only")
 	var sizes []int64
 	for b := int64(64); b <= 64*1024; b *= 4 {
 		sizes = append(sizes, b)
 	}
-	regions, err := expt.RegionMap(cfg, []int{4, 8, 16, 32, 48}, sizes)
+	regions, err := r.RegionMap(context.Background(), []int{4, 8, 16, 32, 48}, sizes)
 	if err != nil {
 		return err
 	}
 	return expt.WriteRegionMap(os.Stdout, regions)
 }
 
-func figComm(d int) func(expt.Config, bool) error {
-	return func(cfg expt.Config, csv bool) error {
-		series, err := expt.CommVsSize(cfg, d, expt.FigureSizes())
+func figComm(d int) func(*expt.Runner, bool) error {
+	return func(r *expt.Runner, csv bool) error {
+		series, err := r.CommVsSize(context.Background(), d, expt.FigureSizes())
 		if err != nil {
 			return err
 		}
@@ -116,7 +136,7 @@ func figComm(d int) func(expt.Config, bool) error {
 			return plot.WriteCSV(os.Stdout, series)
 		}
 		fmt.Print(plot.ASCII(series, plot.Options{
-			Title:  fmt.Sprintf("Communication cost, uniform messages, d = %d, %d nodes", d, cfg.Cube.Nodes()),
+			Title:  fmt.Sprintf("Communication cost, uniform messages, d = %d, %d nodes", d, r.Config.Cube.Nodes()),
 			LogX:   true,
 			XLabel: "message bytes",
 			YLabel: "time (ms)",
@@ -125,9 +145,9 @@ func figComm(d int) func(expt.Config, bool) error {
 	}
 }
 
-func figOverhead(alg expt.Algorithm, title string) func(expt.Config, bool) error {
-	return func(cfg expt.Config, csv bool) error {
-		series, err := expt.OverheadVsSize(cfg, alg, []int{4, 8, 16, 32, 48}, expt.FigureSizes())
+func figOverhead(alg expt.Algorithm, title string) func(*expt.Runner, bool) error {
+	return func(r *expt.Runner, csv bool) error {
+		series, err := r.OverheadVsSize(context.Background(), alg, []int{4, 8, 16, 32, 48}, expt.FigureSizes())
 		if err != nil {
 			return err
 		}

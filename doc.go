@@ -36,4 +36,27 @@
 // The experiment harness that regenerates every table and figure of
 // the paper lives behind cmd/experiments; the root bench suite
 // (bench_test.go) exposes the same measurements as Go benchmarks.
+//
+// # Parallel campaigns
+//
+// Measurement campaigns run on a worker-pool engine
+// (ExperimentRunner): every (density, message size, sample)
+// combination is one independent unit, fanned across up to GOMAXPROCS
+// workers, each owning a reusable simulator machine (SimMachine); a
+// unit generates its random matrix once and measures all four
+// algorithms on it.
+// Randomness is organized so parallelism can never change a result:
+// the master seed plus a unit's own coordinates name its RNG streams
+// via a SplitMix64-keyed source (internal/stats), so a unit draws the
+// same numbers whether it runs first, last, or concurrently with the
+// rest. Campaign output is therefore bit-identical at every worker
+// count — a tested invariant, not an accident:
+//
+//	runner := unsched.NewExperimentRunner(cfg, 0) // 0 = GOMAXPROCS
+//	runner.Progress = func(done, total int) { fmt.Printf("\r%d/%d", done, total) }
+//	cells, err := runner.MeasureCells(ctx, []unsched.ExperimentPoint{{Density: 8, MsgBytes: 4096}})
+//
+// To reproduce the paper's exact protocol, set Samples to 50 in the
+// config and run any campaign; the default seed 1994 pins the full
+// random universe of the evaluation.
 package unsched

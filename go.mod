@@ -1,0 +1,3 @@
+module unsched
+
+go 1.22

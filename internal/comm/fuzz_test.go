@@ -1,0 +1,77 @@
+package comm
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// FuzzRead drives the matrix parser with arbitrary input. The
+// contract: never panic, never allocate unboundedly, and any input
+// that parses must yield a valid matrix that survives a WriteTo->Read
+// round trip unchanged.
+func FuzzRead(f *testing.F) {
+	f.Add([]byte("n 4\n0 1 256\n1 2 1024\n3 0 7\n"))
+	f.Add([]byte("n 2\n"))
+	f.Add([]byte("n 2\n# comment line\n0 1 5\n\n1 0 9\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("n -3\n"))
+	f.Add([]byte("n 999999999999\n"))
+	f.Add([]byte("n 3\n0 0 5\n"))   // self message: must be rejected
+	f.Add([]byte("n 3\n0 9 5\n"))   // node out of range
+	f.Add([]byte("n 3\n0 1 -5\n"))  // negative size
+	f.Add([]byte("n 3\n0 1\n"))     // short line
+	f.Add([]byte("garbage header")) // no n prefix
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return // rejecting bad input is fine; panicking is not
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("Read accepted an invalid matrix: %v\ninput: %q", err, data)
+		}
+		var buf bytes.Buffer
+		if _, err := m.WriteTo(&buf); err != nil {
+			t.Fatalf("WriteTo failed on parsed matrix: %v", err)
+		}
+		m2, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("round-trip re-read failed: %v\nserialized: %q", err, buf.String())
+		}
+		if !m.Equal(m2) {
+			t.Fatalf("round trip changed the matrix:\nfirst:  %v\nsecond: %v", m, m2)
+		}
+	})
+}
+
+// TestWriteReadRoundTripRandom complements the fuzz target from the
+// other direction: random generated matrices must serialize and parse
+// back identically.
+func TestWriteReadRoundTripRandom(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(63)
+		d := 1 + rng.Intn(n-1)
+		m, err := DRegular(n, d, 1+int64(rng.Intn(1<<20)), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if _, err := m.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !m.Equal(got) {
+			t.Errorf("seed %d: round trip changed the matrix", seed)
+		}
+	}
+}
+
+func TestReadRejectsOversizedHeader(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("n 1000000000\n"))); err == nil {
+		t.Error("gigantic matrix header accepted")
+	}
+}

@@ -309,6 +309,12 @@ func (m *Matrix) WriteTo(w io.Writer) (int64, error) {
 	return written, bw.Flush()
 }
 
+// MaxReadNodes bounds the matrix size Read accepts. The matrix is
+// dense (n^2 entries), so an unbounded header would let a one-line
+// input demand petabytes; 4096 nodes (128 MB) is far beyond any
+// machine this repository models.
+const MaxReadNodes = 4096
+
 // Read parses the format written by WriteTo.
 func Read(r io.Reader) (*Matrix, error) {
 	sc := bufio.NewScanner(r)
@@ -318,6 +324,9 @@ func Read(r io.Reader) (*Matrix, error) {
 	var n int
 	if _, err := fmt.Sscanf(sc.Text(), "n %d", &n); err != nil {
 		return nil, fmt.Errorf("comm: bad header %q: %v", sc.Text(), err)
+	}
+	if n > MaxReadNodes {
+		return nil, fmt.Errorf("comm: matrix size %d exceeds limit %d", n, MaxReadNodes)
 	}
 	m, err := New(n)
 	if err != nil {

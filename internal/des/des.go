@@ -6,7 +6,6 @@
 package des
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -14,7 +13,7 @@ import (
 type Engine struct {
 	now   float64
 	seq   int64
-	queue eventHeap
+	queue []event
 }
 
 type event struct {
@@ -23,27 +22,70 @@ type event struct {
 	fn   func()
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
+func (a event) before(b event) bool {
+	if a.time != b.time {
+		return a.time < b.time
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	*h = old[:n-1]
-	return ev
+
+// push and pop maintain the binary min-heap invariant directly on the
+// []event backing array. A hand-rolled heap instead of container/heap
+// avoids boxing every event into an interface{} — one allocation per
+// scheduled event on the simulator's hottest path.
+func (e *Engine) push(ev event) {
+	e.queue = append(e.queue, ev)
+	i := len(e.queue) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.queue[i].before(e.queue[parent]) {
+			break
+		}
+		e.queue[i], e.queue[parent] = e.queue[parent], e.queue[i]
+		i = parent
+	}
+}
+
+func (e *Engine) pop() event {
+	top := e.queue[0]
+	last := len(e.queue) - 1
+	e.queue[0] = e.queue[last]
+	e.queue[last] = event{} // release the closure
+	e.queue = e.queue[:last]
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= len(e.queue) {
+			break
+		}
+		child := left
+		if right := left + 1; right < len(e.queue) && e.queue[right].before(e.queue[left]) {
+			child = right
+		}
+		if !e.queue[child].before(e.queue[i]) {
+			break
+		}
+		e.queue[i], e.queue[child] = e.queue[child], e.queue[i]
+		i = child
+	}
+	return top
 }
 
 // New returns an engine with the clock at zero.
 func New() *Engine { return &Engine{} }
+
+// Reset rewinds the clock to zero and empties the event queue while
+// keeping the queue's backing array, so an engine can be reused across
+// many simulations without re-growing the heap each time. Queued event
+// closures are released for garbage collection.
+func (e *Engine) Reset() {
+	e.now = 0
+	e.seq = 0
+	for i := range e.queue {
+		e.queue[i].fn = nil
+	}
+	e.queue = e.queue[:0]
+}
 
 // Now returns the current virtual time.
 func (e *Engine) Now() float64 { return e.now }
@@ -56,7 +98,7 @@ func (e *Engine) At(t float64, fn func()) {
 		panic(fmt.Sprintf("des: scheduling at %v before now %v", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.queue, event{time: t, seq: e.seq, fn: fn})
+	e.push(event{time: t, seq: e.seq, fn: fn})
 }
 
 // After schedules fn dt time units from now. Negative dt panics.
@@ -70,10 +112,10 @@ func (e *Engine) After(dt float64, fn func()) {
 // Step runs the earliest pending event, advancing the clock to its
 // time. It reports whether an event was run.
 func (e *Engine) Step() bool {
-	if e.queue.Len() == 0 {
+	if len(e.queue) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(event)
+	ev := e.pop()
 	e.now = ev.time
 	ev.fn()
 	return true
@@ -95,4 +137,4 @@ func (e *Engine) Run(maxEvents int64) float64 {
 }
 
 // Pending returns the number of queued events.
-func (e *Engine) Pending() int { return e.queue.Len() }
+func (e *Engine) Pending() int { return len(e.queue) }

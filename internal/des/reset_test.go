@@ -1,0 +1,68 @@
+package des
+
+import "testing"
+
+func TestResetReplaysIdentically(t *testing.T) {
+	runOnce := func(e *Engine) (float64, []int) {
+		var order []int
+		e.At(3, func() { order = append(order, 3) })
+		e.At(1, func() {
+			order = append(order, 1)
+			e.After(1, func() { order = append(order, 2) })
+		})
+		return e.Run(0), order
+	}
+	e := New()
+	t1, o1 := runOnce(e)
+	e.Reset()
+	if e.Now() != 0 || e.Pending() != 0 {
+		t.Fatalf("after Reset: now=%v pending=%d", e.Now(), e.Pending())
+	}
+	t2, o2 := runOnce(e)
+	if t1 != t2 {
+		t.Errorf("reused engine finished at %v, fresh at %v", t2, t1)
+	}
+	if len(o1) != len(o2) {
+		t.Fatalf("event orders differ: %v vs %v", o1, o2)
+	}
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Errorf("event order differs at %d: %v vs %v", i, o1, o2)
+		}
+	}
+}
+
+func TestResetDropsQueuedEvents(t *testing.T) {
+	e := New()
+	fired := false
+	e.At(5, func() { fired = true })
+	e.Reset()
+	e.Run(0)
+	if fired {
+		t.Error("event queued before Reset fired after it")
+	}
+	// The backing array is retained: scheduling after Reset must not
+	// resurrect the dropped event.
+	count := 0
+	e.At(1, func() { count++ })
+	e.Run(0)
+	if count != 1 {
+		t.Errorf("ran %d events, want 1", count)
+	}
+}
+
+func TestResetSeqRestartsTieBreaking(t *testing.T) {
+	e := New()
+	e.At(1, func() {})
+	e.Run(0)
+	e.Reset()
+	// Two ties at the same time must fire in scheduling order even
+	// after a reset rewound the sequence counter.
+	var order []int
+	e.At(2, func() { order = append(order, 0) })
+	e.At(2, func() { order = append(order, 1) })
+	e.Run(0)
+	if len(order) != 2 || order[0] != 0 || order[1] != 1 {
+		t.Errorf("tie order after reset = %v, want [0 1]", order)
+	}
+}

@@ -10,9 +10,16 @@
 // sample's communication cost is the maximum time spent by any
 // processor, and cells report the average over samples. All
 // randomness is derived from a single master seed.
+//
+// Campaigns execute on the Runner, a worker pool that fans every
+// (density, size, sample, algorithm) unit out concurrently. Each
+// unit's RNG streams are keyed by the master seed and the unit's own
+// coordinates, so results are bit-identical at any parallelism; see
+// runner.go.
 package expt
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -26,7 +33,6 @@ import (
 	"unsched/internal/ipsc"
 	"unsched/internal/plot"
 	"unsched/internal/sched"
-	"unsched/internal/stats"
 )
 
 // Algorithm names the paper's four contenders.
@@ -86,70 +92,24 @@ type Cell struct {
 
 // MeasureCell runs the full sample set for one (d, M) point and
 // returns a Cell per algorithm, measured on the same samples so
-// algorithms are compared pattern-for-pattern.
+// algorithms are compared pattern-for-pattern. It runs through the
+// parallel Runner at default parallelism; build a Runner directly to
+// control worker count, cancellation, or progress reporting.
 func (c Config) MeasureCell(d int, msgBytes int64) (map[Algorithm]Cell, error) {
-	if err := c.Validate(); err != nil {
-		return nil, err
-	}
-	src := stats.NewSource(c.Seed)
-	comms := map[Algorithm][]float64{}
-	comps := map[Algorithm][]float64{}
-	iters := map[Algorithm][]float64{}
-
-	for sample := 0; sample < c.Samples; sample++ {
-		streamBase := int64(d)*1_000_000 + msgBytes*1_000 + int64(sample)
-		patRNG := src.Stream(streamBase)
-		m, err := comm.DRegular(c.Cube.Nodes(), d, msgBytes, patRNG)
-		if err != nil {
-			return nil, err
-		}
-		for _, alg := range Algorithms {
-			schedRNG := src.Stream(streamBase*4 + algIndex(alg))
-			commUS, compMS, nPhases, err := c.runOne(alg, m, schedRNG)
-			if err != nil {
-				return nil, fmt.Errorf("expt: %s d=%d M=%d sample %d: %w", alg, d, msgBytes, sample, err)
-			}
-			comms[alg] = append(comms[alg], commUS/1000)
-			comps[alg] = append(comps[alg], compMS)
-			iters[alg] = append(iters[alg], nPhases)
-		}
-	}
-
-	out := map[Algorithm]Cell{}
-	for _, alg := range Algorithms {
-		s := stats.Summarize(comms[alg])
-		out[alg] = Cell{
-			Algorithm: alg,
-			Density:   d,
-			MsgBytes:  msgBytes,
-			CommMS:    s.Mean,
-			CommStd:   s.Std,
-			CompMS:    stats.Mean(comps[alg]),
-			Iters:     stats.Mean(iters[alg]),
-		}
-	}
-	return out, nil
+	return NewRunner(c).MeasureCell(context.Background(), d, msgBytes)
 }
 
-func algIndex(a Algorithm) int64 {
-	for i, x := range Algorithms {
-		if x == a {
-			return int64(i)
-		}
-	}
-	return int64(len(Algorithms))
-}
-
-// runOne schedules and simulates one sample under one algorithm,
-// returning (makespan µs, scheduling cost ms, phase count).
-func (c Config) runOne(alg Algorithm, m *comm.Matrix, rng *rand.Rand) (float64, float64, float64, error) {
+// runOne schedules and simulates one sample under one algorithm on the
+// given reusable machine, returning (makespan µs, scheduling cost ms,
+// phase count).
+func (c Config) runOne(mach *ipsc.Machine, alg Algorithm, m *comm.Matrix, rng *rand.Rand) (float64, float64, float64, error) {
 	switch alg {
 	case AC:
 		order, err := sched.AC(m)
 		if err != nil {
 			return 0, 0, 0, err
 		}
-		res, err := ipsc.RunAC(c.Cube, c.Params, order, m)
+		res, err := mach.RunAC(order, m)
 		if err != nil {
 			return 0, 0, 0, err
 		}
@@ -159,7 +119,7 @@ func (c Config) runOne(alg Algorithm, m *comm.Matrix, rng *rand.Rand) (float64, 
 		if err != nil {
 			return 0, 0, 0, err
 		}
-		res, err := ipsc.RunLP(c.Cube, c.Params, s)
+		res, err := mach.RunLP(s)
 		if err != nil {
 			return 0, 0, 0, err
 		}
@@ -169,7 +129,7 @@ func (c Config) runOne(alg Algorithm, m *comm.Matrix, rng *rand.Rand) (float64, 
 		if err != nil {
 			return 0, 0, 0, err
 		}
-		res, err := ipsc.RunS2(c.Cube, c.Params, s)
+		res, err := mach.RunS2(s)
 		if err != nil {
 			return 0, 0, 0, err
 		}
@@ -179,7 +139,7 @@ func (c Config) runOne(alg Algorithm, m *comm.Matrix, rng *rand.Rand) (float64, 
 		if err != nil {
 			return 0, 0, 0, err
 		}
-		res, err := ipsc.RunS1(c.Cube, c.Params, s)
+		res, err := mach.RunS1(s)
 		if err != nil {
 			return 0, 0, 0, err
 		}
@@ -205,35 +165,10 @@ var Table1Sizes = []int64{256, 1024, 128 * 1024}
 // Table1Densities are the paper's five densities.
 var Table1Densities = []int{4, 8, 16, 32, 48}
 
-// Table1 measures the full Table 1 grid.
+// Table1 measures the full Table 1 grid through the parallel Runner at
+// default parallelism.
 func Table1(cfg Config) ([]Table1Row, error) {
-	var rows []Table1Row
-	for _, d := range Table1Densities {
-		row := Table1Row{
-			Density: d,
-			Comm:    map[int64]map[Algorithm]Cell{},
-			Iters:   map[Algorithm]float64{},
-			Comp:    map[Algorithm]float64{},
-		}
-		for _, size := range Table1Sizes {
-			cells, err := cfg.MeasureCell(d, size)
-			if err != nil {
-				return nil, err
-			}
-			row.Comm[size] = cells
-			// The paper reports one iters/comp per density; use the
-			// 1 KB column (phase counts are size-independent, comp
-			// nearly so).
-			if size == 1024 {
-				for _, alg := range Algorithms {
-					row.Iters[alg] = cells[alg].Iters
-					row.Comp[alg] = cells[alg].CompMS
-				}
-			}
-		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+	return NewRunner(cfg).Table1(context.Background())
 }
 
 // WriteTable1 renders rows in the layout of the paper's Table 1.
@@ -280,49 +215,18 @@ func FigureSizes() []int64 {
 
 // CommVsSize measures communication cost as a function of message size
 // at fixed density — one of Figures 6-9. Returns one series per
-// algorithm with X = message bytes, Y = comm ms.
+// algorithm with X = message bytes, Y = comm ms. It runs through the
+// parallel Runner at default parallelism.
 func CommVsSize(cfg Config, d int, sizes []int64) ([]plot.Series, error) {
-	series := make([]plot.Series, len(Algorithms))
-	for i, alg := range Algorithms {
-		series[i].Label = string(alg)
-	}
-	for _, size := range sizes {
-		cells, err := cfg.MeasureCell(d, size)
-		if err != nil {
-			return nil, err
-		}
-		for i, alg := range Algorithms {
-			series[i].X = append(series[i].X, float64(size))
-			series[i].Y = append(series[i].Y, cells[alg].CommMS)
-		}
-	}
-	return series, nil
+	return NewRunner(cfg).CommVsSize(context.Background(), d, sizes)
 }
 
 // OverheadVsSize measures the scheduling-overhead fraction comp/comm
 // as a function of message size, one series per density — Figure 10
-// (RS_N) and Figure 11 (RS_NL).
+// (RS_N) and Figure 11 (RS_NL). It runs through the parallel Runner at
+// default parallelism.
 func OverheadVsSize(cfg Config, alg Algorithm, densities []int, sizes []int64) ([]plot.Series, error) {
-	if alg != RSN && alg != RSNL {
-		return nil, fmt.Errorf("expt: overhead figures exist for RS_N and RS_NL, not %s", alg)
-	}
-	var series []plot.Series
-	for _, d := range densities {
-		s := plot.Series{Label: fmt.Sprintf("d = %d", d)}
-		for _, size := range sizes {
-			cells, err := cfg.MeasureCell(d, size)
-			if err != nil {
-				return nil, err
-			}
-			cell := cells[alg]
-			if cell.CommMS > 0 {
-				s.X = append(s.X, float64(size))
-				s.Y = append(s.Y, cell.CompMS/cell.CommMS)
-			}
-		}
-		series = append(series, s)
-	}
-	return series, nil
+	return NewRunner(cfg).OverheadVsSize(context.Background(), alg, densities, sizes)
 }
 
 // Region is one cell of the Figure 5 map: the algorithm with the
@@ -335,37 +239,10 @@ type Region struct {
 	Margin   float64 // winner's advantage over the runner-up, fraction
 }
 
-// RegionMap computes the winner grid of Figure 5.
+// RegionMap computes the winner grid of Figure 5 through the parallel
+// Runner at default parallelism.
 func RegionMap(cfg Config, densities []int, sizes []int64) ([]Region, error) {
-	var regions []Region
-	for _, d := range densities {
-		for _, size := range sizes {
-			cells, err := cfg.MeasureCell(d, size)
-			if err != nil {
-				return nil, err
-			}
-			type cand struct {
-				alg Algorithm
-				ms  float64
-			}
-			var cands []cand
-			for _, alg := range Algorithms {
-				cands = append(cands, cand{alg, cells[alg].CommMS})
-			}
-			sort.Slice(cands, func(a, b int) bool { return cands[a].ms < cands[b].ms })
-			margin := 0.0
-			if cands[1].ms > 0 {
-				margin = (cands[1].ms - cands[0].ms) / cands[1].ms
-			}
-			regions = append(regions, Region{
-				Density:  d,
-				MsgBytes: size,
-				Winner:   cands[0].alg,
-				Margin:   margin,
-			})
-		}
-	}
-	return regions, nil
+	return NewRunner(cfg).RegionMap(context.Background(), densities, sizes)
 }
 
 // WriteRegionMap renders the Figure 5 grid: rows are densities,

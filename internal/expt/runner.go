@@ -1,0 +1,340 @@
+package expt
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"unsched/internal/comm"
+	"unsched/internal/ipsc"
+	"unsched/internal/plot"
+	"unsched/internal/stats"
+)
+
+// Point is one (density, message size) cell of a campaign grid.
+type Point struct {
+	Density  int
+	MsgBytes int64
+}
+
+// Runner executes measurement campaigns over a bounded worker pool.
+// Every (density, msgBytes, sample) combination is one independent
+// work unit; units fan out across workers, and within a unit the four
+// algorithms are measured back to back on the one matrix the unit
+// generates. Every RNG stream is derived from the master seed keyed
+// by the (density, msgBytes, sample, algorithm) tuple it serves —
+// never by execution order — so the measured numbers are bit-identical
+// at any parallelism, including 1, which reproduces the sequential
+// harness.
+//
+// The zero value of Parallelism and Progress is valid: the runner then
+// uses GOMAXPROCS workers and reports no progress. A Runner is safe
+// for concurrent use; each campaign call builds its own pool.
+type Runner struct {
+	Config Config
+	// Parallelism is the number of worker goroutines; values <= 0 mean
+	// runtime.GOMAXPROCS(0). Each worker owns one reusable simulator
+	// machine, so memory scales with Parallelism, not with campaign
+	// size.
+	Parallelism int
+	// Progress, when non-nil, is called after each completed algorithm
+	// run with the running count of completed runs and the campaign
+	// total. Calls are serialized and strictly increasing in done.
+	Progress func(done, total int)
+}
+
+// NewRunner returns a Runner over cfg with default parallelism.
+func NewRunner(cfg Config) *Runner { return &Runner{Config: cfg} }
+
+func (r *Runner) workers() int {
+	if r.Parallelism > 0 {
+		return r.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// unitResult carries one unit's measurements into the aggregation
+// buffer. Units stream their results into a preallocated slot indexed
+// by (cell, sample, algorithm), so aggregation order — and therefore
+// floating-point summation order — never depends on completion order.
+type unitResult struct {
+	commMS float64
+	compMS float64
+	iters  float64
+}
+
+// MeasureCells measures every point of the grid and returns one
+// map[Algorithm]Cell per point, in point order. It is the campaign
+// primitive every table and figure builds on: all units of all points
+// share one worker pool, so wide grids saturate the machine even when
+// individual cells are small. The context cancels the campaign between
+// units; the first error (or ctx.Err) is returned.
+func (r *Runner) MeasureCells(ctx context.Context, points []Point) ([]map[Algorithm]Cell, error) {
+	cfg := r.Config
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	samples := cfg.Samples
+	nAlg := len(Algorithms)
+	units := len(points) * samples
+	total := units * nAlg
+	results := make([]unitResult, total)
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		done     int
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancel()
+	}
+	tick := func() {
+		mu.Lock()
+		done++
+		r.Progress(done, total)
+		mu.Unlock()
+	}
+	unitCh := make(chan int)
+	for w := 0; w < min(r.workers(), units); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Each worker owns one reusable simulator machine and one
+			// stream source; both are confined to this goroutine.
+			mach, err := ipsc.NewMachine(cfg.Cube, cfg.Params)
+			if err != nil {
+				fail(err)
+				return
+			}
+			src := stats.NewSource(cfg.Seed)
+			for idx := range unitCh {
+				pt := points[idx/samples]
+				sample := idx % samples
+				var tickFn func()
+				if r.Progress != nil {
+					tickFn = tick
+				}
+				if err := cfg.runSample(mach, src, pt, sample, results[idx*nAlg:(idx+1)*nAlg], tickFn); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+feed:
+	for idx := 0; idx < units; idx++ {
+		select {
+		case unitCh <- idx:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(unitCh)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	out := make([]map[Algorithm]Cell, len(points))
+	comms := make([]float64, samples)
+	comps := make([]float64, samples)
+	iters := make([]float64, samples)
+	for ci, pt := range points {
+		cells := map[Algorithm]Cell{}
+		for ai, alg := range Algorithms {
+			for sample := 0; sample < samples; sample++ {
+				u := results[(ci*samples+sample)*nAlg+ai]
+				comms[sample] = u.commMS
+				comps[sample] = u.compMS
+				iters[sample] = u.iters
+			}
+			s := stats.Summarize(comms)
+			cells[alg] = Cell{
+				Algorithm: alg,
+				Density:   pt.Density,
+				MsgBytes:  pt.MsgBytes,
+				CommMS:    s.Mean,
+				CommStd:   s.Std,
+				CompMS:    stats.Mean(comps),
+				Iters:     stats.Mean(iters),
+			}
+		}
+		out[ci] = cells
+	}
+	return out, nil
+}
+
+// MeasureCell measures one (d, M) point through the pool.
+func (r *Runner) MeasureCell(ctx context.Context, d int, msgBytes int64) (map[Algorithm]Cell, error) {
+	cells, err := r.MeasureCells(ctx, []Point{{Density: d, MsgBytes: msgBytes}})
+	if err != nil {
+		return nil, err
+	}
+	return cells[0], nil
+}
+
+// runSample executes one (d, M, sample) unit: generate the sample's
+// communication matrix from its pattern stream, then schedule and
+// simulate all four algorithms on it, each under its own scheduling
+// stream keyed by (d, M, sample, algorithm). Results land in out (one
+// slot per algorithm); tick, when non-nil, is called after each
+// algorithm completes.
+func (c Config) runSample(mach *ipsc.Machine, src *stats.Source, pt Point, sample int, out []unitResult, tick func()) error {
+	d, msgBytes := pt.Density, pt.MsgBytes
+	streamBase := int64(d)*1_000_000 + msgBytes*1_000 + int64(sample)
+	patRNG := src.Stream(streamBase)
+	m, err := comm.DRegular(c.Cube.Nodes(), d, msgBytes, patRNG)
+	if err != nil {
+		return err
+	}
+	for algIdx, alg := range Algorithms {
+		schedRNG := src.Stream(streamBase*4 + int64(algIdx))
+		commUS, compMS, nPhases, err := c.runOne(mach, alg, m, schedRNG)
+		if err != nil {
+			return fmt.Errorf("expt: %s d=%d M=%d sample %d: %w", alg, d, msgBytes, sample, err)
+		}
+		out[algIdx] = unitResult{commMS: commUS / 1000, compMS: compMS, iters: nPhases}
+		if tick != nil {
+			tick()
+		}
+	}
+	return nil
+}
+
+// grid returns the densities x sizes point grid, sizes varying
+// fastest — the one ordering every campaign method shares, so cell
+// results always align with their (density, size) labels.
+func grid(densities []int, sizes []int64) []Point {
+	points := make([]Point, 0, len(densities)*len(sizes))
+	for _, d := range densities {
+		for _, size := range sizes {
+			points = append(points, Point{Density: d, MsgBytes: size})
+		}
+	}
+	return points
+}
+
+// Table1 measures the full Table 1 grid through the pool.
+func (r *Runner) Table1(ctx context.Context) ([]Table1Row, error) {
+	cells, err := r.MeasureCells(ctx, grid(Table1Densities, Table1Sizes))
+	if err != nil {
+		return nil, err
+	}
+	var rows []Table1Row
+	i := 0
+	for _, d := range Table1Densities {
+		row := Table1Row{
+			Density: d,
+			Comm:    map[int64]map[Algorithm]Cell{},
+			Iters:   map[Algorithm]float64{},
+			Comp:    map[Algorithm]float64{},
+		}
+		for _, size := range Table1Sizes {
+			row.Comm[size] = cells[i]
+			// The paper reports one iters/comp per density; use the
+			// 1 KB column (phase counts are size-independent, comp
+			// nearly so).
+			if size == 1024 {
+				for _, alg := range Algorithms {
+					row.Iters[alg] = cells[i][alg].Iters
+					row.Comp[alg] = cells[i][alg].CompMS
+				}
+			}
+			i++
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// CommVsSize measures communication cost versus message size at fixed
+// density through the pool — one of Figures 6-9.
+func (r *Runner) CommVsSize(ctx context.Context, d int, sizes []int64) ([]plot.Series, error) {
+	cells, err := r.MeasureCells(ctx, grid([]int{d}, sizes))
+	if err != nil {
+		return nil, err
+	}
+	series := make([]plot.Series, len(Algorithms))
+	for i, alg := range Algorithms {
+		series[i].Label = string(alg)
+		for pi, size := range sizes {
+			series[i].X = append(series[i].X, float64(size))
+			series[i].Y = append(series[i].Y, cells[pi][alg].CommMS)
+		}
+	}
+	return series, nil
+}
+
+// OverheadVsSize measures the scheduling-overhead fraction comp/comm
+// through the pool — Figures 10-11.
+func (r *Runner) OverheadVsSize(ctx context.Context, alg Algorithm, densities []int, sizes []int64) ([]plot.Series, error) {
+	if alg != RSN && alg != RSNL {
+		return nil, fmt.Errorf("expt: overhead figures exist for RS_N and RS_NL, not %s", alg)
+	}
+	cells, err := r.MeasureCells(ctx, grid(densities, sizes))
+	if err != nil {
+		return nil, err
+	}
+	var series []plot.Series
+	i := 0
+	for _, d := range densities {
+		s := plot.Series{Label: fmt.Sprintf("d = %d", d)}
+		for _, size := range sizes {
+			cell := cells[i][alg]
+			if cell.CommMS > 0 {
+				s.X = append(s.X, float64(size))
+				s.Y = append(s.Y, cell.CompMS/cell.CommMS)
+			}
+			i++
+		}
+		series = append(series, s)
+	}
+	return series, nil
+}
+
+// RegionMap computes the winner grid of Figure 5 through the pool.
+func (r *Runner) RegionMap(ctx context.Context, densities []int, sizes []int64) ([]Region, error) {
+	points := grid(densities, sizes)
+	cellMaps, err := r.MeasureCells(ctx, points)
+	if err != nil {
+		return nil, err
+	}
+	var regions []Region
+	for i, pt := range points {
+		cells := cellMaps[i]
+		type cand struct {
+			alg Algorithm
+			ms  float64
+		}
+		var cands []cand
+		for _, alg := range Algorithms {
+			cands = append(cands, cand{alg, cells[alg].CommMS})
+		}
+		sort.Slice(cands, func(a, b int) bool { return cands[a].ms < cands[b].ms })
+		margin := 0.0
+		if cands[1].ms > 0 {
+			margin = (cands[1].ms - cands[0].ms) / cands[1].ms
+		}
+		regions = append(regions, Region{
+			Density:  pt.Density,
+			MsgBytes: pt.MsgBytes,
+			Winner:   cands[0].alg,
+			Margin:   margin,
+		})
+	}
+	return regions, nil
+}

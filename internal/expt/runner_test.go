@@ -1,0 +1,152 @@
+package expt
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"unsched/internal/hypercube"
+)
+
+// renderTable1 runs Table1 at the given parallelism and renders it to
+// text, so determinism comparisons cover the full pipeline down to the
+// formatted bytes.
+func renderTable1(t *testing.T, cfg Config, parallelism int) string {
+	t.Helper()
+	r := &Runner{Config: cfg, Parallelism: parallelism}
+	rows, err := r.Table1(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTable1(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func renderRegionMap(t *testing.T, cfg Config, parallelism int) string {
+	t.Helper()
+	r := &Runner{Config: cfg, Parallelism: parallelism}
+	regions, err := r.RegionMap(context.Background(), []int{2, 8, 12}, []int64{64, 4096, 128 * 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteRegionMap(&buf, regions); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestRunnerDeterministicAcrossParallelism is the tentpole invariant:
+// the campaign output at any worker count is byte-identical to the
+// sequential run, because every unit's RNG streams are keyed by its
+// (d, M, sample, algorithm) tuple, never by execution order.
+func TestRunnerDeterministicAcrossParallelism(t *testing.T) {
+	// Table 1 needs the 64-node cube (its densities reach 48); the
+	// region map runs on a 16-node cube to keep the grid cheap.
+	cfg := DefaultConfig()
+	cfg.Samples = 2
+
+	seqTable := renderTable1(t, cfg, 1)
+	for _, p := range []int{2, 8} {
+		if got := renderTable1(t, cfg, p); got != seqTable {
+			t.Errorf("Table1 at parallelism %d differs from sequential:\n--- p=1\n%s--- p=%d\n%s", p, seqTable, p, got)
+		}
+	}
+
+	cfg.Cube = hypercube.MustNew(4)
+	seqMap := renderRegionMap(t, cfg, 1)
+	for _, p := range []int{3, 8} {
+		if got := renderRegionMap(t, cfg, p); got != seqMap {
+			t.Errorf("RegionMap at parallelism %d differs from sequential:\n--- p=1\n%s--- p=%d\n%s", p, seqMap, p, got)
+		}
+	}
+}
+
+// TestRunnerMatchesMeasureCell checks the pooled single-cell path and
+// the convenience Config.MeasureCell agree exactly.
+func TestRunnerMatchesMeasureCell(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Samples = 2
+	direct, err := cfg.MeasureCell(8, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pooled, err := (&Runner{Config: cfg, Parallelism: 4}).MeasureCell(context.Background(), 8, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range Algorithms {
+		if direct[alg] != pooled[alg] {
+			t.Errorf("%s: direct %+v != pooled %+v", alg, direct[alg], pooled[alg])
+		}
+	}
+}
+
+func TestRunnerCancellation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Samples = 50
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := &Runner{Config: cfg, Parallelism: 2}
+	if _, err := r.Table1(ctx); err == nil {
+		t.Error("cancelled campaign returned no error")
+	}
+}
+
+func TestRunnerCancelMidway(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Cube = hypercube.MustNew(4)
+	cfg.Samples = 4
+	ctx, cancel := context.WithCancel(context.Background())
+	stopAt := 3
+	r := &Runner{Config: cfg, Parallelism: 2}
+	r.Progress = func(done, total int) {
+		if done == stopAt {
+			cancel()
+		}
+	}
+	if _, err := r.MeasureCells(ctx, []Point{{4, 1024}, {8, 1024}, {16, 1024}}); err != context.Canceled {
+		t.Errorf("mid-campaign cancel returned %v, want context.Canceled", err)
+	}
+}
+
+func TestRunnerProgress(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Cube = hypercube.MustNew(3)
+	cfg.Samples = 2
+	var dones []int
+	var totals []int
+	r := &Runner{Config: cfg, Parallelism: 4}
+	r.Progress = func(done, total int) {
+		dones = append(dones, done)
+		totals = append(totals, total)
+	}
+	points := []Point{{2, 256}, {4, 256}}
+	if _, err := r.MeasureCells(context.Background(), points); err != nil {
+		t.Fatal(err)
+	}
+	want := len(points) * cfg.Samples * len(Algorithms)
+	if len(dones) != want {
+		t.Fatalf("progress called %d times, want %d", len(dones), want)
+	}
+	for i, d := range dones {
+		if d != i+1 {
+			t.Errorf("progress done[%d] = %d, want %d", i, d, i+1)
+		}
+		if totals[i] != want {
+			t.Errorf("progress total[%d] = %d, want %d", i, totals[i], want)
+		}
+	}
+}
+
+func TestRunnerRejectsInvalidConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Samples = 0
+	r := NewRunner(cfg)
+	if _, err := r.MeasureCells(context.Background(), []Point{{4, 64}}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}

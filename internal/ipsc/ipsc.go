@@ -35,8 +35,11 @@ import (
 	"unsched/internal/topo"
 )
 
-// Machine is a single-run simulator instance. Create one per
-// simulation with NewMachine; Run consumes it.
+// Machine is a simulator instance. Create one with NewMachine and
+// drive it through its RunS1/RunS2/RunLP/RunAC methods, which Reset
+// and reuse its state so one Machine serves an arbitrarily long run
+// sequence without reallocating. A Machine is not safe for concurrent
+// use; create one per goroutine.
 type Machine struct {
 	net    topo.Topology
 	params costmodel.Params
@@ -132,15 +135,64 @@ func NewMachine(net topo.Topology, params costmodel.Params) (*Machine, error) {
 		chanBusy:  make([]bool, net.NumChannels()),
 		maxEvents: int64(n) * 1_000_000,
 	}
+	// Per-node state is carved out of four contiguous allocations so a
+	// Machine costs O(1) allocations per node instead of O(n), and so
+	// Reset can clear it without freeing anything. The campaign runner
+	// keeps one Machine per worker and reuses it for every run.
+	backing := make([]node, n)
+	ready := make([]bool, n*n)
+	arrived := make([]int, n*n)
+	consumed := make([]int, n*n)
+	m.nodes = make([]*node, n)
 	for i := 0; i < n; i++ {
-		m.nodes = append(m.nodes, &node{
-			id:        i,
-			readyFrom: make([]bool, n),
-			arrived:   make([]int, n),
-			consumed:  make([]int, n),
-		})
+		nd := &backing[i]
+		nd.id = i
+		nd.readyFrom = ready[i*n : (i+1)*n : (i+1)*n]
+		nd.arrived = arrived[i*n : (i+1)*n : (i+1)*n]
+		nd.consumed = consumed[i*n : (i+1)*n : (i+1)*n]
+		m.nodes[i] = nd
 	}
 	return m, nil
+}
+
+// Reset returns the machine to its initial state while keeping every
+// backing allocation: the event heap, the channel-occupancy table, the
+// route buffer, and all per-node vectors. After Reset the machine is
+// indistinguishable from a freshly built one, so a single Machine can
+// drive an arbitrarily long sequence of runs allocation-free (modulo
+// per-run program compilation and event closures).
+func (m *Machine) Reset() {
+	m.eng.Reset()
+	clear(m.chanBusy)
+	m.routeBuf = m.routeBuf[:0]
+	for i := range m.pending {
+		m.pending[i] = nil
+	}
+	m.pending = m.pending[:0]
+	m.nextSeq = 0
+	m.barrierCount = nil
+	m.barrierWaiters = nil
+	m.transfers = 0
+	m.exchanges = 0
+	m.waitedUS = 0
+	m.totalExpected = 0
+	m.arrivedTotal = 0
+	for _, nd := range m.nodes {
+		nd.program = nil
+		nd.pc = 0
+		nd.blocked = false
+		nd.transmitting = false
+		nd.absorbing = false
+		clear(nd.readyFrom)
+		clear(nd.arrived)
+		clear(nd.consumed)
+		nd.received = 0
+		nd.expected = 0
+		nd.done = false
+		nd.finishUS = 0
+		nd.atExchange = false
+		nd.outstanding = 0
+	}
 }
 
 // run loads the per-node programs and processes events to completion.
@@ -148,9 +200,25 @@ func (m *Machine) run(programs [][]op) (Result, error) {
 	if len(programs) != len(m.nodes) {
 		return Result{}, fmt.Errorf("ipsc: %d programs for %d nodes", len(programs), len(m.nodes))
 	}
+	// One pass over all programs tallies the expected arrivals of every
+	// node at once; the per-node scan this replaces cost O(n · totalOps)
+	// and dominated short-run setup.
+	for src, prog := range programs {
+		for _, o := range prog {
+			switch o.kind {
+			case opSendReady, opSendFire, opSendAsync:
+				m.nodes[o.peer].expected++
+			case opExchange:
+				// Each endpoint's opExchange carries its outgoing
+				// bytes; tally the halves directed at the peer.
+				if o.bytes > 0 && o.peer != src {
+					m.nodes[o.peer].expected++
+				}
+			}
+		}
+	}
 	for i, nd := range m.nodes {
 		nd.program = programs[i]
-		nd.expected = countExpected(programs, i)
 		m.totalExpected += nd.expected
 	}
 	for i := range m.nodes {
@@ -174,30 +242,6 @@ func (m *Machine) run(programs [][]op) (Result, error) {
 		Exchanges:      m.exchanges,
 		ResourceWaitUS: m.waitedUS,
 	}, nil
-}
-
-// countExpected counts messages destined to node i across all
-// programs: each opSendReady/opSendFire targeting i, plus exchange
-// reverse halves.
-func countExpected(programs [][]op, i int) int {
-	count := 0
-	for src, prog := range programs {
-		for _, o := range prog {
-			switch o.kind {
-			case opSendReady, opSendFire, opSendAsync:
-				if o.peer == i {
-					count++
-				}
-			case opExchange:
-				// Each endpoint's opExchange carries its outgoing
-				// bytes; count the halves directed at i.
-				if o.peer == i && o.bytes > 0 && src != i {
-					count++
-				}
-			}
-		}
-	}
-	return count
 }
 
 func (m *Machine) deadlockError() error {

@@ -169,14 +169,21 @@ func CompileS1Barrier(s *sched.Schedule, params costmodel.Params) [][]op {
 // RunS1Barrier simulates the schedule under S1 with a global barrier
 // after every phase.
 func RunS1Barrier(net topo.Topology, params costmodel.Params, s *sched.Schedule) (Result, error) {
-	if net.Nodes() != s.N {
-		return Result{}, fmt.Errorf("ipsc: topology %d nodes vs schedule %d", net.Nodes(), s.N)
-	}
 	m, err := NewMachine(net, params)
 	if err != nil {
 		return Result{}, err
 	}
-	return m.run(CompileS1Barrier(s, params))
+	return m.RunS1Barrier(s)
+}
+
+// RunS1Barrier is the Machine-reusing form of the package function: it
+// resets the machine and runs s under S1-with-barriers.
+func (m *Machine) RunS1Barrier(s *sched.Schedule) (Result, error) {
+	if m.net.Nodes() != s.N {
+		return Result{}, fmt.Errorf("ipsc: topology %d nodes vs schedule %d", m.net.Nodes(), s.N)
+	}
+	m.Reset()
+	return m.run(CompileS1Barrier(s, m.params))
 }
 
 // CompileS2 translates a phase schedule into per-node programs under
@@ -249,17 +256,25 @@ func CompileLP(s *sched.Schedule, params costmodel.Params) ([][]op, error) {
 
 // RunLP simulates an LP schedule with exchange-every-phase semantics.
 func RunLP(net topo.Topology, params costmodel.Params, s *sched.Schedule) (Result, error) {
-	if net.Nodes() != s.N {
-		return Result{}, fmt.Errorf("ipsc: topology %d nodes vs schedule %d", net.Nodes(), s.N)
-	}
-	programs, err := CompileLP(s, params)
-	if err != nil {
-		return Result{}, err
-	}
 	m, err := NewMachine(net, params)
 	if err != nil {
 		return Result{}, err
 	}
+	return m.RunLP(s)
+}
+
+// RunLP is the Machine-reusing form of the package function: it resets
+// the machine and runs the LP schedule with exchange-every-phase
+// semantics.
+func (m *Machine) RunLP(s *sched.Schedule) (Result, error) {
+	if m.net.Nodes() != s.N {
+		return Result{}, fmt.Errorf("ipsc: topology %d nodes vs schedule %d", m.net.Nodes(), s.N)
+	}
+	programs, err := CompileLP(s, m.params)
+	if err != nil {
+		return Result{}, err
+	}
+	m.Reset()
 	return m.run(programs)
 }
 
@@ -303,51 +318,78 @@ func CompileACAsync(o *sched.ACOrder, m *comm.Matrix, params costmodel.Params) [
 
 // RunACAsync simulates the idealized asynchronous variant.
 func RunACAsync(net topo.Topology, params costmodel.Params, o *sched.ACOrder, com *comm.Matrix) (Result, error) {
-	if net.Nodes() != o.N || com.N() != o.N {
-		return Result{}, fmt.Errorf("ipsc: size mismatch topology=%d order=%d matrix=%d",
-			net.Nodes(), o.N, com.N())
-	}
 	m, err := NewMachine(net, params)
 	if err != nil {
 		return Result{}, err
 	}
-	return m.run(CompileACAsync(o, com, params))
+	return m.RunACAsync(o, com)
+}
+
+// RunACAsync is the Machine-reusing form of the package function.
+func (m *Machine) RunACAsync(o *sched.ACOrder, com *comm.Matrix) (Result, error) {
+	if m.net.Nodes() != o.N || com.N() != o.N {
+		return Result{}, fmt.Errorf("ipsc: size mismatch topology=%d order=%d matrix=%d",
+			m.net.Nodes(), o.N, com.N())
+	}
+	m.Reset()
+	return m.run(CompileACAsync(o, com, m.params))
 }
 
 // RunS1 simulates the schedule under the S1 protocol and returns the
 // makespan and contention statistics.
 func RunS1(net topo.Topology, params costmodel.Params, s *sched.Schedule) (Result, error) {
-	if net.Nodes() != s.N {
-		return Result{}, fmt.Errorf("ipsc: topology %d nodes vs schedule %d", net.Nodes(), s.N)
-	}
 	m, err := NewMachine(net, params)
 	if err != nil {
 		return Result{}, err
 	}
-	return m.run(CompileS1(s, params))
+	return m.RunS1(s)
+}
+
+// RunS1 is the Machine-reusing form of the package function: it resets
+// the machine and runs s under the S1 protocol. Reusing one Machine
+// across runs keeps the per-node state and the event heap warm; the
+// campaign runner gives each worker its own.
+func (m *Machine) RunS1(s *sched.Schedule) (Result, error) {
+	if m.net.Nodes() != s.N {
+		return Result{}, fmt.Errorf("ipsc: topology %d nodes vs schedule %d", m.net.Nodes(), s.N)
+	}
+	m.Reset()
+	return m.run(CompileS1(s, m.params))
 }
 
 // RunS2 simulates the schedule under the S2 protocol.
 func RunS2(net topo.Topology, params costmodel.Params, s *sched.Schedule) (Result, error) {
-	if net.Nodes() != s.N {
-		return Result{}, fmt.Errorf("ipsc: topology %d nodes vs schedule %d", net.Nodes(), s.N)
-	}
 	m, err := NewMachine(net, params)
 	if err != nil {
 		return Result{}, err
 	}
-	return m.run(CompileS2(s, params))
+	return m.RunS2(s)
+}
+
+// RunS2 is the Machine-reusing form of the package function.
+func (m *Machine) RunS2(s *sched.Schedule) (Result, error) {
+	if m.net.Nodes() != s.N {
+		return Result{}, fmt.Errorf("ipsc: topology %d nodes vs schedule %d", m.net.Nodes(), s.N)
+	}
+	m.Reset()
+	return m.run(CompileS2(s, m.params))
 }
 
 // RunAC simulates the asynchronous algorithm on the matrix.
 func RunAC(net topo.Topology, params costmodel.Params, o *sched.ACOrder, com *comm.Matrix) (Result, error) {
-	if net.Nodes() != o.N || com.N() != o.N {
-		return Result{}, fmt.Errorf("ipsc: size mismatch topology=%d order=%d matrix=%d",
-			net.Nodes(), o.N, com.N())
-	}
 	m, err := NewMachine(net, params)
 	if err != nil {
 		return Result{}, err
 	}
-	return m.run(CompileAC(o, com, params))
+	return m.RunAC(o, com)
+}
+
+// RunAC is the Machine-reusing form of the package function.
+func (m *Machine) RunAC(o *sched.ACOrder, com *comm.Matrix) (Result, error) {
+	if m.net.Nodes() != o.N || com.N() != o.N {
+		return Result{}, fmt.Errorf("ipsc: size mismatch topology=%d order=%d matrix=%d",
+			m.net.Nodes(), o.N, com.N())
+	}
+	m.Reset()
+	return m.run(CompileAC(o, com, m.params))
 }

@@ -1,0 +1,111 @@
+package ipsc
+
+import (
+	"math/rand"
+	"testing"
+
+	"unsched/internal/comm"
+	"unsched/internal/costmodel"
+	"unsched/internal/hypercube"
+	"unsched/internal/sched"
+)
+
+// TestMachineReuseMatchesFresh drives one Machine through every
+// protocol twice over and checks each result against a fresh machine:
+// Reset must leave no residue that changes a simulation.
+func TestMachineReuseMatchesFresh(t *testing.T) {
+	cube := hypercube.MustNew(4)
+	params := costmodel.DefaultIPSC860()
+	rng := rand.New(rand.NewSource(21))
+	m1, err := comm.DRegular(16, 4, 4096, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := comm.DRegular(16, 8, 512, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reused, err := NewMachine(cube, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type runFn struct {
+		name  string
+		fresh func() (Result, error)
+		reuse func() (Result, error)
+	}
+	var runs []runFn
+	for _, mat := range []*comm.Matrix{m1, m2} {
+		mat := mat
+		s1, err := sched.RSNL(mat, cube, rand.New(rand.NewSource(1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, err := sched.RSN(mat, rand.New(rand.NewSource(2)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lp, err := sched.LP(mat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ac, err := sched.AC(mat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runs = append(runs,
+			runFn{"S1", func() (Result, error) { return RunS1(cube, params, s1) },
+				func() (Result, error) { return reused.RunS1(s1) }},
+			runFn{"S1Barrier", func() (Result, error) { return RunS1Barrier(cube, params, s1) },
+				func() (Result, error) { return reused.RunS1Barrier(s1) }},
+			runFn{"S2", func() (Result, error) { return RunS2(cube, params, s2) },
+				func() (Result, error) { return reused.RunS2(s2) }},
+			runFn{"LP", func() (Result, error) { return RunLP(cube, params, lp) },
+				func() (Result, error) { return reused.RunLP(lp) }},
+			runFn{"AC", func() (Result, error) { return RunAC(cube, params, ac, mat) },
+				func() (Result, error) { return reused.RunAC(ac, mat) }},
+			runFn{"ACAsync", func() (Result, error) { return RunACAsync(cube, params, ac, mat) },
+				func() (Result, error) { return reused.RunACAsync(ac, mat) }},
+		)
+	}
+	// Two passes over all protocols: the second pass checks that reuse
+	// after a full mixed workload is still clean.
+	for pass := 0; pass < 2; pass++ {
+		for _, r := range runs {
+			want, err := r.fresh()
+			if err != nil {
+				t.Fatalf("pass %d %s fresh: %v", pass, r.name, err)
+			}
+			got, err := r.reuse()
+			if err != nil {
+				t.Fatalf("pass %d %s reused: %v", pass, r.name, err)
+			}
+			if got != want {
+				t.Errorf("pass %d %s: reused machine %+v, fresh %+v", pass, r.name, got, want)
+			}
+		}
+	}
+}
+
+// TestMachineReuseSizeMismatch checks the reusable entry points still
+// reject schedules for the wrong machine size.
+func TestMachineReuseSizeMismatch(t *testing.T) {
+	cube := hypercube.MustNew(3)
+	params := costmodel.DefaultIPSC860()
+	m, err := NewMachine(cube, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat, err := comm.DRegular(16, 2, 64, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sched.RSN(mat, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.RunS2(s); err == nil {
+		t.Error("16-node schedule accepted by 8-node machine")
+	}
+}

@@ -1,0 +1,139 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"unsched/internal/comm"
+	"unsched/internal/hypercube"
+)
+
+// Property-based validity tests: for random workloads across many
+// seeds, every schedule must (1) deliver exactly the messages of the
+// source matrix, once each with the right sizes; (2) be free of node
+// contention in every phase; and for RS_NL and LP, (3) be free of link
+// contention under e-cube routing. Validate checks (1)+(2) against the
+// matrix; ValidateLinkFree checks (3); checkNodeContention re-derives
+// (2) directly from the phase structure so the test does not lean on a
+// single implementation.
+
+func checkNodeContention(t *testing.T, label string, s *Schedule) {
+	t.Helper()
+	for k, p := range s.Phases {
+		recvBusy := make([]bool, s.N)
+		for _, j := range p.Send {
+			if j < 0 {
+				continue
+			}
+			// Send-side contention freedom is structural (Send[i] is a
+			// single destination); the receive side must be checked.
+			if recvBusy[j] {
+				t.Errorf("%s: phase %d: two senders target P%d", label, k, j)
+			}
+			recvBusy[j] = true
+		}
+	}
+}
+
+// randomWorkloads yields one matrix per generator for the given seed:
+// a d-regular pattern and a hot-spot pattern, with density and size
+// themselves drawn from the seed.
+func randomWorkloads(t *testing.T, n int, seed int64) map[string]*comm.Matrix {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	d := 1 + rng.Intn(n-1)
+	bytes := int64(1) << uint(4+rng.Intn(12)) // 16 B .. 32 KB
+	dreg, err := comm.DRegular(n, d, bytes, rng)
+	if err != nil {
+		t.Fatalf("DRegular(n=%d, d=%d): %v", n, d, err)
+	}
+	hotCount := 1 + rng.Intn(max(1, n/8))
+	hot, err := comm.HotSpot(n, max(1, d/2), bytes, hotCount, 0.6, rng)
+	if err != nil {
+		t.Fatalf("HotSpot(n=%d): %v", n, err)
+	}
+	return map[string]*comm.Matrix{"DRegular": dreg, "HotSpot": hot}
+}
+
+func TestPropertyRSNValidAcrossSeeds(t *testing.T) {
+	for _, n := range []int{8, 16, 64} {
+		for seed := int64(0); seed < 20; seed++ {
+			for name, m := range randomWorkloads(t, n, seed) {
+				rng := rand.New(rand.NewSource(seed * 31))
+				s, err := RSN(m, rng)
+				if err != nil {
+					t.Fatalf("RSN n=%d seed=%d %s: %v", n, seed, name, err)
+				}
+				label := "RSN " + name
+				if err := s.Validate(m); err != nil {
+					t.Errorf("%s n=%d seed=%d: %v", label, n, seed, err)
+				}
+				checkNodeContention(t, label, s)
+			}
+		}
+	}
+}
+
+func TestPropertyRSNLValidAndLinkFreeAcrossSeeds(t *testing.T) {
+	for _, dim := range []int{3, 4, 6} {
+		cube := hypercube.MustNew(dim)
+		n := cube.Nodes()
+		for seed := int64(0); seed < 20; seed++ {
+			for name, m := range randomWorkloads(t, n, seed) {
+				rng := rand.New(rand.NewSource(seed * 37))
+				s, err := RSNL(m, cube, rng)
+				if err != nil {
+					t.Fatalf("RSNL n=%d seed=%d %s: %v", n, seed, name, err)
+				}
+				label := "RSNL " + name
+				if err := s.Validate(m); err != nil {
+					t.Errorf("%s n=%d seed=%d: %v", label, n, seed, err)
+				}
+				checkNodeContention(t, label, s)
+				if err := s.ValidateLinkFree(cube); err != nil {
+					t.Errorf("%s n=%d seed=%d: link contention: %v", label, n, seed, err)
+				}
+			}
+		}
+	}
+}
+
+func TestPropertyLPValidAndLinkFreeAcrossSeeds(t *testing.T) {
+	cube := hypercube.MustNew(4)
+	n := cube.Nodes()
+	for seed := int64(0); seed < 20; seed++ {
+		for name, m := range randomWorkloads(t, n, seed) {
+			s, err := LP(m)
+			if err != nil {
+				t.Fatalf("LP seed=%d %s: %v", seed, name, err)
+			}
+			label := "LP " + name
+			if err := s.Validate(m); err != nil {
+				t.Errorf("%s seed=%d: %v", label, seed, err)
+			}
+			checkNodeContention(t, label, s)
+			if err := s.ValidateLinkFree(cube); err != nil {
+				t.Errorf("%s seed=%d: link contention: %v", label, seed, err)
+			}
+		}
+	}
+}
+
+// TestPropertyScheduleMeetsLowerBound sanity-checks the paper's bound:
+// a schedule can never use fewer phases than the matrix density.
+func TestPropertyScheduleMeetsLowerBound(t *testing.T) {
+	cube := hypercube.MustNew(4)
+	for seed := int64(0); seed < 10; seed++ {
+		for name, m := range randomWorkloads(t, cube.Nodes(), seed) {
+			rng := rand.New(rand.NewSource(seed))
+			s, err := RSN(m, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s.NumPhases() < LowerBoundPhases(m) {
+				t.Errorf("RSN %s seed=%d: %d phases below density bound %d",
+					name, seed, s.NumPhases(), LowerBoundPhases(m))
+			}
+		}
+	}
+}
