@@ -10,6 +10,7 @@ import (
 	"unsched/internal/ipsc"
 	"unsched/internal/mesh"
 	"unsched/internal/sched"
+	"unsched/internal/service"
 	"unsched/internal/topo"
 )
 
@@ -56,6 +57,12 @@ type (
 	// SimMachine is a reusable single-run simulator instance; its Run
 	// methods reset and reuse its state, avoiding per-run allocation.
 	SimMachine = ipsc.Machine
+	// Server is the unschedd scheduling service: schedule/simulate/
+	// campaign endpoints over a bounded worker pool with a
+	// content-addressed memoization cache (see cmd/unschedd).
+	Server = service.Server
+	// ServerOptions configures a Server; the zero value is usable.
+	ServerOptions = service.Options
 )
 
 // NewMatrix returns an empty n x n communication matrix.
@@ -181,6 +188,14 @@ func DefaultExperimentConfig() ExperimentConfig { return expt.DefaultConfig() }
 func NewExperimentRunner(cfg ExperimentConfig, parallelism int) *ExperimentRunner {
 	return &ExperimentRunner{Config: cfg, Parallelism: parallelism}
 }
+
+// NewServer returns a running scheduling service (an http.Handler):
+// POST /v1/schedule and /v1/simulate execute on a bounded worker pool
+// of reusable SimMachines and are memoized by a canonical content hash
+// of (matrix, algorithm, topology, params), POST /v1/campaign runs
+// measurement grids asynchronously, and a full queue answers 429.
+// Close the server to drain workers and cancel campaigns.
+func NewServer(opts ServerOptions) *Server { return service.NewServer(opts) }
 
 // NewSimMachine returns a reusable simulator for the topology and
 // timing model. One machine drives many runs through its RunS1/RunS2/

@@ -1,0 +1,247 @@
+// Command benchgate turns `go test -bench` output into a stable JSON
+// report and gates benchmark regressions against a committed baseline.
+// It is the -json mode of the CI bench smoke plus the regression gate
+// built on top of it.
+//
+// Emit a report (BENCH_PR.json) from a bench run:
+//
+//	go test -run xxx -bench 'Campaign|Simulator' -benchmem -benchtime 2x ./... | tee bench.txt
+//	benchgate -parse bench.txt -out BENCH_PR.json
+//
+// Gate a report against the committed baseline, failing (exit 1) when
+// any tracked benchmark regresses more than -threshold (default 0.25,
+// i.e. 25%) in ns/op or allocs/op:
+//
+//	benchgate -baseline BENCH_baseline.json -current BENCH_PR.json
+//
+// Benchmarks present in the baseline but missing from the current
+// report fail the gate: silently dropping a tracked benchmark is how
+// regressions hide. New benchmarks in the current report are reported
+// but do not fail; commit a refreshed baseline to start tracking them.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}
+
+// Report is the JSON document benchgate reads and writes.
+type Report struct {
+	Benchmarks map[string]Metrics `json:"benchmarks"`
+}
+
+// Metrics are the gated quantities of one benchmark.
+type Metrics struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+}
+
+func run(args []string, stdout io.Writer) error {
+	var (
+		parse     string
+		out       string
+		baseline  string
+		current   string
+		threshold float64
+	)
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	fs.StringVar(&parse, "parse", "", "parse `go test -bench` output from this file")
+	fs.StringVar(&out, "out", "", "with -parse: write the JSON report here (default stdout)")
+	fs.StringVar(&baseline, "baseline", "", "committed baseline report to gate against")
+	fs.StringVar(&current, "current", "", "current report to gate")
+	fs.Float64Var(&threshold, "threshold", 0.25, "allowed fractional regression per metric")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch {
+	case parse != "":
+		return runParse(parse, out, stdout)
+	case baseline != "" && current != "":
+		return runCompare(baseline, current, threshold, stdout)
+	default:
+		fs.Usage()
+		return fmt.Errorf("need either -parse, or -baseline with -current")
+	}
+}
+
+func runParse(parse, out string, stdout io.Writer) error {
+	f, err := os.Open(parse)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	report, err := parseBench(f)
+	if err != nil {
+		return err
+	}
+	if len(report.Benchmarks) == 0 {
+		return fmt.Errorf("%s contains no benchmark result lines", parse)
+	}
+	doc, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	doc = append(doc, '\n')
+	if out == "" {
+		_, err = stdout.Write(doc)
+		return err
+	}
+	if err := os.WriteFile(out, doc, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote %d benchmarks to %s\n", len(report.Benchmarks), out)
+	return nil
+}
+
+func runCompare(baselinePath, currentPath string, threshold float64, stdout io.Writer) error {
+	baseline, err := readReport(baselinePath)
+	if err != nil {
+		return err
+	}
+	current, err := readReport(currentPath)
+	if err != nil {
+		return err
+	}
+	lines, failures := compare(baseline, current, threshold)
+	for _, l := range lines {
+		fmt.Fprintln(stdout, l)
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed more than %.0f%% against %s",
+			failures, threshold*100, baselinePath)
+	}
+	fmt.Fprintf(stdout, "gate passed: no benchmark regressed more than %.0f%%\n", threshold*100)
+	return nil
+}
+
+func readReport(path string) (*Report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &r, nil
+}
+
+// parseBench extracts benchmark result lines from `go test -bench`
+// output. A result line looks like
+//
+//	BenchmarkSimulatorRSNL-8  100  305929 ns/op  28634 B/op  170 allocs/op  3.0 extra_metric
+//
+// The trailing "-8" GOMAXPROCS suffix is stripped so reports compare
+// across machines with different core counts; custom b.ReportMetric
+// units are ignored — the gate tracks time and allocation only.
+func parseBench(r io.Reader) (*Report, error) {
+	report := &Report{Benchmarks: map[string]Metrics{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			continue // not an iteration count; not a result line
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		m := report.Benchmarks[name]
+		for i := 2; i+1 < len(fields); i += 2 {
+			value, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break // metrics come in "value unit" pairs; stop at noise
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				m.NsPerOp = value
+			case "allocs/op":
+				m.AllocsPerOp = value
+			case "B/op":
+				m.BytesPerOp = value
+			}
+		}
+		if m.NsPerOp > 0 {
+			report.Benchmarks[name] = m
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return report, nil
+}
+
+// compare evaluates every baseline-tracked benchmark against the
+// current report, returning human-readable lines and the number of
+// gate failures.
+func compare(baseline, current *Report, threshold float64) (lines []string, failures int) {
+	names := make([]string, 0, len(baseline.Benchmarks))
+	for name := range baseline.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		base := baseline.Benchmarks[name]
+		cur, ok := current.Benchmarks[name]
+		if !ok {
+			failures++
+			lines = append(lines, fmt.Sprintf("FAIL %s: tracked benchmark missing from current report", name))
+			continue
+		}
+		ok1, l1 := gateMetric(name, "ns/op", base.NsPerOp, cur.NsPerOp, threshold)
+		ok2, l2 := gateMetric(name, "allocs/op", base.AllocsPerOp, cur.AllocsPerOp, threshold)
+		if !ok1 {
+			failures++
+		}
+		if !ok2 {
+			failures++
+		}
+		lines = append(lines, l1, l2)
+	}
+	for name := range current.Benchmarks {
+		if _, ok := baseline.Benchmarks[name]; !ok {
+			lines = append(lines, fmt.Sprintf("note %s: not in baseline (commit a refreshed BENCH_baseline.json to track it)", name))
+		}
+	}
+	return lines, failures
+}
+
+func gateMetric(name, unit string, base, cur, threshold float64) (bool, string) {
+	if base <= 0 {
+		return true, fmt.Sprintf("  ok %s %s: untracked (baseline %.4g)", name, unit, base)
+	}
+	// A tracked metric vanishing (e.g. -benchmem dropped from the CI
+	// invocation zeroes every allocs/op) must fail like a missing
+	// benchmark, not pass as a miraculous -100% improvement.
+	if cur <= 0 {
+		return false, fmt.Sprintf("FAIL %s %s: tracked metric missing from current report (baseline %.4g)",
+			name, unit, base)
+	}
+	delta := (cur - base) / base
+	if delta > threshold {
+		return false, fmt.Sprintf("FAIL %s %s: %.4g -> %.4g (%+.1f%%, limit +%.0f%%)",
+			name, unit, base, cur, delta*100, threshold*100)
+	}
+	return true, fmt.Sprintf("  ok %s %s: %.4g -> %.4g (%+.1f%%)", name, unit, base, cur, delta*100)
+}

@@ -1,0 +1,145 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBenchOutput = `goos: linux
+goarch: amd64
+pkg: unsched
+cpu: some CPU
+BenchmarkCampaignSequential-8   	       1	311093322 ns/op	         1.000 workers
+BenchmarkCampaignParallel-16    	       2	 41817386 ns/op	         8.000 workers
+BenchmarkSimulatorRSNL-8        	     100	    305929 ns/op	   28634 B/op	     170 allocs/op
+BenchmarkSimulatorRSNLReused-8  	     120	    289101 ns/op	    1201 B/op	      14 allocs/op
+PASS
+ok  	unsched	3.210s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	report, err := parseBench(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4: %+v", len(report.Benchmarks), report.Benchmarks)
+	}
+	// The -8 / -16 GOMAXPROCS suffixes must be stripped.
+	sim, ok := report.Benchmarks["BenchmarkSimulatorRSNL"]
+	if !ok {
+		t.Fatal("BenchmarkSimulatorRSNL missing (suffix not stripped?)")
+	}
+	if sim.NsPerOp != 305929 || sim.AllocsPerOp != 170 || sim.BytesPerOp != 28634 {
+		t.Errorf("SimulatorRSNL metrics wrong: %+v", sim)
+	}
+	if seq := report.Benchmarks["BenchmarkCampaignSequential"]; seq.NsPerOp != 311093322 {
+		t.Errorf("CampaignSequential ns/op = %v", seq.NsPerOp)
+	}
+}
+
+func report(ns, allocs float64) *Report {
+	return &Report{Benchmarks: map[string]Metrics{
+		"BenchmarkSimulatorRSNL": {NsPerOp: ns, AllocsPerOp: allocs},
+	}}
+}
+
+func TestGatePassesWithinThreshold(t *testing.T) {
+	// +20% is inside the 25% budget.
+	_, failures := compare(report(1000, 100), report(1200, 100), 0.25)
+	if failures != 0 {
+		t.Errorf("20%% slowdown failed the 25%% gate")
+	}
+	// Improvements never fail.
+	if _, failures := compare(report(1000, 100), report(10, 1), 0.25); failures != 0 {
+		t.Errorf("improvement failed the gate")
+	}
+}
+
+func TestGateFailsOnSyntheticRegression(t *testing.T) {
+	// The synthetic >25% regression the CI gate must catch: +30% ns/op.
+	lines, failures := compare(report(1000, 100), report(1300, 100), 0.25)
+	if failures != 1 {
+		t.Fatalf("30%% slowdown: %d failures, want 1\n%s", failures, strings.Join(lines, "\n"))
+	}
+	// Alloc regressions are gated too.
+	if _, failures := compare(report(1000, 100), report(1000, 200), 0.25); failures != 1 {
+		t.Error("alloc doubling passed the gate")
+	}
+	// A missing tracked benchmark is a failure, not a skip.
+	empty := &Report{Benchmarks: map[string]Metrics{}}
+	if _, failures := compare(report(1000, 100), empty, 0.25); failures != 1 {
+		t.Error("missing tracked benchmark passed the gate")
+	}
+	// A tracked metric dropping to zero (benchmark ran without
+	// -benchmem) is a failure, not a -100% improvement.
+	if _, failures := compare(report(1000, 100), report(1000, 0), 0.25); failures != 1 {
+		t.Error("vanished allocs/op metric passed the gate")
+	}
+}
+
+func TestGateIgnoresUntrackedNewBenchmarks(t *testing.T) {
+	current := report(1000, 100)
+	current.Benchmarks["BenchmarkBrandNew"] = Metrics{NsPerOp: 1}
+	lines, failures := compare(report(1000, 100), current, 0.25)
+	if failures != 0 {
+		t.Errorf("new benchmark caused failures:\n%s", strings.Join(lines, "\n"))
+	}
+}
+
+// TestEndToEnd drives the CLI exactly as the CI workflow does: parse a
+// bench log, write the report, gate it against a baseline with one
+// synthetic >25% regression, and expect a non-zero outcome.
+func TestEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	benchTxt := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(benchTxt, []byte(sampleBenchOutput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	prJSON := filepath.Join(dir, "BENCH_PR.json")
+	var out bytes.Buffer
+	if err := run([]string{"-parse", benchTxt, "-out", prJSON}, &out); err != nil {
+		t.Fatalf("parse mode: %v", err)
+	}
+
+	// Baseline claiming the simulator used to be 30% faster.
+	baseline := &Report{Benchmarks: map[string]Metrics{
+		"BenchmarkSimulatorRSNL": {NsPerOp: 305929 / 1.3, AllocsPerOp: 170},
+	}}
+	baseJSON := filepath.Join(dir, "BENCH_baseline.json")
+	raw, _ := json.Marshal(baseline)
+	if err := os.WriteFile(baseJSON, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	err := run([]string{"-baseline", baseJSON, "-current", prJSON}, &out)
+	if err == nil {
+		t.Fatalf("synthetic regression passed the gate:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL BenchmarkSimulatorRSNL ns/op") {
+		t.Errorf("gate output does not name the regression:\n%s", out.String())
+	}
+
+	// With an honest baseline the same report passes.
+	honest, _ := json.Marshal(&Report{Benchmarks: map[string]Metrics{
+		"BenchmarkSimulatorRSNL": {NsPerOp: 305929, AllocsPerOp: 170},
+	}})
+	if err := os.WriteFile(baseJSON, honest, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run([]string{"-baseline", baseJSON, "-current", prJSON}, &out); err != nil {
+		t.Fatalf("honest baseline failed: %v\n%s", err, out.String())
+	}
+}
+
+func TestRunNeedsAMode(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{}, &out); err == nil {
+		t.Error("no-mode invocation succeeded")
+	}
+}

@@ -18,13 +18,19 @@
 //
 // Output is bit-identical at every -parallel value: each simulated run
 // derives its randomness from (seed, density, size, sample, algorithm)
-// alone, never from worker scheduling.
+// alone, never from worker scheduling. On small machines (-dim < 6)
+// density rows that cannot exist there (d >= nodes) are dropped from
+// the grids, and figures pinned to such a density fail cleanly.
+//
+// The `all` target runs every table and figure in order and stops at
+// the first failure with a non-zero exit.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"unsched/internal/expt"
@@ -32,24 +38,47 @@ import (
 	"unsched/internal/plot"
 )
 
-func main() {
-	samples := flag.Int("samples", 10, "random samples per (d, M) cell; the paper uses 50")
-	seed := flag.Int64("seed", 1994, "master seed")
-	csv := flag.Bool("csv", false, "emit figure data as CSV instead of ASCII charts")
-	dim := flag.Int("dim", 6, "hypercube dimension (6 = the paper's 64-node machine)")
-	parallel := flag.Int("parallel", 0, "worker goroutines; 0 means GOMAXPROCS")
-	progress := flag.Bool("progress", false, "report campaign progress on stderr")
-	flag.Parse()
+// allTargets is the canonical target order of the `all` run — the
+// order the paper presents them in.
+var allTargets = []string{"table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11"}
 
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: experiments [flags] <table1|fig5|fig6|fig7|fig8|fig9|fig10|fig11|all>")
-		flag.PrintDefaults()
-		os.Exit(2)
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if err == flag.ErrHelp {
+			os.Exit(2)
+		}
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the whole command behind a testable seam: parse args, build
+// the runner, execute the requested targets against stdout. Any error
+// becomes a non-zero exit in main.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	samples := fs.Int("samples", 10, "random samples per (d, M) cell; the paper uses 50")
+	seed := fs.Int64("seed", 1994, "master seed")
+	csv := fs.Bool("csv", false, "emit figure data as CSV instead of ASCII charts")
+	dim := fs.Int("dim", 6, "hypercube dimension (6 = the paper's 64-node machine)")
+	parallel := fs.Int("parallel", 0, "worker goroutines; 0 means GOMAXPROCS")
+	progress := fs.Bool("progress", false, "report campaign progress on stderr")
+	if err := fs.Parse(args); err != nil {
+		// The FlagSet already reported the problem (plus usage) on
+		// stderr; returning ErrHelp exits 2 without printing it twice.
+		return flag.ErrHelp
+	}
+
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: experiments [flags] <table1|fig5|fig6|fig7|fig8|fig9|fig10|fig11|all>")
+		fs.PrintDefaults()
+		return fmt.Errorf("expected exactly one target, got %d", fs.NArg())
 	}
 
 	cube, err := hypercube.New(*dim)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	cfg := expt.DefaultConfig()
 	cfg.Cube = cube
@@ -58,15 +87,10 @@ func main() {
 
 	runner := &expt.Runner{Config: cfg, Parallelism: *parallel}
 	if *progress {
-		runner.Progress = func(done, total int) {
-			fmt.Fprintf(os.Stderr, "\r%d/%d units", done, total)
-			if done == total {
-				fmt.Fprintln(os.Stderr)
-			}
-		}
+		runner.Progress = progressPrinter(stderr)
 	}
 
-	targets := map[string]func(*expt.Runner, bool) error{
+	targets := map[string]func(*expt.Runner, io.Writer, bool) error{
 		"table1": runTable1,
 		"fig5":   runFig5,
 		"fig6":   figComm(4),
@@ -77,65 +101,105 @@ func main() {
 		"fig11":  figOverhead(expt.RSNL, "Figure 11: computation overhead of RS_NL (comp/comm)"),
 	}
 
-	name := flag.Arg(0)
+	name := fs.Arg(0)
 	if name == "all" {
-		for _, key := range []string{"table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11"} {
-			fmt.Printf("==== %s ====\n", key)
-			if err := targets[key](runner, *csv); err != nil {
-				fatal(err)
+		for _, key := range allTargets {
+			fmt.Fprintf(stdout, "==== %s ====\n", key)
+			if err := targets[key](runner, stdout, *csv); err != nil {
+				return fmt.Errorf("target %s: %w", key, err)
 			}
-			fmt.Println()
+			fmt.Fprintln(stdout)
 		}
-		return
+		return nil
 	}
-	run, ok := targets[name]
+	runTarget, ok := targets[name]
 	if !ok {
-		fatal(fmt.Errorf("unknown target %q", name))
+		return fmt.Errorf("unknown target %q", name)
 	}
-	if err := run(runner, *csv); err != nil {
-		fatal(err)
+	if err := runTarget(runner, stdout, *csv); err != nil {
+		return fmt.Errorf("target %s: %w", name, err)
+	}
+	return nil
+}
+
+// progressPrinter adapts campaign progress to the writer: a terminal
+// gets the carriage-return ticker, anything else (a CI log, a pipe, a
+// file) gets clean newline-terminated lines at ~10% steps so the log
+// is neither control-character soup nor one line per unit.
+func progressPrinter(w io.Writer) func(done, total int) {
+	if isTerminal(w) {
+		return func(done, total int) {
+			fmt.Fprintf(w, "\r%d/%d units", done, total)
+			if done == total {
+				fmt.Fprintln(w)
+			}
+		}
+	}
+	lastDecile := -1
+	return func(done, total int) {
+		decile := 10
+		if total > 0 {
+			decile = done * 10 / total
+		}
+		// Progress calls are serialized by the runner, so plain closure
+		// state is safe.
+		if decile == lastDecile && done != total {
+			return
+		}
+		lastDecile = decile
+		fmt.Fprintf(w, "progress %d/%d units (%d%%)\n", done, total, decile*10)
 	}
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "experiments:", err)
-	os.Exit(1)
+// isTerminal reports whether w is a character device — the only case
+// where carriage-return animation renders as intended.
+func isTerminal(w io.Writer) bool {
+	f, ok := w.(*os.File)
+	if !ok {
+		return false
+	}
+	info, err := f.Stat()
+	return err == nil && info.Mode()&os.ModeCharDevice != 0
 }
 
-func runTable1(r *expt.Runner, _ bool) error {
+func runTable1(r *expt.Runner, stdout io.Writer, _ bool) error {
 	cfg := r.Config
-	fmt.Printf("Table 1: %d-node machine, %d samples per cell, seed %d (timings in ms)\n",
+	fmt.Fprintf(stdout, "Table 1: %d-node machine, %d samples per cell, seed %d (timings in ms)\n",
 		cfg.Cube.Nodes(), cfg.Samples, cfg.Seed)
 	rows, err := r.Table1(context.Background())
 	if err != nil {
 		return err
 	}
-	return expt.WriteTable1(os.Stdout, rows)
+	return expt.WriteTable1(stdout, rows)
 }
 
-func runFig5(r *expt.Runner, _ bool) error {
-	fmt.Println("Figure 5: winning algorithm per (density, message size), comm cost only")
+func runFig5(r *expt.Runner, stdout io.Writer, _ bool) error {
+	fmt.Fprintln(stdout, "Figure 5: winning algorithm per (density, message size), comm cost only")
 	var sizes []int64
 	for b := int64(64); b <= 64*1024; b *= 4 {
 		sizes = append(sizes, b)
 	}
-	regions, err := r.RegionMap(context.Background(), []int{4, 8, 16, 32, 48}, sizes)
+	densities := expt.DensitiesFor(expt.Table1Densities, r.Config.Cube.Nodes())
+	regions, err := r.RegionMap(context.Background(), densities, sizes)
 	if err != nil {
 		return err
 	}
-	return expt.WriteRegionMap(os.Stdout, regions)
+	return expt.WriteRegionMap(stdout, regions)
 }
 
-func figComm(d int) func(*expt.Runner, bool) error {
-	return func(r *expt.Runner, csv bool) error {
+func figComm(d int) func(*expt.Runner, io.Writer, bool) error {
+	return func(r *expt.Runner, stdout io.Writer, csv bool) error {
+		if nodes := r.Config.Cube.Nodes(); d >= nodes {
+			return fmt.Errorf("density %d does not exist on a %d-node machine; raise -dim", d, nodes)
+		}
 		series, err := r.CommVsSize(context.Background(), d, expt.FigureSizes())
 		if err != nil {
 			return err
 		}
 		if csv {
-			return plot.WriteCSV(os.Stdout, series)
+			return plot.WriteCSV(stdout, series)
 		}
-		fmt.Print(plot.ASCII(series, plot.Options{
+		fmt.Fprint(stdout, plot.ASCII(series, plot.Options{
 			Title:  fmt.Sprintf("Communication cost, uniform messages, d = %d, %d nodes", d, r.Config.Cube.Nodes()),
 			LogX:   true,
 			XLabel: "message bytes",
@@ -145,16 +209,17 @@ func figComm(d int) func(*expt.Runner, bool) error {
 	}
 }
 
-func figOverhead(alg expt.Algorithm, title string) func(*expt.Runner, bool) error {
-	return func(r *expt.Runner, csv bool) error {
-		series, err := r.OverheadVsSize(context.Background(), alg, []int{4, 8, 16, 32, 48}, expt.FigureSizes())
+func figOverhead(alg expt.Algorithm, title string) func(*expt.Runner, io.Writer, bool) error {
+	return func(r *expt.Runner, stdout io.Writer, csv bool) error {
+		densities := expt.DensitiesFor(expt.Table1Densities, r.Config.Cube.Nodes())
+		series, err := r.OverheadVsSize(context.Background(), alg, densities, expt.FigureSizes())
 		if err != nil {
 			return err
 		}
 		if csv {
-			return plot.WriteCSV(os.Stdout, series)
+			return plot.WriteCSV(stdout, series)
 		}
-		fmt.Print(plot.ASCII(series, plot.Options{
+		fmt.Fprint(stdout, plot.ASCII(series, plot.Options{
 			Title:  title,
 			LogX:   true,
 			XLabel: "message bytes",

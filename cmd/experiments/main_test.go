@@ -1,0 +1,121 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from current output")
+
+// goldenRun executes the command in-process and returns stdout.
+func goldenRun(t *testing.T, args ...string) string {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	if err := run(args, &stdout, &stderr); err != nil {
+		t.Fatalf("run %v: %v\nstderr: %s", args, err, stderr.String())
+	}
+	return stdout.String()
+}
+
+// checkGolden pins the reproduction's exact output bytes: any change
+// to the measurement pipeline — RNG streams, aggregation order,
+// formatting — shows up as a diff against testdata. Regenerate
+// deliberately with `go test ./cmd/experiments -run Golden -update`.
+func checkGolden(t *testing.T, name string, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output diverged from %s\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+func TestGoldenTable1(t *testing.T) {
+	got := goldenRun(t, "-samples", "2", "-seed", "1994", "-dim", "4", "table1")
+	checkGolden(t, "table1_dim4_s2.golden", got)
+}
+
+func TestGoldenFig5(t *testing.T) {
+	got := goldenRun(t, "-samples", "2", "-seed", "1994", "-dim", "4", "fig5")
+	checkGolden(t, "fig5_dim4_s2.golden", got)
+}
+
+// TestGoldenOutputParallelInvariant reruns the golden workload at
+// -parallel 1: the bytes must match the default-parallelism golden,
+// the command-level form of the runner's determinism guarantee.
+func TestGoldenOutputParallelInvariant(t *testing.T) {
+	got := goldenRun(t, "-samples", "2", "-seed", "1994", "-dim", "4", "-parallel", "1", "table1")
+	checkGolden(t, "table1_dim4_s2.golden", got)
+}
+
+// TestAllStopsAtFirstFailure: on a 16-node machine fig8 (d=16) is the
+// first target in the canonical order that cannot run; `all` must
+// produce everything before it, then stop with an error naming it.
+func TestAllStopsAtFirstFailure(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-samples", "1", "-seed", "1", "-dim", "4", "all"}, &stdout, &stderr)
+	if err == nil {
+		t.Fatal("all on a 16-node machine should fail at fig8")
+	}
+	if !strings.Contains(err.Error(), "fig8") {
+		t.Errorf("error does not name the failing target: %v", err)
+	}
+	out := stdout.String()
+	for _, ran := range []string{"==== table1 ====", "==== fig5 ====", "==== fig6 ====", "==== fig7 ===="} {
+		if !strings.Contains(out, ran) {
+			t.Errorf("target %q did not run before the failure", ran)
+		}
+	}
+	if strings.Contains(out, "==== fig9 ====") {
+		t.Error("all continued past the first failing target")
+	}
+}
+
+// TestProgressWithoutTerminal: when stderr is not a character device
+// the progress ticker must not emit carriage-return animation, and
+// must be coarse (deciles), not one line per unit.
+func TestProgressWithoutTerminal(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-samples", "2", "-seed", "1994", "-dim", "4", "-progress", "table1"}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	prog := stderr.String()
+	if strings.Contains(prog, "\r") {
+		t.Error("non-terminal progress used carriage returns")
+	}
+	if !strings.Contains(prog, "(100%)") {
+		t.Errorf("progress never reported completion:\n%s", prog)
+	}
+	lines := strings.Count(prog, "\n")
+	// 2 densities x 3 sizes x 2 samples x 4 algorithms = 48 units; the
+	// decile printer must compress that far below one line per unit.
+	if lines > 15 {
+		t.Errorf("progress printed %d lines for 48 units; want decile granularity", lines)
+	}
+}
+
+func TestUnknownTargetFails(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-dim", "4", "fig99"}, &stdout, &stderr); err == nil {
+		t.Fatal("unknown target accepted")
+	}
+	if err := run([]string{"-dim", "4"}, &stdout, &stderr); err == nil {
+		t.Fatal("missing target accepted")
+	}
+}

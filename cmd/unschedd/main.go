@@ -1,0 +1,83 @@
+// Command unschedd runs the scheduling-as-a-service daemon: the
+// repository's schedulers, simulator, and campaign engine behind a
+// long-running HTTP JSON API with a content-addressed schedule cache.
+//
+// Usage:
+//
+//	unschedd [-addr :8080] [-workers 0] [-queue 0] [-cache 4096] [-campaigns 2]
+//
+// Endpoints (see internal/service for the wire formats):
+//
+//	POST /v1/schedule       matrix in, schedule out (cached)
+//	POST /v1/simulate       schedule in, predicted result out (cached)
+//	POST /v1/campaign       async measurement grid; poll the returned id
+//	GET  /v1/campaign/{id}  campaign progress / results
+//	GET  /healthz           liveness
+//	GET  /metrics           Prometheus-style counters
+//
+// The daemon sheds load with 429 when its bounded queue is full and
+// shuts down gracefully on SIGINT/SIGTERM: in-flight requests finish,
+// running campaigns are cancelled, then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"unsched/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "worker goroutines; 0 means GOMAXPROCS")
+	queue := flag.Int("queue", 0, "request queue depth before 429; 0 means 4x workers")
+	cache := flag.Int("cache", 4096, "schedule cache entries; negative disables caching")
+	campaigns := flag.Int("campaigns", 2, "maximum concurrently running campaigns")
+	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown deadline")
+	flag.Parse()
+
+	svc := service.NewServer(service.Options{
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		CacheEntries: *cache,
+		MaxCampaigns: *campaigns,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "unschedd: listening on %s\n", *addr)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "unschedd: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "unschedd: forced shutdown:", err)
+		}
+		svc.Close()
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "unschedd:", err)
+			svc.Close()
+			os.Exit(1)
+		}
+	}
+}

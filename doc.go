@@ -59,4 +59,17 @@
 // To reproduce the paper's exact protocol, set Samples to 50 in the
 // config and run any campaign; the default seed 1994 pins the full
 // random universe of the evaluation.
+//
+// # Scheduling as a service
+//
+// The same machinery runs as a long-lived daemon: NewServer returns an
+// http.Handler (served standalone by cmd/unschedd) exposing
+// POST /v1/schedule, POST /v1/simulate, and async POST /v1/campaign
+// jobs. Requests execute on a bounded worker pool where each worker
+// owns reusable SimMachines, responses are memoized in a sharded LRU
+// keyed by a canonical content hash of (matrix, algorithm, topology,
+// params, seed), and randomized schedulers derive their RNG seed from
+// that same hash — so identical requests return bit-identical
+// schedules whether they hit the cache or recompute. A full queue
+// sheds load with 429; Close drains gracefully.
 package unsched

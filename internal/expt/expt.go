@@ -165,6 +165,21 @@ var Table1Sizes = []int64{256, 1024, 128 * 1024}
 // Table1Densities are the paper's five densities.
 var Table1Densities = []int{4, 8, 16, 32, 48}
 
+// DensitiesFor returns the subset of densities measurable on an
+// n-node machine: a processor cannot send to more than n-1 peers, so
+// d >= n cells do not exist. The paper's grids assume the 64-node
+// machine; scaled-down runs (small -dim) keep the rows that remain
+// meaningful.
+func DensitiesFor(densities []int, nodes int) []int {
+	out := make([]int, 0, len(densities))
+	for _, d := range densities {
+		if d < nodes {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
 // Table1 measures the full Table 1 grid through the parallel Runner at
 // default parallelism.
 func Table1(cfg Config) ([]Table1Row, error) {

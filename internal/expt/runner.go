@@ -195,14 +195,19 @@ func (r *Runner) MeasureCell(ctx context.Context, d int, msgBytes int64) (map[Al
 // algorithm completes.
 func (c Config) runSample(mach *ipsc.Machine, src *stats.Source, pt Point, sample int, out []unitResult, tick func()) error {
 	d, msgBytes := pt.Density, pt.MsgBytes
-	streamBase := int64(d)*1_000_000 + msgBytes*1_000 + int64(sample)
-	patRNG := src.Stream(streamBase)
+	// Streams are keyed by the full coordinate tuple (tagged 0 for the
+	// pattern stream, 1 for scheduling streams) through composed
+	// SplitMix64 mixing — a linear packing like d*1e6 + M*1000 + s is
+	// not injective over user-chosen grids (the campaign API accepts
+	// arbitrary densities and sizes), which would hand "independent"
+	// cells identical generators.
+	patRNG := src.StreamKeyed(0, int64(d), msgBytes, int64(sample))
 	m, err := comm.DRegular(c.Cube.Nodes(), d, msgBytes, patRNG)
 	if err != nil {
 		return err
 	}
 	for algIdx, alg := range Algorithms {
-		schedRNG := src.Stream(streamBase*4 + int64(algIdx))
+		schedRNG := src.StreamKeyed(1, int64(d), msgBytes, int64(sample), int64(algIdx))
 		commUS, compMS, nPhases, err := c.runOne(mach, alg, m, schedRNG)
 		if err != nil {
 			return fmt.Errorf("expt: %s d=%d M=%d sample %d: %w", alg, d, msgBytes, sample, err)
@@ -228,15 +233,18 @@ func grid(densities []int, sizes []int64) []Point {
 	return points
 }
 
-// Table1 measures the full Table 1 grid through the pool.
+// Table1 measures the Table 1 grid through the pool. On machines
+// smaller than the paper's (cube dimension < 6) the grid keeps only
+// the densities that exist there (d < nodes).
 func (r *Runner) Table1(ctx context.Context) ([]Table1Row, error) {
-	cells, err := r.MeasureCells(ctx, grid(Table1Densities, Table1Sizes))
+	densities := DensitiesFor(Table1Densities, r.Config.Cube.Nodes())
+	cells, err := r.MeasureCells(ctx, grid(densities, Table1Sizes))
 	if err != nil {
 		return nil, err
 	}
 	var rows []Table1Row
 	i := 0
-	for _, d := range Table1Densities {
+	for _, d := range densities {
 		row := Table1Row{
 			Density: d,
 			Comm:    map[int64]map[Algorithm]Cell{},

@@ -1,0 +1,162 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// scheduleCache is a sharded, size-bounded LRU keyed by the hex
+// content hash of a request. Values are the marshaled result documents
+// the handlers memoize, so a hit is served byte-identically to the
+// response that populated it. Sharding by the first byte of the key
+// (hashes are uniform, so shards balance) keeps lock hold times short
+// under concurrent load.
+type scheduleCache struct {
+	shards [cacheShards]cacheShard
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+const cacheShards = 16
+
+type cacheShard struct {
+	mu    sync.Mutex
+	max   int
+	order *list.List // front = most recent; values are *cacheEntry
+	items map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key   string
+	value []byte
+}
+
+// newScheduleCache bounds the cache to maxEntries total entries spread
+// over the shards; maxEntries <= 0 disables caching (every lookup
+// misses).
+func newScheduleCache(maxEntries int) *scheduleCache {
+	c := &scheduleCache{}
+	perShard := maxEntries / cacheShards
+	if maxEntries > 0 && perShard == 0 {
+		perShard = 1
+	}
+	for i := range c.shards {
+		c.shards[i] = cacheShard{
+			max:   perShard,
+			order: list.New(),
+			items: make(map[string]*list.Element),
+		}
+	}
+	return c
+}
+
+func (c *scheduleCache) shard(key string) *cacheShard {
+	if key == "" {
+		return &c.shards[0]
+	}
+	// Keys are hex hashes; the first character is uniform over 16
+	// values, exactly one shard's worth.
+	return &c.shards[hexVal(key[0])%cacheShards]
+}
+
+func hexVal(b byte) int {
+	switch {
+	case b >= '0' && b <= '9':
+		return int(b - '0')
+	case b >= 'a' && b <= 'f':
+		return int(b-'a') + 10
+	default:
+		return 0
+	}
+}
+
+// get returns the memoized value and marks it most recently used.
+func (c *scheduleCache) get(key string) ([]byte, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[key]
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	s.order.MoveToFront(el)
+	c.hits.Add(1)
+	return el.Value.(*cacheEntry).value, true
+}
+
+// put memoizes value under key, evicting the least recently used
+// entry of the shard when full. Storing an existing key refreshes it.
+func (c *scheduleCache) put(key string, value []byte) {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.max <= 0 {
+		return
+	}
+	if el, ok := s.items[key]; ok {
+		s.order.MoveToFront(el)
+		el.Value.(*cacheEntry).value = value
+		return
+	}
+	for s.order.Len() >= s.max {
+		oldest := s.order.Back()
+		s.order.Remove(oldest)
+		delete(s.items, oldest.Value.(*cacheEntry).key)
+	}
+	s.items[key] = s.order.PushFront(&cacheEntry{key: key, value: value})
+}
+
+// flightGroup deduplicates concurrent cache misses for one key: the
+// first request becomes the leader and computes; followers wait for
+// its result instead of occupying workers recomputing the identical
+// answer. Entries live only while a computation is in flight.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	raw  []byte
+	err  error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: make(map[string]*flightCall)}
+}
+
+// join returns the in-flight call for key and whether the caller is
+// its leader. The leader must call finish exactly once.
+func (g *flightGroup) join(key string) (*flightCall, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.calls[key]; ok {
+		return c, false
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	return c, true
+}
+
+// finish publishes the leader's result and wakes the followers.
+func (g *flightGroup) finish(key string, c *flightCall, raw []byte, err error) {
+	c.raw, c.err = raw, err
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+}
+
+// len returns the total number of cached entries.
+func (c *scheduleCache) len() int {
+	total := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		total += s.order.Len()
+		s.mu.Unlock()
+	}
+	return total
+}

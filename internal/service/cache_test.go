@@ -1,0 +1,105 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"unsched/internal/comm"
+)
+
+// cacheKeyFor fabricates a realistic hex key with a chosen shard.
+func cacheKeyFor(shard int, i int) string {
+	return fmt.Sprintf("%x%063x", shard, i)
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// 16 shards x 2 entries each.
+	c := newScheduleCache(32)
+	shard0 := func(i int) string { return cacheKeyFor(0, i) }
+
+	c.put(shard0(1), []byte("one"))
+	c.put(shard0(2), []byte("two"))
+	// Touch 1 so 2 is the LRU entry of the shard.
+	if v, ok := c.get(shard0(1)); !ok || string(v) != "one" {
+		t.Fatal("missing entry 1")
+	}
+	c.put(shard0(3), []byte("three"))
+	if _, ok := c.get(shard0(2)); ok {
+		t.Error("LRU entry 2 survived eviction")
+	}
+	if _, ok := c.get(shard0(1)); !ok {
+		t.Error("recently used entry 1 was evicted")
+	}
+	if _, ok := c.get(shard0(3)); !ok {
+		t.Error("new entry 3 missing")
+	}
+	if n := c.len(); n != 2 {
+		t.Errorf("cache len %d, want 2", n)
+	}
+}
+
+func TestCachePutRefreshesExisting(t *testing.T) {
+	c := newScheduleCache(32)
+	key := cacheKeyFor(4, 7)
+	c.put(key, []byte("a"))
+	c.put(key, []byte("b"))
+	if v, ok := c.get(key); !ok || string(v) != "b" {
+		t.Fatalf("refreshed value = %q, %v", v, ok)
+	}
+	if n := c.len(); n != 1 {
+		t.Errorf("duplicate put grew the cache to %d entries", n)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := newScheduleCache(0)
+	c.put(cacheKeyFor(0, 1), []byte("x"))
+	if _, ok := c.get(cacheKeyFor(0, 1)); ok {
+		t.Error("disabled cache returned a hit")
+	}
+}
+
+func TestCacheShardingSpreadsRealKeys(t *testing.T) {
+	// Content-hash keys must not all land in one shard.
+	c := newScheduleCache(1 << 16)
+	seen := map[int]bool{}
+	for i := 0; i < 64; i++ {
+		d := comm.NewDigest()
+		d.Int64(int64(i))
+		key := d.Hex()
+		seen[hexVal(key[0])%cacheShards] = true
+		c.put(key, []byte("v"))
+	}
+	if len(seen) < 8 {
+		t.Errorf("64 hash keys landed in only %d shards", len(seen))
+	}
+	if c.len() != 64 {
+		t.Errorf("cache len %d, want 64", c.len())
+	}
+}
+
+func TestCacheConcurrentAccess(t *testing.T) {
+	c := newScheduleCache(256)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				d := comm.NewDigest()
+				d.Int64(int64(i % 37))
+				key := d.Hex()
+				if i%2 == 0 {
+					c.put(key, []byte{byte(i)})
+				} else {
+					c.get(key)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.len() > 256 {
+		t.Errorf("cache exceeded its bound: %d entries", c.len())
+	}
+}

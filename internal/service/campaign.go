@@ -1,0 +1,257 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"unsched/internal/expt"
+	"unsched/internal/hypercube"
+)
+
+// campaignRequest is the body of POST /v1/campaign: a measurement grid
+// in the shape of the paper's §6 protocol, run asynchronously.
+type campaignRequest struct {
+	Densities []int   `json:"densities"`
+	Sizes     []int64 `json:"sizes"`
+	// Samples per (density, size) cell; the paper uses 50.
+	Samples int   `json:"samples"`
+	Seed    int64 `json:"seed,omitempty"`
+	// Dim is the hypercube dimension (default 6, the 64-node machine).
+	Dim int `json:"dim,omitempty"`
+	// Params picks the timing model: "ipsc860" (default) or "ipsc2".
+	Params string `json:"params,omitempty"`
+}
+
+// campaignCell is one measured (algorithm, density, size) result.
+type campaignCell struct {
+	Algorithm string  `json:"algorithm"`
+	Density   int     `json:"density"`
+	MsgBytes  int64   `json:"msg_bytes"`
+	CommMS    float64 `json:"comm_ms"`
+	CommStd   float64 `json:"comm_std"`
+	CompMS    float64 `json:"comp_ms"`
+	Iters     float64 `json:"iters"`
+}
+
+// campaignStatus is the body of GET /v1/campaign/{id}.
+type campaignStatus struct {
+	ID    string `json:"id"`
+	State string `json:"state"` // running | done | failed
+	Done  int    `json:"done"`
+	Total int    `json:"total"`
+	Error string `json:"error,omitempty"`
+	// Cells is populated when State is done, in (density, size,
+	// algorithm) order with sizes varying faster than densities.
+	Cells []campaignCell `json:"cells,omitempty"`
+}
+
+const (
+	campaignRunning = "running"
+	campaignDone    = "done"
+	campaignFailed  = "failed"
+)
+
+// campaignJob tracks one asynchronous grid measurement.
+type campaignJob struct {
+	id    string
+	done  atomic.Int64
+	total int
+
+	mu    sync.Mutex
+	state string
+	err   string
+	cells []campaignCell
+}
+
+func (j *campaignJob) status() campaignStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return campaignStatus{
+		ID:    j.id,
+		State: j.state,
+		Done:  int(j.done.Load()),
+		Total: j.total,
+		Error: j.err,
+		Cells: j.cells,
+	}
+}
+
+func (j *campaignJob) finish(cells []campaignCell, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err != nil {
+		j.state = campaignFailed
+		j.err = err.Error()
+		return
+	}
+	j.state = campaignDone
+	j.cells = cells
+}
+
+// campaignRegistry holds jobs by id, bounding both the number of
+// retained jobs (oldest finished jobs are evicted first) and the
+// number running concurrently (each running campaign owns a worker
+// pool of its own).
+type campaignRegistry struct {
+	mu      sync.Mutex
+	jobs    map[string]*campaignJob
+	order   []string // insertion order, for eviction
+	nextID  int64
+	maxJobs int
+	running chan struct{} // semaphore over concurrent campaigns
+}
+
+func newCampaignRegistry(maxJobs, maxRunning int) *campaignRegistry {
+	return &campaignRegistry{
+		jobs:    make(map[string]*campaignJob),
+		maxJobs: maxJobs,
+		running: make(chan struct{}, maxRunning),
+	}
+}
+
+// acquire takes a run slot without blocking; false means the service
+// is already running its maximum number of campaigns.
+func (r *campaignRegistry) acquire() bool {
+	select {
+	case r.running <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+func (r *campaignRegistry) release() { <-r.running }
+
+// add registers a new running job, evicting the oldest finished job
+// when the registry is full. It fails only when every retained job is
+// still running.
+func (r *campaignRegistry) add(total int) (*campaignJob, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.order) >= r.maxJobs {
+		evicted := false
+		for i, id := range r.order {
+			j := r.jobs[id]
+			j.mu.Lock()
+			finished := j.state != campaignRunning
+			j.mu.Unlock()
+			if finished {
+				delete(r.jobs, id)
+				r.order = append(r.order[:i], r.order[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			return nil, &apiError{status: 429, msg: "campaign registry full; poll existing campaigns first"}
+		}
+	}
+	r.nextID++
+	j := &campaignJob{id: fmt.Sprintf("c%06d", r.nextID), state: campaignRunning, total: total}
+	r.jobs[j.id] = j
+	r.order = append(r.order, j.id)
+	return j, nil
+}
+
+func (r *campaignRegistry) get(id string) (*campaignJob, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	j, ok := r.jobs[id]
+	return j, ok
+}
+
+// campaignLimits bound what one request may ask of the service.
+const (
+	maxCampaignDim     = 10  // 1024 simulated nodes
+	maxCampaignSamples = 200 // 4x the paper's protocol
+	maxCampaignCells   = 64  // grid points per campaign
+	maxCampaignBytes   = 16 << 20
+)
+
+// resolveCampaign validates the request and builds the runner config
+// and point grid.
+func resolveCampaign(req *campaignRequest) (expt.Config, []expt.Point, error) {
+	dim := req.Dim
+	if dim == 0 {
+		dim = 6
+	}
+	if dim < 1 || dim > maxCampaignDim {
+		return expt.Config{}, nil, badRequest("dim %d out of range [1,%d]", dim, maxCampaignDim)
+	}
+	nodes := 1 << dim
+	if req.Samples < 1 || req.Samples > maxCampaignSamples {
+		return expt.Config{}, nil, badRequest("samples %d out of range [1,%d]", req.Samples, maxCampaignSamples)
+	}
+	if len(req.Densities) == 0 || len(req.Sizes) == 0 {
+		return expt.Config{}, nil, badRequest("need at least one density and one size")
+	}
+	if cells := len(req.Densities) * len(req.Sizes); cells > maxCampaignCells {
+		return expt.Config{}, nil, badRequest("grid has %d cells, limit %d", cells, maxCampaignCells)
+	}
+	for _, d := range req.Densities {
+		if d <= 0 || d >= nodes {
+			return expt.Config{}, nil, badRequest("density %d out of range (0,%d) for a %d-node cube", d, nodes, nodes)
+		}
+	}
+	for _, size := range req.Sizes {
+		if size <= 0 || size > maxCampaignBytes {
+			return expt.Config{}, nil, badRequest("size %d out of range (0,%d]", size, maxCampaignBytes)
+		}
+	}
+	_, params, err := resolveParams(req.Params)
+	if err != nil {
+		return expt.Config{}, nil, err
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = 1994
+	}
+	cfg := expt.Config{
+		Cube:    hypercube.MustNew(dim),
+		Params:  params,
+		Samples: req.Samples,
+		Seed:    seed,
+	}
+	var points []expt.Point
+	for _, d := range req.Densities {
+		for _, size := range req.Sizes {
+			points = append(points, expt.Point{Density: d, MsgBytes: size})
+		}
+	}
+	return cfg, points, nil
+}
+
+// runCampaign executes the grid on its own expt.Runner and stores the
+// outcome on the job. It is called on a dedicated goroutine; the
+// context is the server's lifetime, so shutdown cancels mid-campaign
+// jobs, which then report state failed.
+func runCampaign(ctx context.Context, j *campaignJob, cfg expt.Config, points []expt.Point, parallelism int) {
+	runner := &expt.Runner{
+		Config:      cfg,
+		Parallelism: parallelism,
+		Progress:    func(done, total int) { j.done.Store(int64(done)) },
+	}
+	cellMaps, err := runner.MeasureCells(ctx, points)
+	if err != nil {
+		j.finish(nil, err)
+		return
+	}
+	var cells []campaignCell
+	for i, pt := range points {
+		for _, alg := range expt.Algorithms {
+			c := cellMaps[i][alg]
+			cells = append(cells, campaignCell{
+				Algorithm: string(alg),
+				Density:   pt.Density,
+				MsgBytes:  pt.MsgBytes,
+				CommMS:    c.CommMS,
+				CommStd:   c.CommStd,
+				CompMS:    c.CompMS,
+				Iters:     c.Iters,
+			})
+		}
+	}
+	j.finish(cells, nil)
+}

@@ -1,0 +1,74 @@
+package service
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// fuzzServer is shared across fuzz iterations: handlers are
+// concurrency-safe, and rebuilding a worker pool per input would
+// drown the fuzzer in goroutine churn.
+var (
+	fuzzOnce sync.Once
+	fuzzSrv  *Server
+)
+
+func fuzzServer() *Server {
+	fuzzOnce.Do(func() {
+		fuzzSrv = NewServer(Options{Workers: 2, QueueDepth: 16, CacheEntries: 64})
+	})
+	return fuzzSrv
+}
+
+// FuzzScheduleRequest drives POST /v1/schedule with arbitrary bodies.
+// The contract: malformed JSON or a malformed matrix must never panic
+// the daemon — every input gets a JSON response with an HTTP status.
+func FuzzScheduleRequest(f *testing.F) {
+	f.Add(`{"matrix":{"n":8,"messages":[[0,1,512],[1,2,512]]},"algorithm":"RS_NL"}`)
+	f.Add(`{"matrix":{"n":4,"messages":[]}}`)
+	f.Add(`{"matrix":{"n":4,"messages":[[0,0,1]]}}`)
+	f.Add(`{"matrix":{"n":-1,"messages":null}}`)
+	f.Add(`{"matrix":{"n":4096,"messages":[[0,1,1]]},"algorithm":"AC"}`)
+	f.Add(`{"algorithm":"LP"}`)
+	f.Add(`{"matrix":{"n":4,"messages":[[0,1,10]]},"seed":-9223372036854775808}`)
+	f.Add(`{"matrix":{"n":4,"messages":[[0,1,10]]},"topology":{"kind":"torus","w":2,"h":2}}`)
+	f.Add(`nonsense`)
+	f.Add(``)
+	f.Add(`[]`)
+	f.Add(`{"matrix":{"n":1e9}}`)
+	f.Fuzz(func(t *testing.T, body string) {
+		srv := fuzzServer()
+		req := httptest.NewRequest(http.MethodPost, "/v1/schedule", strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req) // must not panic
+		if rec.Code == 0 {
+			t.Fatalf("no status written for input %q", body)
+		}
+	})
+}
+
+// FuzzSimulateRequest drives POST /v1/simulate the same way; schedules
+// with contention, out-of-range nodes, or absurd phase counts must be
+// rejected, never simulated into a crash.
+func FuzzSimulateRequest(f *testing.F) {
+	f.Add(`{"matrix":{"n":4,"messages":[[0,1,256]]}}`)
+	f.Add(`{"schedule":{"algorithm":"RS_N","n":4,"ops":0,"phases":[[[0,1,256]],[[1,0,256]]]}}`)
+	f.Add(`{"schedule":{"algorithm":"LP","n":4,"ops":1,"phases":[[[0,1,10],[1,0,10]]]},"protocol":"LP"}`)
+	f.Add(`{"schedule":{"algorithm":"AC","n":4,"phases":[]},"matrix":{"n":4,"messages":[[0,1,9]]}}`)
+	f.Add(`{"schedule":{"algorithm":"RS_N","n":4,"phases":[[[0,2,5],[1,2,5]]]}}`)
+	f.Add(`{"schedule":{"algorithm":"RS_N","n":2,"phases":[[[0,1,5]]]},"params":"ipsc2","protocol":"S2"}`)
+	f.Add(`{"schedule":null,"matrix":null}`)
+	f.Add(`{`)
+	f.Fuzz(func(t *testing.T, body string) {
+		srv := fuzzServer()
+		req := httptest.NewRequest(http.MethodPost, "/v1/simulate", strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req) // must not panic
+		if rec.Code == 0 {
+			t.Fatalf("no status written for input %q", body)
+		}
+	})
+}

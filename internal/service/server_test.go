@@ -1,0 +1,670 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"unsched/internal/comm"
+	"unsched/internal/costmodel"
+	"unsched/internal/expt"
+	"unsched/internal/hypercube"
+)
+
+func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
+	t.Helper()
+	svc := NewServer(opts)
+	ts := httptest.NewServer(svc)
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Close()
+	})
+	return svc, ts
+}
+
+// postJSON posts v and decodes the response body into out (unless nil).
+func postJSON(t *testing.T, url string, v any, out any) (int, []byte) {
+	t.Helper()
+	body, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("bad response body %q: %v", raw, err)
+		}
+	}
+	return resp.StatusCode, raw
+}
+
+func getJSON(t *testing.T, url string, out any) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("bad response body %q: %v", raw, err)
+		}
+	}
+	return resp.StatusCode, raw
+}
+
+// testMatrix returns a deterministic d-regular wire matrix.
+func testMatrix(t *testing.T, n, d int, bytes int64, seed int64) *matrixJSON {
+	t.Helper()
+	m, err := comm.DRegular(n, d, bytes, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return matrixWire(m)
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2})
+	var doc map[string]any
+	status, _ := getJSON(t, ts.URL+"/healthz", &doc)
+	if status != http.StatusOK || doc["status"] != "ok" {
+		t.Fatalf("healthz: status %d, doc %v", status, doc)
+	}
+}
+
+func TestScheduleEndpointAlgorithms(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2})
+	for _, alg := range []string{"auto", "AC", "LP", "RS_N", "RS_NL", "RS_NL_SZ", "GREEDY", "GREEDY_LF"} {
+		req := scheduleRequest{Matrix: testMatrix(t, 16, 4, 4096, 1), Algorithm: alg}
+		var env envelope
+		status, raw := postJSON(t, ts.URL+"/v1/schedule", req, &env)
+		if status != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", alg, status, raw)
+		}
+		var res scheduleResult
+		if err := json.Unmarshal(env.Result, &res); err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if res.Schedule == nil || res.Schedule.N != 16 {
+			t.Fatalf("%s: bad schedule in result: %s", alg, env.Result)
+		}
+		if alg != "auto" && res.Chosen != alg {
+			t.Errorf("%s: chosen %q", alg, res.Chosen)
+		}
+		if alg == "AC" && len(res.Schedule.Phases) != 0 {
+			t.Errorf("AC returned %d phases", len(res.Schedule.Phases))
+		}
+		if alg == "LP" && !res.LinkFree {
+			t.Error("LP schedule not link-free on the cube")
+		}
+	}
+}
+
+func TestScheduleCacheHitIsByteIdentical(t *testing.T) {
+	svc, ts := newTestServer(t, Options{Workers: 2})
+	req := scheduleRequest{Matrix: testMatrix(t, 32, 6, 2048, 7), Algorithm: "RS_NL", Seed: 42}
+
+	var first envelope
+	status, raw := postJSON(t, ts.URL+"/v1/schedule", req, &first)
+	if status != http.StatusOK {
+		t.Fatalf("first: status %d: %s", status, raw)
+	}
+	if first.Cached {
+		t.Fatal("first request reported a cache hit")
+	}
+	var second envelope
+	status, _ = postJSON(t, ts.URL+"/v1/schedule", req, &second)
+	if status != http.StatusOK {
+		t.Fatalf("second: status %d", status)
+	}
+	if !second.Cached {
+		t.Fatal("repeated identical request was not a cache hit")
+	}
+	if second.Key != first.Key {
+		t.Fatalf("keys differ: %s vs %s", first.Key, second.Key)
+	}
+	if !bytes.Equal(first.Result, second.Result) {
+		t.Fatal("cache hit returned different result bytes")
+	}
+	if hits := svc.cache.hits.Load(); hits != 1 {
+		t.Fatalf("cache hits = %d, want 1", hits)
+	}
+
+	// A different seed is a different key and (overwhelmingly likely
+	// for a 32-node RS_NL) a different schedule.
+	req.Seed = 43
+	var third envelope
+	postJSON(t, ts.URL+"/v1/schedule", req, &third)
+	if third.Cached || third.Key == first.Key {
+		t.Fatal("different seed collided with the first request")
+	}
+}
+
+func TestScheduleDeterministicAcrossServers(t *testing.T) {
+	// Identical requests to two independent daemons (no shared cache)
+	// must produce identical schedules: the RNG seed derives from the
+	// request content, not server state.
+	req := scheduleRequest{Matrix: testMatrix(t, 32, 5, 1024, 3), Algorithm: "RS_N"}
+	var results [][]byte
+	for i := 0; i < 2; i++ {
+		_, ts := newTestServer(t, Options{Workers: 1})
+		var env envelope
+		status, raw := postJSON(t, ts.URL+"/v1/schedule", req, &env)
+		if status != http.StatusOK {
+			t.Fatalf("server %d: status %d: %s", i, status, raw)
+		}
+		results = append(results, env.Result)
+	}
+	if !bytes.Equal(results[0], results[1]) {
+		t.Fatal("two servers computed different schedules for the same request")
+	}
+}
+
+func TestScheduleBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"empty", ``},
+		{"not json", `{{{`},
+		{"trailing garbage", `{"matrix":{"n":4,"messages":[]}} extra`},
+		{"unknown field", `{"matrix":{"n":4,"messages":[]},"bogus":1}`},
+		{"missing matrix", `{"algorithm":"LP"}`},
+		{"n too small", `{"matrix":{"n":1,"messages":[]}}`},
+		{"n too big", `{"matrix":{"n":100000,"messages":[]}}`},
+		{"self message", `{"matrix":{"n":4,"messages":[[2,2,10]]}}`},
+		{"out of range", `{"matrix":{"n":4,"messages":[[0,9,10]]}}`},
+		{"negative size", `{"matrix":{"n":4,"messages":[[0,1,-10]]}}`},
+		{"unknown algorithm", `{"matrix":{"n":4,"messages":[[0,1,10]]},"algorithm":"MAGIC"}`},
+		{"unknown topology", `{"matrix":{"n":4,"messages":[[0,1,10]]},"topology":{"kind":"ring"}}`},
+		{"topology size mismatch", `{"matrix":{"n":4,"messages":[[0,1,10]]},"topology":{"kind":"mesh","w":3,"h":3}}`},
+		{"non power of two cube", `{"matrix":{"n":6,"messages":[[0,1,10]]}}`},
+	}
+	for _, tc := range cases {
+		resp, err := http.Post(ts.URL+"/v1/schedule", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", tc.name, resp.StatusCode, raw)
+		}
+		var doc errorDoc
+		if err := json.Unmarshal(raw, &doc); err != nil || doc.Error == "" {
+			t.Errorf("%s: error response not a JSON error doc: %s", tc.name, raw)
+		}
+	}
+}
+
+func TestSimulateEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2})
+	mj := testMatrix(t, 16, 4, 8192, 5)
+
+	// Schedule first, then feed the schedule back into /v1/simulate.
+	var env envelope
+	status, raw := postJSON(t, ts.URL+"/v1/schedule", scheduleRequest{Matrix: mj, Algorithm: "RS_NL"}, &env)
+	if status != http.StatusOK {
+		t.Fatalf("schedule: status %d: %s", status, raw)
+	}
+	var schedRes scheduleResult
+	if err := json.Unmarshal(env.Result, &schedRes); err != nil {
+		t.Fatal(err)
+	}
+
+	var simEnv envelope
+	status, raw = postJSON(t, ts.URL+"/v1/simulate",
+		simulateRequest{Schedule: schedRes.Schedule, Matrix: mj}, &simEnv)
+	if status != http.StatusOK {
+		t.Fatalf("simulate: status %d: %s", status, raw)
+	}
+	var simRes simulateResult
+	if err := json.Unmarshal(simEnv.Result, &simRes); err != nil {
+		t.Fatal(err)
+	}
+	if simRes.Protocol != "S1" {
+		t.Errorf("RS_NL simulated under %s, want S1", simRes.Protocol)
+	}
+	if simRes.MakespanUS <= 0 {
+		t.Errorf("non-positive makespan %v", simRes.MakespanUS)
+	}
+
+	// Repeat: cache hit, byte-identical.
+	var rep envelope
+	postJSON(t, ts.URL+"/v1/simulate", simulateRequest{Schedule: schedRes.Schedule, Matrix: mj}, &rep)
+	if !rep.Cached || !bytes.Equal(rep.Result, simEnv.Result) {
+		t.Fatal("repeated simulate was not a byte-identical cache hit")
+	}
+
+	// AC run straight from the matrix.
+	var acEnv envelope
+	status, raw = postJSON(t, ts.URL+"/v1/simulate", simulateRequest{Matrix: mj}, &acEnv)
+	if status != http.StatusOK {
+		t.Fatalf("AC simulate: status %d: %s", status, raw)
+	}
+	var acRes simulateResult
+	if err := json.Unmarshal(acEnv.Result, &acRes); err != nil {
+		t.Fatal(err)
+	}
+	if acRes.Protocol != "AC" || acRes.MakespanUS <= 0 {
+		t.Errorf("AC run: %+v", acRes)
+	}
+
+	// Explicit protocol override and the ipsc2 model.
+	var s2Env envelope
+	status, raw = postJSON(t, ts.URL+"/v1/simulate",
+		simulateRequest{Schedule: schedRes.Schedule, Protocol: "S2", Params: "ipsc2"}, &s2Env)
+	if status != http.StatusOK {
+		t.Fatalf("S2/ipsc2 simulate: status %d: %s", status, raw)
+	}
+}
+
+func TestSimulateBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	mj := testMatrix(t, 8, 2, 512, 9)
+	var env envelope
+	if status, raw := postJSON(t, ts.URL+"/v1/schedule", scheduleRequest{Matrix: mj, Algorithm: "RS_N"}, &env); status != 200 {
+		t.Fatalf("schedule: %d %s", status, raw)
+	}
+	var schedRes scheduleResult
+	if err := json.Unmarshal(env.Result, &schedRes); err != nil {
+		t.Fatal(err)
+	}
+
+	// Schedule that does not match the supplied matrix.
+	other := testMatrix(t, 8, 3, 512, 10)
+	if status, _ := postJSON(t, ts.URL+"/v1/simulate",
+		simulateRequest{Schedule: schedRes.Schedule, Matrix: other}, nil); status != http.StatusBadRequest {
+		t.Errorf("mismatched matrix accepted: status %d", status)
+	}
+	// No schedule and no matrix.
+	if status, _ := postJSON(t, ts.URL+"/v1/simulate", simulateRequest{}, nil); status != http.StatusBadRequest {
+		t.Errorf("empty simulate accepted: status %d", status)
+	}
+	// Unknown protocol / params.
+	if status, _ := postJSON(t, ts.URL+"/v1/simulate",
+		simulateRequest{Schedule: schedRes.Schedule, Protocol: "S9"}, nil); status != http.StatusBadRequest {
+		t.Errorf("unknown protocol accepted")
+	}
+	if status, _ := postJSON(t, ts.URL+"/v1/simulate",
+		simulateRequest{Schedule: schedRes.Schedule, Params: "cray"}, nil); status != http.StatusBadRequest {
+		t.Errorf("unknown params accepted")
+	}
+	// Phase with node contention.
+	bad := &scheduleJSON{Algorithm: "RS_N", N: 4, Phases: []phaseJSON{{{0, 2, 10}, {1, 2, 10}}}}
+	if status, _ := postJSON(t, ts.URL+"/v1/simulate", simulateRequest{Schedule: bad}, nil); status != http.StatusBadRequest {
+		t.Errorf("contending phase accepted")
+	}
+}
+
+func TestCampaignEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2})
+	req := campaignRequest{Densities: []int{2}, Sizes: []int64{256}, Samples: 2, Seed: 11, Dim: 3}
+	var accepted map[string]string
+	status, raw := postJSON(t, ts.URL+"/v1/campaign", req, &accepted)
+	if status != http.StatusAccepted {
+		t.Fatalf("campaign: status %d: %s", status, raw)
+	}
+	if accepted["id"] == "" || accepted["url"] == "" {
+		t.Fatalf("campaign response missing id/url: %s", raw)
+	}
+
+	var st campaignStatus
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		status, raw = getJSON(t, ts.URL+accepted["url"], &st)
+		if status != http.StatusOK {
+			t.Fatalf("poll: status %d: %s", status, raw)
+		}
+		if st.State != campaignRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign still running after 30s: %+v", st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if st.State != campaignDone {
+		t.Fatalf("campaign finished as %q (%s)", st.State, st.Error)
+	}
+	if st.Done != st.Total || st.Total != 2*len(expt.Algorithms) {
+		t.Errorf("progress %d/%d, want %d/%d", st.Done, st.Total, 2*len(expt.Algorithms), 2*len(expt.Algorithms))
+	}
+	if len(st.Cells) != len(expt.Algorithms) {
+		t.Fatalf("got %d cells, want %d", len(st.Cells), len(expt.Algorithms))
+	}
+
+	// The async service result must agree exactly with a direct
+	// in-process run of the campaign engine at the same seed.
+	cfg := expt.Config{Cube: hypercube.MustNew(3), Params: mustParams(t, "ipsc860"), Samples: 2, Seed: 11}
+	want, err := expt.NewRunner(cfg).MeasureCell(context.Background(), 2, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cell := range st.Cells {
+		ref := want[expt.Algorithm(cell.Algorithm)]
+		if cell.CommMS != ref.CommMS || cell.Iters != ref.Iters {
+			t.Errorf("%s: service says comm=%v iters=%v, direct run %v/%v",
+				cell.Algorithm, cell.CommMS, cell.Iters, ref.CommMS, ref.Iters)
+		}
+	}
+}
+
+func mustParams(t *testing.T, name string) costmodel.Params {
+	t.Helper()
+	_, params, err := resolveParams(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return params
+}
+
+func TestCampaignNotFoundAndBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	if status, _ := getJSON(t, ts.URL+"/v1/campaign/nope", nil); status != http.StatusNotFound {
+		t.Errorf("unknown campaign id: status %d, want 404", status)
+	}
+	bad := []campaignRequest{
+		{},                    // nothing
+		{Densities: []int{2}}, // no sizes/samples
+		{Densities: []int{200}, Sizes: []int64{64}, Samples: 1, Dim: 3},  // density >= nodes
+		{Densities: []int{2}, Sizes: []int64{-1}, Samples: 1, Dim: 3},    // bad size
+		{Densities: []int{2}, Sizes: []int64{64}, Samples: 9999, Dim: 3}, // too many samples
+		{Densities: []int{2}, Sizes: []int64{64}, Samples: 1, Dim: 99},   // bad dim
+	}
+	for i, req := range bad {
+		if status, raw := postJSON(t, ts.URL+"/v1/campaign", req, nil); status != http.StatusBadRequest {
+			t.Errorf("bad campaign %d accepted: status %d (%s)", i, status, raw)
+		}
+	}
+}
+
+func TestCampaignConcurrencyLimit(t *testing.T) {
+	svc, ts := newTestServer(t, Options{Workers: 1, MaxCampaigns: 1})
+	// Hold the only campaign slot, exactly as a long-running campaign
+	// would, so the submission below is deterministically shed.
+	if !svc.campaigns.acquire() {
+		t.Fatal("could not take the campaign slot")
+	}
+	defer svc.campaigns.release()
+	quick := campaignRequest{Densities: []int{2}, Sizes: []int64{64}, Samples: 1, Dim: 3}
+	if status, _ := postJSON(t, ts.URL+"/v1/campaign", quick, nil); status != http.StatusTooManyRequests {
+		t.Errorf("concurrent campaign past the limit: status %d, want 429", status)
+	}
+}
+
+func TestQueueBackpressure429(t *testing.T) {
+	svc, ts := newTestServer(t, Options{Workers: 1, QueueDepth: 1})
+	// Occupy the only worker with a task we control, then fill the
+	// one queue slot, so the next HTTP request must be shed.
+	started := make(chan struct{})
+	release := make(chan struct{})
+	blocker := &task{run: func(*worker) { close(started); <-release }, done: make(chan struct{})}
+	if err := svc.pool.submit(blocker); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	filler := &task{run: func(*worker) {}, done: make(chan struct{})}
+	if err := svc.pool.submit(filler); err != nil {
+		t.Fatal(err)
+	}
+
+	req := scheduleRequest{Matrix: testMatrix(t, 8, 2, 512, 2), Algorithm: "RS_N"}
+	status, raw := postJSON(t, ts.URL+"/v1/schedule", req, nil)
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("saturated queue: status %d, want 429 (%s)", status, raw)
+	}
+	close(release)
+	<-filler.done
+
+	// Once drained, the same request succeeds.
+	if status, raw := postJSON(t, ts.URL+"/v1/schedule", req, nil); status != http.StatusOK {
+		t.Fatalf("after drain: status %d (%s)", status, raw)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	req := scheduleRequest{Matrix: testMatrix(t, 8, 2, 512, 4), Algorithm: "RS_N"}
+	postJSON(t, ts.URL+"/v1/schedule", req, nil)
+	postJSON(t, ts.URL+"/v1/schedule", req, nil)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(raw)
+	for _, want := range []string{
+		`unschedd_requests_total{endpoint="schedule"} 2`,
+		"unschedd_cache_hits_total 1",
+		"unschedd_cache_misses_total 1",
+		"unschedd_cache_entries 1",
+		"unschedd_workers 1",
+		"unschedd_queue_capacity 4",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	// Many clients, few distinct requests: every response for the same
+	// request must carry identical result bytes whether it was computed
+	// or served from cache. Run under -race this also exercises the
+	// pool, cache, and campaign registry for data races.
+	_, ts := newTestServer(t, Options{Workers: 4, QueueDepth: 256})
+	matrices := []*matrixJSON{
+		testMatrix(t, 16, 4, 1024, 1),
+		testMatrix(t, 16, 4, 1024, 2),
+		testMatrix(t, 32, 8, 4096, 3),
+	}
+	algs := []string{"auto", "LP", "RS_N", "RS_NL"}
+
+	const clients = 16
+	const perClient = 12
+	var mu sync.Mutex
+	results := map[string][]byte{} // key -> result bytes
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				req := scheduleRequest{
+					Matrix:    matrices[(c+i)%len(matrices)],
+					Algorithm: algs[(c+2*i)%len(algs)],
+				}
+				body, _ := json.Marshal(req)
+				resp, err := http.Post(ts.URL+"/v1/schedule", "application/json", bytes.NewReader(body))
+				if err != nil {
+					errCh <- err
+					return
+				}
+				raw, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusTooManyRequests {
+					continue // legitimate shed under load
+				}
+				if resp.StatusCode != http.StatusOK {
+					errCh <- fmt.Errorf("client %d: status %d: %s", c, resp.StatusCode, raw)
+					return
+				}
+				var env envelope
+				if err := json.Unmarshal(raw, &env); err != nil {
+					errCh <- err
+					return
+				}
+				mu.Lock()
+				if prev, ok := results[env.Key]; ok {
+					if !bytes.Equal(prev, env.Result) {
+						mu.Unlock()
+						errCh <- fmt.Errorf("key %s: divergent results", env.Key)
+						return
+					}
+				} else {
+					results[env.Key] = env.Result
+				}
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleFlightDeduplicatesConcurrentMisses(t *testing.T) {
+	svc, ts := newTestServer(t, Options{Workers: 1, QueueDepth: 4})
+	// Park the only worker so the leader's computation cannot start;
+	// every identical request arriving meanwhile must join its flight
+	// instead of queueing its own computation.
+	started := make(chan struct{})
+	release := make(chan struct{})
+	blocker := &task{run: func(*worker) { close(started); <-release }, done: make(chan struct{})}
+	if err := svc.pool.submit(blocker); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	req := scheduleRequest{Matrix: testMatrix(t, 16, 4, 2048, 8), Algorithm: "RS_NL"}
+	body, _ := json.Marshal(req)
+	const clients = 6
+	envs := make([]envelope, clients)
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/schedule", "application/json", bytes.NewReader(body))
+			if err != nil {
+				errCh <- err
+				return
+			}
+			raw, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errCh <- fmt.Errorf("client %d: status %d: %s", i, resp.StatusCode, raw)
+				return
+			}
+			errCh <- json.Unmarshal(raw, &envs[i])
+		}(i)
+	}
+	// Let the clients reach the server, then let the worker go. The
+	// sleep only widens the race window; correctness must not depend
+	// on who arrives when.
+	time.Sleep(100 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	computed := 0
+	for i, env := range envs {
+		if !env.Cached {
+			computed++
+		}
+		if !bytes.Equal(env.Result, envs[0].Result) {
+			t.Errorf("client %d got divergent result bytes", i)
+		}
+	}
+	if computed != 1 {
+		t.Errorf("%d clients computed, want exactly 1 leader", computed)
+	}
+}
+
+func TestWorkerSurvivesTaskPanic(t *testing.T) {
+	svc, ts := newTestServer(t, Options{Workers: 1})
+	boom := &task{run: func(*worker) { panic("boom") }, done: make(chan struct{})}
+	if err := svc.pool.submit(boom); err != nil {
+		t.Fatal(err)
+	}
+	<-boom.done
+	if boom.panicked == nil {
+		t.Fatal("panic was not captured on the task")
+	}
+	// The single worker must have survived to serve real traffic.
+	req := scheduleRequest{Matrix: testMatrix(t, 8, 2, 512, 12), Algorithm: "RS_N"}
+	if status, raw := postJSON(t, ts.URL+"/v1/schedule", req, nil); status != http.StatusOK {
+		t.Fatalf("worker died with the panicking task: status %d (%s)", status, raw)
+	}
+}
+
+func TestScheduleRejectsPhaseFlood(t *testing.T) {
+	// ~17 KB of dense phase state per 3 bytes of JSON is a memory
+	// amplifier; the phase cap must reject it before allocation.
+	_, ts := newTestServer(t, Options{Workers: 1})
+	var b strings.Builder
+	b.WriteString(`{"schedule":{"algorithm":"RS_N","n":64,"ops":0,"phases":[`)
+	for i := 0; i < 300; i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString("[]")
+	}
+	b.WriteString(`]}}`)
+	resp, err := http.Post(ts.URL+"/v1/simulate", "application/json", strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("300 phases for n=64 accepted: status %d", resp.StatusCode)
+	}
+}
+
+func TestOversizedBodyIs413(t *testing.T) {
+	svc := NewServer(Options{Workers: 1})
+	defer svc.Close()
+	req := httptest.NewRequest(http.MethodPost, "/v1/schedule", strings.NewReader("{}"))
+	req.ContentLength = maxRequestBytes + 1
+	rec := httptest.NewRecorder()
+	svc.ServeHTTP(rec, req)
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: status %d, want 413", rec.Code)
+	}
+}
+
+func TestCloseRefusesNewWork(t *testing.T) {
+	svc := NewServer(Options{Workers: 1})
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+	svc.Close()
+	req := scheduleRequest{Matrix: testMatrix(t, 8, 2, 512, 6), Algorithm: "RS_N"}
+	status, _ := postJSON(t, ts.URL+"/v1/schedule", req, nil)
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("request after Close: status %d, want 503", status)
+	}
+}

@@ -1,0 +1,579 @@
+// Package service implements unschedd, the scheduling-as-a-service
+// daemon: the repository's schedulers and machine simulator behind a
+// long-running HTTP JSON API.
+//
+// Endpoints:
+//
+//	POST /v1/schedule       communication matrix in, schedule out
+//	POST /v1/simulate       schedule (or AC matrix) in, predicted Result out
+//	POST /v1/campaign       async measurement grid; returns a job id
+//	GET  /v1/campaign/{id}  progress and, when done, the measured cells
+//	GET  /healthz           liveness
+//	GET  /metrics           Prometheus-style text counters
+//
+// Synchronous requests run on a bounded worker pool; each worker owns
+// reusable simulator machines (one per topology/params pair it has
+// served), so the hot path allocates no per-run machine state. When
+// the queue is full the service sheds load with 429 rather than
+// growing without bound.
+//
+// Results are memoized in a sharded LRU keyed by a canonical content
+// hash of (matrix, algorithm, topology, params, seed) — see
+// comm.Digest. Randomized schedulers draw their RNG seed from that
+// same hash, so a repeated identical request is not just a cache hit:
+// even after eviction it recomputes the bit-identical schedule.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"unsched/internal/comm"
+	"unsched/internal/costmodel"
+	"unsched/internal/expt"
+	"unsched/internal/ipsc"
+	"unsched/internal/sched"
+	"unsched/internal/topo"
+)
+
+// Options configures a Server. The zero value is production-usable:
+// GOMAXPROCS workers, a queue of four tasks per worker, a 4096-entry
+// cache, and up to two concurrent campaigns.
+type Options struct {
+	// Workers is the number of worker goroutines serving synchronous
+	// requests; <= 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// QueueDepth is the number of requests that may wait for a worker
+	// before the service answers 429; <= 0 means 4 * Workers.
+	QueueDepth int
+	// CacheEntries bounds the memoization cache; 0 means 4096, and a
+	// negative value disables caching.
+	CacheEntries int
+	// MaxCampaigns bounds concurrently running campaign jobs; <= 0
+	// means 2.
+	MaxCampaigns int
+	// MaxCampaignJobs bounds retained campaign jobs (running or
+	// finished); <= 0 means 64.
+	MaxCampaignJobs int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 4 * o.Workers
+	}
+	switch {
+	case o.CacheEntries == 0:
+		o.CacheEntries = 4096
+	case o.CacheEntries < 0:
+		o.CacheEntries = 0
+	}
+	if o.MaxCampaigns <= 0 {
+		o.MaxCampaigns = 2
+	}
+	if o.MaxCampaignJobs <= 0 {
+		o.MaxCampaignJobs = 64
+	}
+	return o
+}
+
+// Server is the unschedd HTTP service. Create one with NewServer,
+// mount it (it implements http.Handler), and Close it on shutdown to
+// drain the worker pool and cancel running campaigns.
+type Server struct {
+	opts      Options
+	mux       *http.ServeMux
+	pool      *pool
+	cache     *scheduleCache
+	flights   *flightGroup
+	campaigns *campaignRegistry
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup // campaign goroutines
+
+	requests  [4]atomic.Int64 // by endpoint index below
+	rejected  atomic.Int64
+	totalJobs atomic.Int64
+}
+
+// endpoint indices for the requests counter.
+const (
+	epSchedule = iota
+	epSimulate
+	epCampaign
+	epCampaignGet
+)
+
+var endpointNames = [4]string{"schedule", "simulate", "campaign", "campaign_status"}
+
+// NewServer returns a ready-to-serve instance with its worker pool
+// started.
+func NewServer(opts Options) *Server {
+	opts = opts.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		opts:      opts,
+		mux:       http.NewServeMux(),
+		pool:      newPool(opts.Workers, opts.QueueDepth),
+		cache:     newScheduleCache(opts.CacheEntries),
+		flights:   newFlightGroup(),
+		campaigns: newCampaignRegistry(opts.MaxCampaignJobs, opts.MaxCampaigns),
+		ctx:       ctx,
+		cancel:    cancel,
+	}
+	s.mux.HandleFunc("POST /v1/schedule", s.handleSchedule)
+	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	s.mux.HandleFunc("POST /v1/campaign", s.handleCampaign)
+	s.mux.HandleFunc("GET /v1/campaign/{id}", s.handleCampaignStatus)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Close shuts the service down: new work is refused, queued tasks
+// drain, and running campaigns are cancelled. It blocks until every
+// worker and campaign goroutine has exited.
+func (s *Server) Close() {
+	s.cancel()
+	s.pool.close()
+	s.wg.Wait()
+}
+
+// --- response plumbing ----------------------------------------------
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v) // the client is gone if this fails; nothing to do
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	if ae, ok := err.(*apiError); ok {
+		writeJSON(w, ae.status, errorDoc{Error: ae.msg})
+		return
+	}
+	writeJSON(w, http.StatusInternalServerError, errorDoc{Error: err.Error()})
+}
+
+// runTask submits fn to the pool and waits for completion.
+// Backpressure surfaces here: a full queue is 429, a closing server
+// 503. It deliberately does NOT abandon the wait when the submitting
+// client disconnects: the computation is already claiming a worker,
+// its result feeds the memoization cache and any single-flight
+// followers, and writing the response to a dead connection is
+// harmless — so a cancelled leader must not poison everyone else.
+func (s *Server) runTask(fn func(w *worker)) error {
+	t := &task{run: fn, done: make(chan struct{})}
+	if err := s.pool.submit(t); err != nil {
+		s.rejected.Add(1)
+		status := http.StatusServiceUnavailable
+		if err == errBusy {
+			status = http.StatusTooManyRequests
+		}
+		return &apiError{status: status, msg: err.Error()}
+	}
+	<-t.done
+	if t.panicked != nil {
+		return t.panicked // -> 500 for this request; the worker survived
+	}
+	return nil
+}
+
+// respondMemoized serves key from the cache or computes, memoizes, and
+// serves the result document produced by compute (which runs on the
+// worker pool). Concurrent misses on the same key are single-flighted:
+// one leader computes, the rest wait for its bytes instead of occupying
+// workers with identical recomputation.
+func (s *Server) respondMemoized(w http.ResponseWriter, r *http.Request, key string,
+	compute func(w *worker) (any, error)) {
+	if raw, ok := s.cache.get(key); ok {
+		writeJSON(w, http.StatusOK, envelope{Key: key, Cached: true, Result: raw})
+		return
+	}
+	call, leader := s.flights.join(key)
+	if !leader {
+		select {
+		case <-call.done:
+		case <-r.Context().Done():
+			writeError(w, &apiError{status: http.StatusServiceUnavailable, msg: "client cancelled request"})
+			return
+		}
+		if call.err != nil {
+			writeError(w, call.err)
+			return
+		}
+		writeJSON(w, http.StatusOK, envelope{Key: key, Cached: true, Result: call.raw})
+		return
+	}
+	raw, err := func() ([]byte, error) {
+		var (
+			result any
+			err    error
+		)
+		if terr := s.runTask(func(wk *worker) { result, err = compute(wk) }); terr != nil {
+			return nil, terr
+		}
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(result)
+	}()
+	// Populate the cache before retiring the flight so no request can
+	// slip between the two and recompute.
+	if err == nil {
+		s.cache.put(key, raw)
+	}
+	s.flights.finish(key, call, raw, err)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, envelope{Key: key, Cached: false, Result: raw})
+}
+
+// --- /v1/schedule ---------------------------------------------------
+
+// scheduleAlgorithms are the names POST /v1/schedule accepts.
+var scheduleAlgorithms = map[string]bool{
+	"auto": true, "AC": true, "LP": true, "RS_N": true, "RS_NL": true,
+	"RS_NL_SZ": true, "GREEDY": true, "GREEDY_LF": true,
+}
+
+func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	s.requests[epSchedule].Add(1)
+	var req scheduleRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if req.Algorithm == "" {
+		req.Algorithm = "auto"
+	}
+	if !scheduleAlgorithms[req.Algorithm] {
+		writeError(w, badRequest("unknown algorithm %q", req.Algorithm))
+		return
+	}
+	m, err := resolveMatrix(req.Matrix)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	net, err := resolveTopology(req.Topology, m.N())
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	digest := scheduleKey(m, req.Algorithm, net, req.Seed)
+	seed := effectiveSeed(digest)
+	key := digest.Hex()
+	s.respondMemoized(w, r, key, func(_ *worker) (any, error) {
+		return buildSchedule(m, req.Algorithm, net, seed)
+	})
+}
+
+// chooseAlgorithm is the paper's Figure-5 operating-point policy: AC
+// for short-protocol messages, LP for dense large-message patterns,
+// RS_NL otherwise.
+func chooseAlgorithm(m *comm.Matrix, net topo.Topology) string {
+	params := costmodel.DefaultIPSC860()
+	d := m.Density()
+	bytes := m.MaxMessageBytes()
+	switch {
+	case bytes <= params.ShortMaxBytes:
+		return "AC"
+	case d >= net.Nodes()/2 && bytes > 1024:
+		return "LP"
+	default:
+		return "RS_NL"
+	}
+}
+
+// buildSchedule runs the chosen scheduler. It is pure: everything it
+// returns derives from its arguments, which is what makes memoization
+// and deterministic re-computation equivalent.
+func buildSchedule(m *comm.Matrix, algorithm string, net topo.Topology, seed int64) (*scheduleResult, error) {
+	chosen := algorithm
+	if chosen == "auto" {
+		chosen = chooseAlgorithm(m, net)
+	}
+	res := &scheduleResult{Chosen: chosen, Topology: net.Name(), Seed: seed}
+	if chosen == "AC" {
+		// Nothing to schedule: AC fires asynchronously. The wire
+		// schedule carries the algorithm tag and no phases; /v1/simulate
+		// accepts it together with the matrix.
+		if err := m.Validate(); err != nil {
+			return nil, badRequest("%v", err)
+		}
+		res.Schedule = &scheduleJSON{Algorithm: "AC", N: m.N()}
+		return res, nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var (
+		sc  *sched.Schedule
+		err error
+	)
+	switch chosen {
+	case "LP":
+		sc, err = sched.LP(m)
+	case "RS_N":
+		sc, err = sched.RSN(m, rng)
+	case "RS_NL":
+		sc, err = sched.RSNL(m, net, rng)
+	case "RS_NL_SZ":
+		sc, err = sched.RSNLSized(m, net, rng)
+	case "GREEDY":
+		sc, err = sched.Greedy(m)
+	case "GREEDY_LF":
+		sc, err = sched.GreedyLargestFirst(m)
+	default:
+		return nil, badRequest("unknown algorithm %q", chosen)
+	}
+	if err != nil {
+		return nil, badRequest("%s: %v", chosen, err)
+	}
+	res.LinkFree = sc.ValidateLinkFree(net) == nil
+	res.Schedule = scheduleWire(sc)
+	return res, nil
+}
+
+// --- /v1/simulate ---------------------------------------------------
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	s.requests[epSimulate].Add(1)
+	var req simulateRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	paramsName, params, err := resolveParams(req.Params)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+
+	// An absent schedule, or an AC schedule (which has no phases),
+	// means an asynchronous run driven directly by the matrix.
+	isAC := req.Schedule == nil || (req.Schedule.Algorithm == "AC" && len(req.Schedule.Phases) == 0)
+	var (
+		sc *sched.Schedule
+		m  *comm.Matrix
+		n  int
+	)
+	if isAC {
+		if req.Matrix == nil {
+			writeError(w, badRequest("an AC run (or a request without a schedule) needs a matrix"))
+			return
+		}
+		if m, err = resolveMatrix(req.Matrix); err != nil {
+			writeError(w, err)
+			return
+		}
+		n = m.N()
+	} else {
+		if sc, err = resolveSchedule(req.Schedule); err != nil {
+			writeError(w, err)
+			return
+		}
+		n = sc.N
+		if req.Matrix != nil {
+			// When the caller supplies both, check they agree — a cheap
+			// integrity check that catches mismatched uploads.
+			if m, err = resolveMatrix(req.Matrix); err != nil {
+				writeError(w, err)
+				return
+			}
+			if err = sc.Validate(m); err != nil {
+				writeError(w, badRequest("schedule does not match matrix: %v", err))
+				return
+			}
+		}
+	}
+
+	net, err := resolveTopology(req.Topology, n)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	protocol, err := resolveProtocol(req.Protocol, isAC, sc)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+
+	digest := simulateKey(sc, m, net, paramsName, protocol)
+	key := digest.Hex()
+	s.respondMemoized(w, r, key, func(wk *worker) (any, error) {
+		mach, err := wk.machine(net, paramsName, params)
+		if err != nil {
+			return nil, err
+		}
+		var result ipsc.Result
+		switch protocol {
+		case "AC":
+			order, err := sched.AC(m)
+			if err != nil {
+				return nil, badRequest("%v", err)
+			}
+			result, err = mach.RunAC(order, m)
+			if err != nil {
+				return nil, err
+			}
+		case "S1":
+			if result, err = mach.RunS1(sc); err != nil {
+				return nil, err
+			}
+		case "S2":
+			if result, err = mach.RunS2(sc); err != nil {
+				return nil, err
+			}
+		case "LP":
+			if result, err = mach.RunLP(sc); err != nil {
+				return nil, err
+			}
+		}
+		return &simulateResult{
+			Topology:       net.Name(),
+			Protocol:       protocol,
+			MakespanUS:     result.MakespanUS,
+			MakespanMS:     result.MakespanUS / 1000,
+			Transfers:      result.Transfers,
+			Exchanges:      result.Exchanges,
+			ResourceWaitUS: result.ResourceWaitUS,
+		}, nil
+	})
+}
+
+// resolveProtocol maps the requested execution protocol to a concrete
+// one, defaulting to the pairing the paper uses per algorithm.
+func resolveProtocol(requested string, isAC bool, sc *sched.Schedule) (string, error) {
+	if isAC {
+		if requested != "" && requested != "auto" && requested != "AC" {
+			return "", badRequest("AC runs do not take protocol %q", requested)
+		}
+		return "AC", nil
+	}
+	switch requested {
+	case "", "auto":
+		switch sc.Algorithm {
+		case "LP":
+			return "LP", nil
+		case "RS_NL", "RS_NL_SZ", "GREEDY_LF_LINK":
+			return "S1", nil
+		default:
+			return "S2", nil
+		}
+	case "S1", "S2", "LP":
+		return requested, nil
+	default:
+		return "", badRequest("unknown protocol %q (want auto, S1, S2, or LP)", requested)
+	}
+}
+
+// --- /v1/campaign ---------------------------------------------------
+
+func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
+	s.requests[epCampaign].Add(1)
+	var req campaignRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	cfg, points, err := resolveCampaign(&req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if !s.campaigns.acquire() {
+		s.rejected.Add(1)
+		writeError(w, &apiError{status: http.StatusTooManyRequests,
+			msg: fmt.Sprintf("already running %d campaigns; retry later", s.opts.MaxCampaigns)})
+		return
+	}
+	job, err := s.campaigns.add(len(points) * cfg.Samples * len(expt.Algorithms))
+	if err != nil {
+		s.campaigns.release()
+		s.rejected.Add(1) // registry full is shed load, same as the queue
+		writeError(w, err)
+		return
+	}
+	s.totalJobs.Add(1)
+	s.wg.Add(1)
+	// Each running campaign owns an expt.Runner pool of its own, so
+	// split the worker budget across the campaign slots: even with
+	// every slot busy, campaign goroutines never exceed the configured
+	// worker count and starve the synchronous pool of CPU.
+	parallelism := s.opts.Workers / s.opts.MaxCampaigns
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	go func() {
+		defer s.wg.Done()
+		defer s.campaigns.release()
+		runCampaign(s.ctx, job, cfg, points, parallelism)
+	}()
+	writeJSON(w, http.StatusAccepted, map[string]string{
+		"id":  job.id,
+		"url": "/v1/campaign/" + job.id,
+	})
+}
+
+func (s *Server) handleCampaignStatus(w http.ResponseWriter, r *http.Request) {
+	s.requests[epCampaignGet].Add(1)
+	id := r.PathValue("id")
+	job, ok := s.campaigns.get(id)
+	if !ok {
+		writeError(w, &apiError{status: http.StatusNotFound, msg: fmt.Sprintf("no campaign %q", id)})
+		return
+	}
+	writeJSON(w, http.StatusOK, job.status())
+}
+
+// --- /healthz and /metrics ------------------------------------------
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"workers": s.opts.Workers,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintf(w, "# TYPE unschedd_requests_total counter\n")
+	for i, name := range endpointNames {
+		fmt.Fprintf(w, "unschedd_requests_total{endpoint=%q} %d\n", name, s.requests[i].Load())
+	}
+	fmt.Fprintf(w, "# TYPE unschedd_rejected_total counter\n")
+	fmt.Fprintf(w, "unschedd_rejected_total %d\n", s.rejected.Load())
+	fmt.Fprintf(w, "# TYPE unschedd_cache_hits_total counter\n")
+	fmt.Fprintf(w, "unschedd_cache_hits_total %d\n", s.cache.hits.Load())
+	fmt.Fprintf(w, "# TYPE unschedd_cache_misses_total counter\n")
+	fmt.Fprintf(w, "unschedd_cache_misses_total %d\n", s.cache.misses.Load())
+	fmt.Fprintf(w, "# TYPE unschedd_cache_entries gauge\n")
+	fmt.Fprintf(w, "unschedd_cache_entries %d\n", s.cache.len())
+	fmt.Fprintf(w, "# TYPE unschedd_queue_depth gauge\n")
+	fmt.Fprintf(w, "unschedd_queue_depth %d\n", s.pool.depth.Load())
+	fmt.Fprintf(w, "# TYPE unschedd_queue_capacity gauge\n")
+	fmt.Fprintf(w, "unschedd_queue_capacity %d\n", s.opts.QueueDepth)
+	fmt.Fprintf(w, "# TYPE unschedd_workers gauge\n")
+	fmt.Fprintf(w, "unschedd_workers %d\n", s.opts.Workers)
+	fmt.Fprintf(w, "# TYPE unschedd_campaigns_total counter\n")
+	fmt.Fprintf(w, "unschedd_campaigns_total %d\n", s.totalJobs.Load())
+	fmt.Fprintf(w, "# TYPE unschedd_campaigns_running gauge\n")
+	fmt.Fprintf(w, "unschedd_campaigns_running %d\n", len(s.campaigns.running))
+}

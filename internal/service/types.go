@@ -1,0 +1,385 @@
+package service
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"unsched/internal/comm"
+	"unsched/internal/costmodel"
+	"unsched/internal/hypercube"
+	"unsched/internal/mesh"
+	"unsched/internal/sched"
+	"unsched/internal/topo"
+)
+
+// maxRequestBytes bounds a request body. Bodies are decoded on the
+// HTTP goroutine before pool backpressure can engage, so this cap —
+// sized to fit a fully dense maxServiceNodes matrix (~24 MB of
+// triples) with headroom and nothing more — is the per-connection
+// memory bound. Larger bodies get an explicit 413.
+const maxRequestBytes = 32 << 20
+
+// maxServiceNodes bounds the machine size one request may target: the
+// largest topology the campaign API serves (dim 10). Simulator state
+// is O(n^2), so this cap — not comm.MaxReadNodes, which only guards
+// the file parser — is what keeps a worker's reusable machines at
+// ~20 MB each instead of ~300 MB.
+const maxServiceNodes = 1 << maxCampaignDim
+
+// apiError is an error with an HTTP status. Handlers convert every
+// failure into one so clients always get a JSON error document.
+type apiError struct {
+	status int
+	msg    string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) *apiError {
+	return &apiError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// --- wire types -----------------------------------------------------
+
+// matrixJSON is the wire form of a communication matrix: the dimension
+// and the nonzero entries as [src, dst, bytes] triples.
+type matrixJSON struct {
+	N        int        `json:"n"`
+	Messages [][3]int64 `json:"messages"`
+}
+
+// topologyJSON names the network a request targets. Kind "cube" uses
+// Dim (2^Dim nodes); "mesh" and "torus" use W x H.
+type topologyJSON struct {
+	Kind string `json:"kind"`
+	Dim  int    `json:"dim,omitempty"`
+	W    int    `json:"w,omitempty"`
+	H    int    `json:"h,omitempty"`
+}
+
+// scheduleRequest is the body of POST /v1/schedule.
+type scheduleRequest struct {
+	Matrix *matrixJSON `json:"matrix"`
+	// Algorithm is AC, LP, RS_N, RS_NL, RS_NL_SZ, GREEDY, GREEDY_LF,
+	// or "auto" (the default) for the paper's Figure-5 policy.
+	Algorithm string        `json:"algorithm,omitempty"`
+	Topology  *topologyJSON `json:"topology,omitempty"`
+	// Seed perturbs the randomized schedulers. It is part of the cache
+	// key; the effective RNG seed is derived from the full request
+	// content, so identical requests always produce identical
+	// schedules, seed field present or not.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// phaseJSON is one schedule phase as [src, dst, bytes] triples.
+type phaseJSON [][3]int64
+
+// scheduleJSON is the wire form of a computed schedule, reusable as
+// the input of /v1/simulate.
+type scheduleJSON struct {
+	Algorithm string      `json:"algorithm"`
+	N         int         `json:"n"`
+	Ops       int64       `json:"ops"`
+	Phases    []phaseJSON `json:"phases"`
+}
+
+// scheduleResult is the cached payload of a /v1/schedule response.
+type scheduleResult struct {
+	// Chosen is the concrete algorithm that ran ("auto" resolves here).
+	Chosen   string `json:"chosen"`
+	Topology string `json:"topology"`
+	// Seed is the effective RNG seed, derived from the request content.
+	Seed     int64         `json:"seed"`
+	LinkFree bool          `json:"link_free"`
+	Schedule *scheduleJSON `json:"schedule"`
+}
+
+// simulateRequest is the body of POST /v1/simulate. Algorithm AC needs
+// Matrix instead of Schedule phases; everything else needs Schedule.
+type simulateRequest struct {
+	Schedule *scheduleJSON `json:"schedule"`
+	Matrix   *matrixJSON   `json:"matrix,omitempty"`
+	Topology *topologyJSON `json:"topology,omitempty"`
+	// Params picks the timing model: "ipsc860" (default) or "ipsc2".
+	Params string `json:"params,omitempty"`
+	// Protocol is "auto" (default: the pairing the paper uses for the
+	// schedule's algorithm), "S1", "S2", or "LP".
+	Protocol string `json:"protocol,omitempty"`
+}
+
+// simulateResult is the cached payload of a /v1/simulate response.
+type simulateResult struct {
+	Topology       string  `json:"topology"`
+	Protocol       string  `json:"protocol"`
+	MakespanUS     float64 `json:"makespan_us"`
+	MakespanMS     float64 `json:"makespan_ms"`
+	Transfers      int     `json:"transfers"`
+	Exchanges      int     `json:"exchanges"`
+	ResourceWaitUS float64 `json:"resource_wait_us"`
+}
+
+// envelope is the outer document of every synchronous response. Result
+// is the memoized part: on a cache hit it is returned byte for byte as
+// first computed.
+type envelope struct {
+	Key    string          `json:"key"`
+	Cached bool            `json:"cached"`
+	Result json.RawMessage `json:"result"`
+}
+
+// errorDoc is the body of every non-2xx response.
+type errorDoc struct {
+	Error string `json:"error"`
+}
+
+// --- decoding and resolution ----------------------------------------
+
+// decodeJSON strictly decodes one JSON document of the request body
+// into v, answering oversized bodies with an explicit 413 instead of
+// a misleading truncation error.
+func decodeJSON(r *http.Request, v any) error {
+	if r.ContentLength > maxRequestBytes {
+		return &apiError{status: http.StatusRequestEntityTooLarge,
+			msg: fmt.Sprintf("request body %d bytes exceeds limit %d", r.ContentLength, maxRequestBytes)}
+	}
+	// Chunked bodies carry no length up front; cap them and surface
+	// the same 413 when the limit is actually hit.
+	limited := &io.LimitedReader{R: r.Body, N: maxRequestBytes + 1}
+	dec := json.NewDecoder(limited)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		if limited.N <= 0 {
+			return &apiError{status: http.StatusRequestEntityTooLarge,
+				msg: fmt.Sprintf("request body exceeds limit %d", maxRequestBytes)}
+		}
+		return badRequest("bad request body: %v", err)
+	}
+	// Trailing garbage after the document is a malformed request.
+	if dec.More() {
+		return badRequest("bad request body: trailing data after JSON document")
+	}
+	return nil
+}
+
+// resolveMatrix validates the wire matrix and builds the dense form.
+func resolveMatrix(mj *matrixJSON) (*comm.Matrix, error) {
+	if mj == nil {
+		return nil, badRequest("missing matrix")
+	}
+	if mj.N < 2 || mj.N > maxServiceNodes {
+		return nil, badRequest("matrix n=%d out of range [2,%d]", mj.N, maxServiceNodes)
+	}
+	m, err := comm.New(mj.N)
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	if max := mj.N * (mj.N - 1); len(mj.Messages) > max {
+		return nil, badRequest("%d messages for n=%d; a matrix holds at most %d", len(mj.Messages), mj.N, max)
+	}
+	for k, msg := range mj.Messages {
+		src, dst, bytes := msg[0], msg[1], msg[2]
+		if src < 0 || src >= int64(mj.N) || dst < 0 || dst >= int64(mj.N) {
+			return nil, badRequest("message %d: node out of range [0,%d)", k, mj.N)
+		}
+		if src == dst {
+			return nil, badRequest("message %d: self message %d->%d", k, src, dst)
+		}
+		if bytes <= 0 {
+			return nil, badRequest("message %d: size %d must be positive", k, bytes)
+		}
+		if m.At(int(src), int(dst)) != 0 {
+			// Silently overwriting (or summing) ambiguous input would
+			// hand back a 200 for a matrix the client didn't mean.
+			return nil, badRequest("message %d: duplicate entry %d->%d", k, src, dst)
+		}
+		m.Set(int(src), int(dst), bytes)
+	}
+	return m, nil
+}
+
+// matrixWire converts a dense matrix back to wire form.
+func matrixWire(m *comm.Matrix) *matrixJSON {
+	msgs := m.Messages()
+	out := &matrixJSON{N: m.N(), Messages: make([][3]int64, len(msgs))}
+	for i, msg := range msgs {
+		out.Messages[i] = [3]int64{int64(msg.Src), int64(msg.Dst), msg.Bytes}
+	}
+	return out
+}
+
+// resolveTopology builds the requested network; nil defaults to the
+// hypercube sized for n nodes.
+func resolveTopology(tj *topologyJSON, n int) (topo.Topology, error) {
+	if tj == nil {
+		tj = &topologyJSON{Kind: "cube"}
+	}
+	switch tj.Kind {
+	case "", "cube":
+		if tj.Dim > 0 {
+			if nodes := 1 << tj.Dim; nodes != n {
+				return nil, badRequest("cube dim %d has %d nodes, matrix has %d", tj.Dim, nodes, n)
+			}
+		}
+		net, err := hypercube.ForNodes(n)
+		if err != nil {
+			return nil, badRequest("%v", err)
+		}
+		return net, nil
+	case "mesh", "torus":
+		w, h := tj.W, tj.H
+		if w <= 0 || h <= 0 {
+			return nil, badRequest("%s topology needs positive w and h", tj.Kind)
+		}
+		if w*h != n {
+			return nil, badRequest("%s %dx%d has %d nodes, matrix has %d", tj.Kind, w, h, w*h, n)
+		}
+		net, err := mesh.New(w, h, tj.Kind == "torus")
+		if err != nil {
+			return nil, badRequest("%v", err)
+		}
+		return net, nil
+	default:
+		return nil, badRequest("unknown topology kind %q", tj.Kind)
+	}
+}
+
+// resolveParams picks the timing model by name.
+func resolveParams(name string) (string, costmodel.Params, error) {
+	switch name {
+	case "", "ipsc860":
+		return "ipsc860", costmodel.DefaultIPSC860(), nil
+	case "ipsc2":
+		return "ipsc2", costmodel.DefaultIPSC2(), nil
+	default:
+		return "", costmodel.Params{}, badRequest("unknown params %q (want ipsc860 or ipsc2)", name)
+	}
+}
+
+// scheduleWire converts a computed schedule to wire form.
+func scheduleWire(s *sched.Schedule) *scheduleJSON {
+	out := &scheduleJSON{
+		Algorithm: s.Algorithm,
+		N:         s.N,
+		Ops:       s.Ops,
+		Phases:    make([]phaseJSON, len(s.Phases)),
+	}
+	for k, p := range s.Phases {
+		phase := make(phaseJSON, 0, p.Messages())
+		for i, j := range p.Send {
+			if j >= 0 {
+				phase = append(phase, [3]int64{int64(i), int64(j), p.Bytes[i]})
+			}
+		}
+		out.Phases[k] = phase
+	}
+	return out
+}
+
+// resolveSchedule validates the wire schedule and builds the phase
+// form, rejecting node contention and out-of-range entries.
+func resolveSchedule(sj *scheduleJSON) (*sched.Schedule, error) {
+	if sj == nil {
+		return nil, badRequest("missing schedule")
+	}
+	n := sj.N
+	if n < 2 || n > maxServiceNodes {
+		return nil, badRequest("schedule n=%d out of range [2,%d]", n, maxServiceNodes)
+	}
+	// Every real decomposition is far under 4n phases (LP uses n-1,
+	// the randomized schedulers ~d + log d, greedy list scheduling
+	// ~2d), and each phase costs O(n) dense storage even when empty —
+	// so this cap is what stops a few MB of "[]," phases from
+	// allocating gigabytes.
+	if len(sj.Phases) > 4*n {
+		return nil, badRequest("schedule has %d phases for n=%d; limit %d", len(sj.Phases), n, 4*n)
+	}
+	s := &sched.Schedule{Algorithm: sj.Algorithm, N: n, Ops: sj.Ops}
+	for k, pj := range sj.Phases {
+		p := sched.NewPhase(n)
+		recvBusy := make([]bool, n)
+		for _, msg := range pj {
+			src, dst, bytes := msg[0], msg[1], msg[2]
+			if src < 0 || src >= int64(n) || dst < 0 || dst >= int64(n) {
+				return nil, badRequest("phase %d: node out of range [0,%d)", k, n)
+			}
+			if src == dst {
+				return nil, badRequest("phase %d: self message at P%d", k, src)
+			}
+			if bytes <= 0 {
+				return nil, badRequest("phase %d: size %d must be positive", k, bytes)
+			}
+			if p.Send[src] != -1 {
+				return nil, badRequest("phase %d: P%d sends twice", k, src)
+			}
+			if recvBusy[dst] {
+				return nil, badRequest("phase %d: P%d receives twice", k, dst)
+			}
+			p.Send[src] = int(dst)
+			p.Bytes[src] = bytes
+			recvBusy[dst] = true
+		}
+		s.Phases = append(s.Phases, p)
+	}
+	return s, nil
+}
+
+// --- content hashing ------------------------------------------------
+
+// fingerprintTopology mixes the topology identity into d. Name()
+// already encodes kind and extent ("hypercube-6", "mesh-8x8-torus").
+func fingerprintTopology(d *comm.Digest, net topo.Topology) {
+	d.String("topology")
+	d.String(net.Name())
+}
+
+// scheduleKey hashes everything that determines a /v1/schedule
+// response: matrix content, algorithm, topology, and the client seed.
+func scheduleKey(m *comm.Matrix, algorithm string, net topo.Topology, seed int64) *comm.Digest {
+	d := comm.NewDigest()
+	d.String("schedule/v1")
+	m.Fingerprint(d)
+	d.String(algorithm)
+	fingerprintTopology(d, net)
+	d.Int64(seed)
+	return d
+}
+
+// simulateKey hashes everything that determines a /v1/simulate
+// response: the schedule (or AC matrix), topology, timing model, and
+// protocol.
+func simulateKey(s *sched.Schedule, m *comm.Matrix, net topo.Topology, paramsName, protocol string) *comm.Digest {
+	d := comm.NewDigest()
+	d.String("simulate/v1")
+	if s != nil {
+		d.String(s.Algorithm)
+		d.Int64(int64(s.N))
+		for _, p := range s.Phases {
+			d.String("phase")
+			for i, j := range p.Send {
+				if j >= 0 {
+					d.Int64(int64(i))
+					d.Int64(int64(j))
+					d.Int64(p.Bytes[i])
+				}
+			}
+		}
+	}
+	if m != nil {
+		m.Fingerprint(d)
+	}
+	fingerprintTopology(d, net)
+	d.String(paramsName)
+	d.String(protocol)
+	return d
+}
+
+// effectiveSeed derives the RNG seed for randomized schedulers from
+// the request's content hash, so the same request draws the same
+// random numbers no matter when or where it runs.
+func effectiveSeed(d *comm.Digest) int64 {
+	sum := d.Sum()
+	return int64(binary.BigEndian.Uint64(sum[:8]))
+}

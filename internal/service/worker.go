@@ -1,0 +1,149 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"unsched/internal/costmodel"
+	"unsched/internal/ipsc"
+	"unsched/internal/topo"
+)
+
+// errBusy is returned by submit when the queue is full; handlers
+// translate it into 429 so load sheds at the door instead of piling
+// into unbounded goroutines.
+var errBusy = errors.New("service: queue full")
+
+// errClosed is returned by submit after Close.
+var errClosed = errors.New("service: shutting down")
+
+// task is one unit of synchronous work. The worker calls run with its
+// private simulator state and closes done; the submitting handler
+// waits on done and reads whatever run stored. Workers never touch the
+// HTTP layer, so an abandoned request (client gone) finishes harmlessly.
+type task struct {
+	run  func(w *worker)
+	done chan struct{}
+	// panicked carries a panic recovered while running the task; the
+	// submitting handler surfaces it as a 500. Written before done is
+	// closed, read only after.
+	panicked error
+}
+
+// worker owns the reusable per-goroutine simulation state: one machine
+// per (topology, params) pair it has served, reset and reused across
+// requests so the hot path — repeated workloads on the default machine
+// — allocates nothing per run beyond program compilation.
+type worker struct {
+	machines map[machineKey]*ipsc.Machine
+}
+
+type machineKey struct {
+	topoName string
+	params   string
+}
+
+// maxMachinesPerWorker bounds the per-worker machine cache; requests
+// name topologies freely, so an adversarial mix could otherwise grow
+// it without limit. Machine state is O(n^2) — ~20 MB at the service's
+// maxServiceNodes cap — so 4 machines bounds a worker's retained
+// simulator memory under 100 MB even under a worst-case topology mix;
+// real deployments hit one or two topologies and never evict.
+const maxMachinesPerWorker = 4
+
+// machine returns the worker's reusable machine for (net, params),
+// building and caching it on first use.
+func (w *worker) machine(net topo.Topology, paramsName string, params costmodel.Params) (*ipsc.Machine, error) {
+	key := machineKey{topoName: net.Name(), params: paramsName}
+	if m, ok := w.machines[key]; ok {
+		return m, nil
+	}
+	// Evict one arbitrary entry rather than the whole map: a cycling
+	// topology mix then rebuilds one machine per request, not all of
+	// them.
+	if len(w.machines) >= maxMachinesPerWorker {
+		for k := range w.machines {
+			delete(w.machines, k)
+			break
+		}
+	}
+	m, err := ipsc.NewMachine(net, params)
+	if err != nil {
+		return nil, err
+	}
+	w.machines[key] = m
+	return m, nil
+}
+
+// pool runs tasks on a fixed set of workers fed by a bounded queue.
+type pool struct {
+	mu     sync.Mutex
+	closed bool
+	queue  chan *task
+	wg     sync.WaitGroup
+	depth  atomic.Int64
+}
+
+// newPool starts workers goroutines behind a queue of queueLen slots.
+func newPool(workers, queueLen int) *pool {
+	p := &pool{queue: make(chan *task, queueLen)}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			w := &worker{machines: make(map[machineKey]*ipsc.Machine)}
+			for t := range p.queue {
+				p.depth.Add(-1)
+				runOne(w, t)
+			}
+		}()
+	}
+	return p
+}
+
+// runOne executes one task, containing any panic to that task: the
+// worker survives, done is always closed (so single-flight followers
+// are never stranded), and the panic surfaces to the one request that
+// triggered it instead of killing the daemon. The machine map is
+// dropped because a panic may have left a cached machine mid-run.
+func runOne(w *worker, t *task) {
+	defer close(t.done)
+	defer func() {
+		if r := recover(); r != nil {
+			t.panicked = fmt.Errorf("service: panic serving request: %v", r)
+			w.machines = make(map[machineKey]*ipsc.Machine)
+		}
+	}()
+	t.run(w)
+}
+
+// submit enqueues t without blocking. A full queue returns errBusy —
+// the backpressure signal — and a closed pool returns errClosed.
+func (p *pool) submit(t *task) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return errClosed
+	}
+	select {
+	case p.queue <- t:
+		p.depth.Add(1)
+		return nil
+	default:
+		return errBusy
+	}
+}
+
+// close drains the queue and stops the workers; queued tasks still
+// run, new submissions fail with errClosed.
+func (p *pool) close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.queue)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}

@@ -124,12 +124,19 @@ func splitmix64(x uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
-// Stream returns the generator for the given stream index. Calling
-// Stream twice with the same index returns generators with identical
-// state streams.
-func (s *Source) Stream(index int64) *rand.Rand {
-	mixed := splitmix64(uint64(s.seed)*0x9e3779b97f4a7c15 + uint64(index))
-	return rand.New(rand.NewSource(int64(mixed)))
+// StreamKeyed returns the generator for a composite key, folding each
+// component through SplitMix64. Unlike packing a tuple into one index
+// with a linear combination (d*1e6 + M*1000 + s collides for, e.g.,
+// (4, 1024, s) and (5, 24, s)), composed mixing leaves no algebraic
+// relation between tuples, so distinct keys get decorrelated streams
+// whatever their ranges. Identical keys still produce identical
+// streams — the reproducibility contract is unchanged.
+func (s *Source) StreamKeyed(parts ...int64) *rand.Rand {
+	x := uint64(s.seed) * 0x9e3779b97f4a7c15
+	for _, p := range parts {
+		x = splitmix64(x ^ uint64(p))
+	}
+	return rand.New(rand.NewSource(int64(x)))
 }
 
 // Perm returns a random permutation of [0,n) using r.

@@ -60,8 +60,8 @@ func TestMeanMaxMin(t *testing.T) {
 }
 
 func TestSourceDeterministic(t *testing.T) {
-	a := NewSource(42).Stream(3)
-	b := NewSource(42).Stream(3)
+	a := NewSource(42).StreamKeyed(3)
+	b := NewSource(42).StreamKeyed(3)
 	for i := 0; i < 100; i++ {
 		if a.Int63() != b.Int63() {
 			t.Fatal("same (seed, stream) produced different values")
@@ -69,10 +69,48 @@ func TestSourceDeterministic(t *testing.T) {
 	}
 }
 
+func TestStreamKeyedDeterministic(t *testing.T) {
+	a := NewSource(42).StreamKeyed(1, 4, 1024, 7)
+	b := NewSource(42).StreamKeyed(1, 4, 1024, 7)
+	for i := 0; i < 100; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatal("same (seed, key) produced different values")
+		}
+	}
+}
+
+// TestStreamKeyedNoLinearCollisions pins the collision class that the
+// old linear packing d*1e6 + M*1000 + sample suffered from: the cells
+// (d=4, M=1024) and (d=5, M=24) packed to the same index, so two
+// "independent" campaign cells drew identical randomness. Composite
+// keys must keep such tuples apart.
+func TestStreamKeyedNoLinearCollisions(t *testing.T) {
+	src := NewSource(1994)
+	pairs := [][2][]int64{
+		{{0, 4, 1024, 0}, {0, 5, 24, 0}},         // the historical collision
+		{{0, 17, 24, 0}, {1, 4, 256, 0, 0}},      // pattern vs sched cross-talk
+		{{0, 4, 1024, 0}, {1, 4, 1024, 0}},       // tag separates stream kinds
+		{{1, 4, 1024, 0, 0}, {1, 4, 1024, 0, 1}}, // algorithms differ
+	}
+	for _, p := range pairs {
+		a := src.StreamKeyed(p[0]...)
+		b := src.StreamKeyed(p[1]...)
+		same := 0
+		for i := 0; i < 100; i++ {
+			if a.Int63() == b.Int63() {
+				same++
+			}
+		}
+		if same > 2 {
+			t.Errorf("keys %v and %v collided %d/100 times", p[0], p[1], same)
+		}
+	}
+}
+
 func TestSourceStreamsIndependent(t *testing.T) {
 	src := NewSource(42)
-	a := src.Stream(0)
-	b := src.Stream(1)
+	a := src.StreamKeyed(0)
+	b := src.StreamKeyed(1)
 	same := 0
 	for i := 0; i < 100; i++ {
 		if a.Int63() == b.Int63() {
@@ -106,7 +144,7 @@ func TestSummaryBoundsProperty(t *testing.T) {
 }
 
 func TestPerm(t *testing.T) {
-	r := NewSource(7).Stream(0)
+	r := NewSource(7).StreamKeyed(0)
 	p := Perm(r, 10)
 	seen := make([]bool, 10)
 	for _, v := range p {
