@@ -1,0 +1,51 @@
+// Allocation-regression test for the steady-state schedule→simulate
+// round trip — the configuration every campaign worker and unschedd
+// worker runs in: one reusable SchedCore and one reusable SimMachine
+// per goroutine. Excluded under the race detector: its
+// instrumentation changes allocation counts.
+//
+//go:build !race
+
+package unsched
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// allocBudgetRoundTrip pins one RSNL schedule plus one S1 simulation
+// on reused core+machine. The budget is dominated by the two outputs
+// that must escape — the Schedule's phases and the simulator's per-run
+// program compilation (~5.6k allocations, cf. the committed
+// BenchmarkSimulatorRSNLReused baseline); scheduler scratch adds
+// nothing. A regression in either reuse path blows well past the
+// headroom.
+const allocBudgetRoundTrip = 7000
+
+func TestScheduleSimulateRoundTripAllocs(t *testing.T) {
+	cube := NewCube(6)
+	m, err := DRegular(64, 16, 4096, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	core := NewSchedCore(cube)
+	mach, err := NewSimMachine(cube, DefaultIPSC860())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	roundTrip := func() {
+		s, err := core.RSNL(m, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := mach.RunS1(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	roundTrip() // warm the scratch
+	got := testing.AllocsPerRun(20, roundTrip)
+	if got > allocBudgetRoundTrip {
+		t.Errorf("reused core+machine round trip: %.1f allocs/run, budget %d", got, allocBudgetRoundTrip)
+	}
+}

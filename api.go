@@ -57,6 +57,17 @@ type (
 	// SimMachine is a reusable single-run simulator instance; its Run
 	// methods reset and reuse its state, avoiding per-run allocation.
 	SimMachine = ipsc.Machine
+	// SchedCore is a reusable scheduler instance: it owns the CCOM row
+	// storage, occupancy tables, and busy vectors the algorithms need,
+	// and re-initializes them in place per call — the scheduling-side
+	// mirror of SimMachine's Reset-reuse contract. Create one per
+	// goroutine; schedules are bit-identical to the package functions.
+	SchedCore = sched.Core
+	// RouteTable is a CSR-packed precomputation of all n^2
+	// deterministic routes of a Topology: built once (O(n^2 * diameter)
+	// memory), immutable, safe to share across any number of cores and
+	// goroutines.
+	RouteTable = topo.RouteTable
 	// Server is the unschedd scheduling service: schedule/simulate/
 	// campaign endpoints over a bounded worker pool with a
 	// content-addressed memoization cache (see cmd/unschedd).
@@ -204,3 +215,19 @@ func NewServer(opts ServerOptions) *Server { return service.NewServer(opts) }
 func NewSimMachine(net Topology, params Params) (*SimMachine, error) {
 	return ipsc.NewMachine(net, params)
 }
+
+// NewRouteTable precomputes every deterministic route of net, to be
+// shared read-only by any number of scheduler cores (and goroutines).
+func NewRouteTable(net Topology) *RouteTable { return topo.NewRouteTable(net) }
+
+// NewSchedCore returns a reusable scheduler core for net, precomputing
+// its route table. Drive it through its RSNL/RSN/LP/... methods; one
+// core serves an arbitrarily long schedule sequence without
+// reallocating scratch state. Create one per goroutine — a core must
+// not be shared concurrently. For many cores over one topology, build
+// the table once with NewRouteTable and use NewSchedCoreForTable.
+func NewSchedCore(net Topology) *SchedCore { return sched.NewCore(net) }
+
+// NewSchedCoreForTable returns a reusable scheduler core over a shared
+// precomputed route table.
+func NewSchedCoreForTable(rt *RouteTable) *SchedCore { return sched.NewCoreForTable(rt) }

@@ -573,6 +573,120 @@ func BenchmarkSimulatorRSNLReused(b *testing.B) {
 	}
 }
 
+// --- Scheduler cores: reused (precomputed routes) vs throwaway ------
+
+// benchSchedMatrix is the shared workload of the BenchmarkSched*
+// pair: the paper's machine at d=16, the densest Table 1 row below
+// half machine size.
+func benchSchedMatrix(b *testing.B) *comm.Matrix {
+	b.Helper()
+	m, err := comm.DRegular(64, 16, 4096, rand.New(rand.NewSource(10)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// BenchmarkSchedCoreRSNLReused is the steady-state configuration of
+// campaign and unschedd workers: one reusable core whose occupancy
+// tables walk a precomputed route table. Compare allocs/op against
+// the throwaway benchmark below — the gap is what core reuse saves on
+// every request.
+func BenchmarkSchedCoreRSNLReused(b *testing.B) {
+	m := benchSchedMatrix(b)
+	core := sched.NewCore(hypercube.MustNew(6))
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RSNL(m, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSchedCoreRSNLThrowaway is the package-level path: every
+// call rebuilds all scratch state and generates e-cube routes on the
+// fly.
+func BenchmarkSchedCoreRSNLThrowaway(b *testing.B) {
+	m := benchSchedMatrix(b)
+	cube := hypercube.MustNew(6)
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sched.RSNL(m, cube, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSchedCoreGreedyLFLinkReused exercises the recycled
+// per-phase occupancy pool; the throwaway variant allocates a fresh
+// O(channels) table for every phase it opens.
+func BenchmarkSchedCoreGreedyLFLinkReused(b *testing.B) {
+	m := benchSchedMatrix(b)
+	core := sched.NewCore(hypercube.MustNew(6))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.GreedyLargestFirstLinkFree(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSchedCoreGreedyLFLinkThrowaway(b *testing.B) {
+	m := benchSchedMatrix(b)
+	cube := hypercube.MustNew(6)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sched.GreedyLargestFirstLinkFree(m, cube); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSchedCoreRoundTripReused measures the full steady-state
+// pipeline of a worker goroutine: schedule on a reused core, simulate
+// on a reused machine.
+func BenchmarkSchedCoreRoundTripReused(b *testing.B) {
+	m := benchSchedMatrix(b)
+	cube := hypercube.MustNew(6)
+	core := sched.NewCore(cube)
+	mach, err := ipsc.NewMachine(cube, costmodel.DefaultIPSC860())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := core.RSNL(m, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := mach.RunS1(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRouteTableBuild prices the precomputation itself, so the
+// "when does the table pay off" break-even in the README stays
+// honest.
+func BenchmarkRouteTableBuild(b *testing.B) {
+	cube := hypercube.MustNew(6)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rt := topo.NewRouteTable(cube); rt.Nodes() != 64 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
 func BenchmarkEcubeRouting(b *testing.B) {
 	cube := hypercube.MustNew(6)
 	var buf []hypercube.Channel

@@ -18,6 +18,13 @@
 // report fail the gate: silently dropping a tracked benchmark is how
 // regressions hide. New benchmarks in the current report are reported
 // but do not fail; commit a refreshed baseline to start tracking them.
+//
+// Render the same comparison as a GitHub-flavored markdown table (for
+// the Actions step summary) instead of gating — this mode always
+// exits 0, so the summary renders even when the separate gate step
+// will fail ("-" writes to stdout, e.g. >> $GITHUB_STEP_SUMMARY):
+//
+//	benchgate -baseline BENCH_baseline.json -current BENCH_PR.json -markdown -
 package main
 
 import (
@@ -57,6 +64,7 @@ func run(args []string, stdout io.Writer) error {
 		out       string
 		baseline  string
 		current   string
+		markdown  string
 		threshold float64
 	)
 	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
@@ -64,6 +72,7 @@ func run(args []string, stdout io.Writer) error {
 	fs.StringVar(&out, "out", "", "with -parse: write the JSON report here (default stdout)")
 	fs.StringVar(&baseline, "baseline", "", "committed baseline report to gate against")
 	fs.StringVar(&current, "current", "", "current report to gate")
+	fs.StringVar(&markdown, "markdown", "", "with -baseline and -current: render a markdown before/after table to this file (\"-\" for stdout) instead of gating")
 	fs.Float64Var(&threshold, "threshold", 0.25, "allowed fractional regression per metric")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -71,6 +80,8 @@ func run(args []string, stdout io.Writer) error {
 	switch {
 	case parse != "":
 		return runParse(parse, out, stdout)
+	case baseline != "" && current != "" && markdown != "":
+		return runMarkdown(baseline, current, markdown, threshold, stdout)
 	case baseline != "" && current != "":
 		return runCompare(baseline, current, threshold, stdout)
 	default:
@@ -127,6 +138,105 @@ func runCompare(baselinePath, currentPath string, threshold float64, stdout io.W
 	}
 	fmt.Fprintf(stdout, "gate passed: no benchmark regressed more than %.0f%%\n", threshold*100)
 	return nil
+}
+
+// runMarkdown renders the baseline/current comparison as a GitHub-
+// flavored markdown table. It never fails on regressions — the table
+// is for the Actions step summary, and must render even (especially)
+// when the separate gate invocation is about to fail the job.
+func runMarkdown(baselinePath, currentPath, outPath string, threshold float64, stdout io.Writer) error {
+	baseline, err := readReport(baselinePath)
+	if err != nil {
+		return err
+	}
+	current, err := readReport(currentPath)
+	if err != nil {
+		return err
+	}
+	doc := renderMarkdown(baseline, current, threshold)
+	if outPath == "-" {
+		_, err = io.WriteString(stdout, doc)
+		return err
+	}
+	// Append rather than truncate: $GITHUB_STEP_SUMMARY accumulates
+	// sections, and other steps may already have written theirs.
+	f, err := os.OpenFile(outPath, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := io.WriteString(f, doc); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// renderMarkdown builds the before/after table: one row per benchmark
+// in either report, tracked rows flagged when they breach threshold.
+func renderMarkdown(baseline, current *Report, threshold float64) string {
+	names := make([]string, 0, len(baseline.Benchmarks)+len(current.Benchmarks))
+	for name := range baseline.Benchmarks {
+		names = append(names, name)
+	}
+	for name := range current.Benchmarks {
+		if _, ok := baseline.Benchmarks[name]; !ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "### Benchmark gate (threshold +%.0f%%)\n\n", threshold*100)
+	b.WriteString("| benchmark | ns/op (base → PR) | Δ | allocs/op (base → PR) | Δ | status |\n")
+	b.WriteString("|---|---:|---:|---:|---:|---|\n")
+	for _, name := range names {
+		base, inBase := baseline.Benchmarks[name]
+		cur, inCur := current.Benchmarks[name]
+		switch {
+		case !inBase:
+			fmt.Fprintf(&b, "| %s | — → %s | | — → %s | | 🆕 untracked |\n",
+				name, fmtMetric(cur.NsPerOp), fmtMetric(cur.AllocsPerOp))
+		case !inCur:
+			fmt.Fprintf(&b, "| %s | %s → — | | %s → — | | ❌ missing from PR |\n",
+				name, fmtMetric(base.NsPerOp), fmtMetric(base.AllocsPerOp))
+		default:
+			nsCell, nsDelta, nsOK := markdownMetric(base.NsPerOp, cur.NsPerOp, threshold)
+			alCell, alDelta, alOK := markdownMetric(base.AllocsPerOp, cur.AllocsPerOp, threshold)
+			status := "✅ ok"
+			if !nsOK || !alOK {
+				status = "❌ regressed"
+			}
+			fmt.Fprintf(&b, "| %s | %s | %s | %s | %s | %s |\n",
+				name, nsCell, nsDelta, alCell, alDelta, status)
+		}
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// markdownMetric formats one before/after cell plus its delta, and
+// reports whether the metric stays inside the gate (mirroring
+// gateMetric: an untracked baseline passes, a vanished current metric
+// fails).
+func markdownMetric(base, cur, threshold float64) (cell, delta string, ok bool) {
+	if base <= 0 {
+		return fmt.Sprintf("— → %s", fmtMetric(cur)), "", true
+	}
+	if cur <= 0 {
+		return fmt.Sprintf("%s → —", fmtMetric(base)), "", false
+	}
+	d := (cur - base) / base
+	return fmt.Sprintf("%s → %s", fmtMetric(base), fmtMetric(cur)),
+		fmt.Sprintf("%+.1f%%", d*100), d <= threshold
+}
+
+// fmtMetric renders a metric value compactly (benchmark ns/op values
+// run to nine digits; full precision is noise in a summary table).
+func fmtMetric(v float64) string {
+	if v <= 0 {
+		return "—"
+	}
+	return strconv.FormatFloat(v, 'g', 5, 64)
 }
 
 func readReport(path string) (*Report, error) {

@@ -143,3 +143,86 @@ func TestRunNeedsAMode(t *testing.T) {
 		t.Error("no-mode invocation succeeded")
 	}
 }
+
+func TestMarkdownTable(t *testing.T) {
+	baseline := report(1000, 100)
+	current := report(1300, 100) // +30% ns/op: over the 25% threshold
+	current.Benchmarks["BenchmarkBrandNew"] = Metrics{NsPerOp: 42, AllocsPerOp: 7}
+	baseline.Benchmarks["BenchmarkGone"] = Metrics{NsPerOp: 5, AllocsPerOp: 1}
+
+	doc := renderMarkdown(baseline, current, 0.25)
+	for _, want := range []string{
+		"| benchmark |",
+		"❌ regressed",       // the tracked +30% row
+		"+30.0%",            // its delta
+		"🆕 untracked",       // BenchmarkBrandNew
+		"❌ missing from PR", // BenchmarkGone
+		"1000 → 1300",       // before/after cell
+		"threshold +25%",
+	} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("markdown table missing %q:\n%s", want, doc)
+		}
+	}
+}
+
+func TestMarkdownWithinThreshold(t *testing.T) {
+	doc := renderMarkdown(report(1000, 100), report(1100, 100), 0.25)
+	if !strings.Contains(doc, "✅ ok") || strings.Contains(doc, "❌") {
+		t.Errorf("+10%% run should be all-ok:\n%s", doc)
+	}
+}
+
+// TestMarkdownModeNeverFails checks the CLI contract the CI summary
+// step relies on: rendering exits 0 even over a gate-failing
+// regression, appends to an existing summary file, and the same
+// inputs still fail the plain gate mode.
+func TestMarkdownModeNeverFails(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, r *Report) string {
+		raw, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	base := write("base.json", report(1000, 100))
+	cur := write("cur.json", report(2000, 100)) // 2x regression
+	summary := filepath.Join(dir, "summary.md")
+	if err := os.WriteFile(summary, []byte("# earlier step\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	if err := run([]string{"-baseline", base, "-current", cur, "-markdown", summary}, &out); err != nil {
+		t.Fatalf("markdown mode failed on a regression: %v", err)
+	}
+	got, err := os.ReadFile(summary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(got), "# earlier step\n") {
+		t.Error("markdown mode truncated the existing step summary")
+	}
+	if !strings.Contains(string(got), "❌ regressed") {
+		t.Errorf("summary missing the regression row:\n%s", got)
+	}
+
+	// stdout form
+	out.Reset()
+	if err := run([]string{"-baseline", base, "-current", cur, "-markdown", "-"}, &out); err != nil {
+		t.Fatalf("markdown to stdout failed: %v", err)
+	}
+	if !strings.Contains(out.String(), "| benchmark |") {
+		t.Error("stdout markdown missing table header")
+	}
+
+	// The identical comparison must still fail in gate mode.
+	if err := run([]string{"-baseline", base, "-current", cur}, &out); err == nil {
+		t.Error("gate mode passed a 2x regression")
+	}
+}

@@ -60,6 +60,36 @@
 // config and run any campaign; the default seed 1994 pins the full
 // random universe of the evaluation.
 //
+// # Route tables and reusable scheduler cores
+//
+// Deterministic routing means every route is a pure function of
+// (src, dst) — the paper's §5 observation that "for regular topologies
+// the size of PATHS can be much smaller". NewRouteTable precomputes
+// all n^2 routes of a Topology into a CSR-packed read-only table
+// (O(n^2 * diameter) memory: ~64 KB for the 64-node cube), built once
+// and shared across any number of goroutines. Precomputation costs
+// one route generation per pair, so it pays off as soon as a topology
+// serves more than a handful of schedules; for one-shot scheduling the
+// package-level functions keep generating routes on the fly.
+//
+// NewSchedCore pairs such a table with a reusable scheduler instance
+// (SchedCore) that owns all scheduling scratch — CCOM row storage,
+// channel-occupancy tables, busy vectors, partition buffers — and
+// re-initializes it in place per call, mirroring SimMachine's
+// Reset-reuse contract: one core per goroutine, any number of
+// schedules, (near) zero allocation beyond the returned Schedule.
+// Core methods consume the identical RNG stream as the package-level
+// functions, so their schedules are bit-identical; the campaign
+// workers and every unschedd worker run on cached cores.
+//
+//	table := unsched.NewRouteTable(cube)        // once per topology
+//	core := unsched.NewSchedCoreForTable(table) // once per goroutine
+//	for _, m := range workload {
+//		s, _ := core.RSNL(m, rng) // no per-call scratch allocation
+//		res, _ := mach.RunS1(s)
+//		...
+//	}
+//
 // # Scheduling as a service
 //
 // The same machinery runs as a long-lived daemon: NewServer returns an

@@ -23,20 +23,18 @@ type Compressed struct {
 	dest  []int   // row-major n*width; destination id or -1
 	size  []int64 // row-major n*width; message bytes, parallel to dest
 	prt   []int   // prt[i]: index of last active column in row i, -1 if empty
+	// partition scratch, reused across PartitionRows calls so the
+	// pairwise-locating pass of RS_NL allocates nothing when a
+	// Compressed is reused (sched.Core keeps one per core).
+	destBuf []int
+	sizeBuf []int64
 }
 
 // NewCompressed builds CCOM from COM, shuffling each row's active
 // entries with rng as the paper prescribes. rng may not be nil.
 func NewCompressed(m *Matrix, rng *rand.Rand) *Compressed {
-	c := compress(m)
-	for i := 0; i < c.n; i++ {
-		row := c.dest[i*c.width : i*c.width+c.prt[i]+1]
-		sz := c.size[i*c.width : i*c.width+c.prt[i]+1]
-		rng.Shuffle(len(row), func(a, b int) {
-			row[a], row[b] = row[b], row[a]
-			sz[a], sz[b] = sz[b], sz[a]
-		})
-	}
+	c := &Compressed{}
+	c.Load(m, rng)
 	return c
 }
 
@@ -45,10 +43,18 @@ func NewCompressed(m *Matrix, rng *rand.Rand) *Compressed {
 // reproduce the paper's observation that the unshuffled form causes
 // early-phase node contention (ablation benchmark).
 func NewCompressedOrdered(m *Matrix) *Compressed {
-	return compress(m)
+	c := &Compressed{}
+	c.Load(m, nil)
+	return c
 }
 
-func compress(m *Matrix) *Compressed {
+// Load rebuilds the CCOM in place from m, reusing the row storage when
+// its capacity allows — the steady-state path of a reusable scheduler
+// core re-loads the same backing arrays for every request. A non-nil
+// rng shuffles each row exactly as NewCompressed does (consuming the
+// identical stream, so reuse cannot change a schedule); nil leaves
+// rows in ascending destination order.
+func (c *Compressed) Load(m *Matrix, rng *rand.Rand) {
 	n := m.N()
 	width := 0
 	for i := 0; i < n; i++ {
@@ -59,15 +65,23 @@ func compress(m *Matrix) *Compressed {
 	if width == 0 {
 		width = 1 // keep row storage non-degenerate for empty matrices
 	}
-	c := &Compressed{
-		n:     n,
-		width: width,
-		dest:  make([]int, n*width),
-		size:  make([]int64, n*width),
-		prt:   make([]int, n),
+	c.n, c.width = n, width
+	need := n * width
+	if cap(c.dest) < need {
+		c.dest = make([]int, need)
+		c.size = make([]int64, need)
+	} else {
+		c.dest = c.dest[:need]
+		c.size = c.size[:need]
+	}
+	if cap(c.prt) < n {
+		c.prt = make([]int, n)
+	} else {
+		c.prt = c.prt[:n]
 	}
 	for i := range c.dest {
 		c.dest[i] = -1
+		c.size[i] = 0
 	}
 	for i := 0; i < n; i++ {
 		col := 0
@@ -80,7 +94,17 @@ func compress(m *Matrix) *Compressed {
 		}
 		c.prt[i] = col - 1
 	}
-	return c
+	if rng == nil {
+		return
+	}
+	for i := 0; i < n; i++ {
+		row := c.dest[i*width : i*width+c.prt[i]+1]
+		sz := c.size[i*width : i*width+c.prt[i]+1]
+		rng.Shuffle(len(row), func(a, b int) {
+			row[a], row[b] = row[b], row[a]
+			sz[a], sz[b] = sz[b], sz[a]
+		})
+	}
 }
 
 // N returns the number of processors.
@@ -152,8 +176,12 @@ func (c *Compressed) Remove(i, z int) (dest int, bytes int64) {
 // move pairwise-exchange candidates to the front of each row after the
 // randomizing shuffle.
 func (c *Compressed) PartitionRows(pred func(src, dst int) bool) {
-	destBuf := make([]int, 0, c.width)
-	sizeBuf := make([]int64, 0, c.width)
+	if cap(c.destBuf) < c.width {
+		c.destBuf = make([]int, 0, c.width)
+		c.sizeBuf = make([]int64, 0, c.width)
+	}
+	destBuf := c.destBuf
+	sizeBuf := c.sizeBuf
 	for i := 0; i < c.n; i++ {
 		base := i * c.width
 		live := c.prt[i] + 1

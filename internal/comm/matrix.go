@@ -213,15 +213,21 @@ type Message struct {
 
 // Messages returns all nonzero entries in row-major order.
 func (m *Matrix) Messages() []Message {
-	msgs := make([]Message, 0, m.MessageCount())
+	return m.AppendMessages(make([]Message, 0, m.MessageCount()))
+}
+
+// AppendMessages appends all nonzero entries in row-major order to buf
+// and returns the extended slice — the allocation-free form of
+// Messages for callers that reuse a scratch buffer.
+func (m *Matrix) AppendMessages(buf []Message) []Message {
 	for i := 0; i < m.n; i++ {
 		for j := 0; j < m.n; j++ {
 			if b := m.At(i, j); b > 0 {
-				msgs = append(msgs, Message{Src: i, Dst: j, Bytes: b})
+				buf = append(buf, Message{Src: i, Dst: j, Bytes: b})
 			}
 		}
 	}
-	return msgs
+	return buf
 }
 
 // SendVector returns row i as (destination, bytes) pairs — the send_i

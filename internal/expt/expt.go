@@ -100,12 +100,14 @@ func (c Config) MeasureCell(d int, msgBytes int64) (map[Algorithm]Cell, error) {
 }
 
 // runOne schedules and simulates one sample under one algorithm on the
-// given reusable machine, returning (makespan µs, scheduling cost ms,
-// phase count).
-func (c Config) runOne(mach *ipsc.Machine, alg Algorithm, m *comm.Matrix, rng *rand.Rand) (float64, float64, float64, error) {
+// given reusable machine and scheduler core, returning (makespan µs,
+// scheduling cost ms, phase count). Core methods consume the identical
+// RNG stream as the package-level functions, so results are
+// bit-identical to the pre-core harness.
+func (c Config) runOne(mach *ipsc.Machine, core *sched.Core, alg Algorithm, m *comm.Matrix, rng *rand.Rand) (float64, float64, float64, error) {
 	switch alg {
 	case AC:
-		order, err := sched.AC(m)
+		order, err := core.AC(m)
 		if err != nil {
 			return 0, 0, 0, err
 		}
@@ -115,7 +117,7 @@ func (c Config) runOne(mach *ipsc.Machine, alg Algorithm, m *comm.Matrix, rng *r
 		}
 		return res.MakespanUS, 0, 0, nil
 	case LP:
-		s, err := sched.LP(m)
+		s, err := core.LP(m)
 		if err != nil {
 			return 0, 0, 0, err
 		}
@@ -125,7 +127,7 @@ func (c Config) runOne(mach *ipsc.Machine, alg Algorithm, m *comm.Matrix, rng *r
 		}
 		return res.MakespanUS, c.Params.CompTimeMS(s.Ops), float64(s.NumPhases()), nil
 	case RSN:
-		s, err := sched.RSN(m, rng)
+		s, err := core.RSN(m, rng)
 		if err != nil {
 			return 0, 0, 0, err
 		}
@@ -135,7 +137,7 @@ func (c Config) runOne(mach *ipsc.Machine, alg Algorithm, m *comm.Matrix, rng *r
 		}
 		return res.MakespanUS, c.Params.CompTimeMS(s.Ops), float64(s.NumPhases()), nil
 	case RSNL:
-		s, err := sched.RSNL(m, c.Cube, rng)
+		s, err := core.RSNL(m, rng)
 		if err != nil {
 			return 0, 0, 0, err
 		}

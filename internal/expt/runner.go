@@ -10,7 +10,9 @@ import (
 	"unsched/internal/comm"
 	"unsched/internal/ipsc"
 	"unsched/internal/plot"
+	"unsched/internal/sched"
 	"unsched/internal/stats"
+	"unsched/internal/topo"
 )
 
 // Point is one (density, message size) cell of a campaign grid.
@@ -85,6 +87,12 @@ func (r *Runner) MeasureCells(ctx context.Context, points []Point) ([]map[Algori
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	// All routes on the campaign's machine are a pure function of
+	// (src, dst), so precompute them once and share the read-only
+	// table: every worker's scheduler core walks it instead of
+	// regenerating e-cube routes on each Check_Path/Mark_Path.
+	routes := topo.NewRouteTable(cfg.Cube)
+
 	var (
 		wg       sync.WaitGroup
 		mu       sync.Mutex
@@ -110,13 +118,17 @@ func (r *Runner) MeasureCells(ctx context.Context, points []Point) ([]map[Algori
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			// Each worker owns one reusable simulator machine and one
-			// stream source; both are confined to this goroutine.
+			// Each worker owns one reusable simulator machine, one
+			// reusable scheduler core over the shared route table, and
+			// one stream source; all are confined to this goroutine, so
+			// the steady-state schedule→simulate pipeline allocates
+			// (near) nothing per unit.
 			mach, err := ipsc.NewMachine(cfg.Cube, cfg.Params)
 			if err != nil {
 				fail(err)
 				return
 			}
+			core := sched.NewCoreForTable(routes)
 			src := stats.NewSource(cfg.Seed)
 			for idx := range unitCh {
 				pt := points[idx/samples]
@@ -125,7 +137,7 @@ func (r *Runner) MeasureCells(ctx context.Context, points []Point) ([]map[Algori
 				if r.Progress != nil {
 					tickFn = tick
 				}
-				if err := cfg.runSample(mach, src, pt, sample, results[idx*nAlg:(idx+1)*nAlg], tickFn); err != nil {
+				if err := cfg.runSample(mach, core, src, pt, sample, results[idx*nAlg:(idx+1)*nAlg], tickFn); err != nil {
 					fail(err)
 					return
 				}
@@ -193,7 +205,7 @@ func (r *Runner) MeasureCell(ctx context.Context, d int, msgBytes int64) (map[Al
 // stream keyed by (d, M, sample, algorithm). Results land in out (one
 // slot per algorithm); tick, when non-nil, is called after each
 // algorithm completes.
-func (c Config) runSample(mach *ipsc.Machine, src *stats.Source, pt Point, sample int, out []unitResult, tick func()) error {
+func (c Config) runSample(mach *ipsc.Machine, core *sched.Core, src *stats.Source, pt Point, sample int, out []unitResult, tick func()) error {
 	d, msgBytes := pt.Density, pt.MsgBytes
 	// Streams are keyed by the full coordinate tuple (tagged 0 for the
 	// pattern stream, 1 for scheduling streams) through composed
@@ -208,7 +220,7 @@ func (c Config) runSample(mach *ipsc.Machine, src *stats.Source, pt Point, sampl
 	}
 	for algIdx, alg := range Algorithms {
 		schedRNG := src.StreamKeyed(1, int64(d), msgBytes, int64(sample), int64(algIdx))
-		commUS, compMS, nPhases, err := c.runOne(mach, alg, m, schedRNG)
+		commUS, compMS, nPhases, err := c.runOne(mach, core, alg, m, schedRNG)
 		if err != nil {
 			return fmt.Errorf("expt: %s d=%d M=%d sample %d: %w", alg, d, msgBytes, sample, err)
 		}

@@ -264,6 +264,10 @@ func (c *Cube) RouteIDs(src, dst int, buf []int) []int {
 // Hops implements topo.Topology.
 func (c *Cube) Hops(src, dst int) int { return Distance(src, dst) }
 
+// Diameter implements topo.DiameterHinter: the longest e-cube route is
+// between complementary addresses and crosses every dimension once.
+func (c *Cube) Diameter() int { return c.dim }
+
 // String implements fmt.Stringer.
 func (c *Cube) String() string {
 	return fmt.Sprintf("hypercube(dim=%d, nodes=%d)", c.dim, c.n)

@@ -151,6 +151,15 @@ func (m *Mesh) Hops(src, dst int) int {
 	return m.axisDist(sx, dx, m.w) + m.axisDist(sy, dy, m.h)
 }
 
+// Diameter implements topo.DiameterHinter: opposite corners on a
+// mesh, half the ring length per axis on a torus.
+func (m *Mesh) Diameter() int {
+	if m.torus {
+		return m.w/2 + m.h/2
+	}
+	return (m.w - 1) + (m.h - 1)
+}
+
 func (m *Mesh) axisDist(a, b, size int) int {
 	d := a - b
 	if d < 0 {

@@ -22,19 +22,7 @@ type ACOrder struct {
 // implementation would produce. Scheduling cost is zero, which is the
 // whole point of the algorithm.
 func AC(m *comm.Matrix) (*ACOrder, error) {
-	if err := m.Validate(); err != nil {
-		return nil, err
-	}
-	n := m.N()
-	o := &ACOrder{N: n, Order: make([][]int, n)}
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			if m.At(i, j) > 0 {
-				o.Order[i] = append(o.Order[i], j)
-			}
-		}
-	}
-	return o, nil
+	return NewCoreDirect(nil).AC(m)
 }
 
 // ACShuffled returns the asynchronous order with each processor's send
@@ -44,15 +32,7 @@ func AC(m *comm.Matrix) (*ACOrder, error) {
 // contention; the ablation benchmark compares it with the ascending
 // order.
 func ACShuffled(m *comm.Matrix, rng *rand.Rand) (*ACOrder, error) {
-	o, err := AC(m)
-	if err != nil {
-		return nil, err
-	}
-	for i := range o.Order {
-		row := o.Order[i]
-		rng.Shuffle(len(row), func(a, b int) { row[a], row[b] = row[b], row[a] })
-	}
-	return o, nil
+	return NewCoreDirect(nil).ACShuffled(m, rng)
 }
 
 // TotalMessages returns the number of sends across all processors.

@@ -1,0 +1,100 @@
+// Allocation-regression tests for the reused-core schedule path.
+// Excluded under the race detector: its instrumentation changes
+// allocation counts.
+//
+//go:build !race
+
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"unsched/internal/comm"
+	"unsched/internal/hypercube"
+)
+
+// Budgets pin the steady-state allocs of one schedule on a reused
+// core. The remaining allocations are the returned Schedule itself
+// (two slices per phase plus headers) — scratch state must contribute
+// nothing. Measured values on the 64-node/d=16 workload: RSN ~45,
+// RSNL ~49, GreedyLFLink ~57; budgets leave room for phase-count
+// jitter across RNG streams, not for a scratch-reuse regression
+// (losing CCOM reuse alone costs ~65 extra allocations).
+const (
+	allocBudgetRSN    = 70
+	allocBudgetRSNL   = 80
+	allocBudgetGreedy = 90
+)
+
+func allocWorkload(t *testing.T) (*hypercube.Cube, *comm.Matrix) {
+	t.Helper()
+	cube := hypercube.MustNew(6)
+	m, err := comm.DRegular(64, 16, 4096, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cube, m
+}
+
+func TestCoreRSNAllocs(t *testing.T) {
+	_, m := allocWorkload(t)
+	core := NewCoreDirect(nil)
+	rng := rand.New(rand.NewSource(1))
+	if _, err := core.RSN(m, rng); err != nil { // warm the scratch
+		t.Fatal(err)
+	}
+	got := testing.AllocsPerRun(20, func() {
+		if _, err := core.RSN(m, rng); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got > allocBudgetRSN {
+		t.Errorf("reused-core RSN: %.1f allocs/run, budget %d", got, allocBudgetRSN)
+	}
+}
+
+func TestCoreRSNLAllocs(t *testing.T) {
+	cube, m := allocWorkload(t)
+	core := NewCore(cube)
+	rng := rand.New(rand.NewSource(1))
+	if _, err := core.RSNL(m, rng); err != nil {
+		t.Fatal(err)
+	}
+	got := testing.AllocsPerRun(20, func() {
+		if _, err := core.RSNL(m, rng); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got > allocBudgetRSNL {
+		t.Errorf("reused-core RSNL: %.1f allocs/run, budget %d", got, allocBudgetRSNL)
+	}
+}
+
+func TestCoreGreedyLinkFreeAllocs(t *testing.T) {
+	cube, m := allocWorkload(t)
+	core := NewCore(cube)
+	if _, err := core.GreedyLargestFirstLinkFree(m); err != nil {
+		t.Fatal(err)
+	}
+	got := testing.AllocsPerRun(20, func() {
+		if _, err := core.GreedyLargestFirstLinkFree(m); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got > allocBudgetGreedy {
+		t.Errorf("reused-core GreedyLargestFirstLinkFree: %.1f allocs/run, budget %d", got, allocBudgetGreedy)
+	}
+	// The per-phase claim tables must come from the recycled pool: a
+	// throwaway core allocates a fresh O(channels) Occupancy per opened
+	// phase (~270 allocs on this workload), so the reused core must
+	// land far below it.
+	throwaway := testing.AllocsPerRun(20, func() {
+		if _, err := GreedyLargestFirstLinkFree(m, cube); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got >= throwaway {
+		t.Errorf("reused core (%.1f allocs) does not beat throwaway (%.1f)", got, throwaway)
+	}
+}

@@ -1,0 +1,216 @@
+package sched
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"unsched/internal/comm"
+	"unsched/internal/hypercube"
+	"unsched/internal/mesh"
+	"unsched/internal/topo"
+)
+
+// coreTestMatrices returns a mix of workloads on n nodes: uniform
+// d-regular, symmetric hot-spot-ish, non-uniform sizes, and empty.
+func coreTestMatrices(t *testing.T, n int) []*comm.Matrix {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	m1, err := comm.DRegular(n, 4, 1024, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := comm.DRegular(n, n/2, 64*1024, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m3, err := comm.MixedSizes(n, 6, 64, 32*1024, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m4 := comm.MustNew(n)
+	for c := 0; c < 4*n; c++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i != j {
+			m4.Set(i, j, 2048)
+			m4.Set(j, i, 2048)
+		}
+	}
+	return []*comm.Matrix{m1, m2, m3, m4, comm.MustNew(n)}
+}
+
+func sameSchedule(t *testing.T, name string, want, got *Schedule, err1, err2 error) {
+	t.Helper()
+	if (err1 == nil) != (err2 == nil) {
+		t.Fatalf("%s: package err %v, core err %v", name, err1, err2)
+	}
+	if err1 != nil {
+		return
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("%s: reused core diverged from package function\nwant %v\ngot  %v", name, want, got)
+	}
+}
+
+// TestCoreMatchesPackageFunctions drives one reused Core through every
+// algorithm over several matrices back to back and requires each
+// schedule to be bit-identical (phases, bytes, ops) to the
+// package-level function given the same RNG seed. Running the whole
+// mix through ONE core is the point: residue from any earlier call
+// that leaked into a later schedule would diverge here.
+func TestCoreMatchesPackageFunctions(t *testing.T) {
+	for _, net := range []topo.Topology{
+		hypercube.MustNew(4),
+		mesh.MustNew(4, 4, false),
+		mesh.MustNew(4, 4, true),
+	} {
+		n := net.Nodes()
+		core := NewCore(net)
+		for i, m := range coreTestMatrices(t, n) {
+			seed := int64(100 + i)
+			s1, e1 := RSN(m, rand.New(rand.NewSource(seed)))
+			s2, e2 := core.RSN(m, rand.New(rand.NewSource(seed)))
+			sameSchedule(t, "RSN", s1, s2, e1, e2)
+
+			s1, e1 = RSNOrdered(m, rand.New(rand.NewSource(seed)))
+			s2, e2 = core.RSNOrdered(m, rand.New(rand.NewSource(seed)))
+			sameSchedule(t, "RSNOrdered", s1, s2, e1, e2)
+
+			s1, e1 = RSNL(m, net, rand.New(rand.NewSource(seed)))
+			s2, e2 = core.RSNL(m, rand.New(rand.NewSource(seed)))
+			sameSchedule(t, "RSNL", s1, s2, e1, e2)
+
+			s1, e1 = RSNLNoPairwise(m, net, rand.New(rand.NewSource(seed)))
+			s2, e2 = core.RSNLNoPairwise(m, rand.New(rand.NewSource(seed)))
+			sameSchedule(t, "RSNLNoPairwise", s1, s2, e1, e2)
+
+			s1, e1 = RSNLSized(m, net, rand.New(rand.NewSource(seed)))
+			s2, e2 = core.RSNLSized(m, rand.New(rand.NewSource(seed)))
+			sameSchedule(t, "RSNLSized", s1, s2, e1, e2)
+
+			s1, e1 = LP(m)
+			s2, e2 = core.LP(m)
+			sameSchedule(t, "LP", s1, s2, e1, e2)
+
+			s1, e1 = Greedy(m)
+			s2, e2 = core.Greedy(m)
+			sameSchedule(t, "Greedy", s1, s2, e1, e2)
+
+			s1, e1 = GreedyLargestFirst(m)
+			s2, e2 = core.GreedyLargestFirst(m)
+			sameSchedule(t, "GreedyLargestFirst", s1, s2, e1, e2)
+
+			s1, e1 = GreedyLargestFirstLinkFree(m, net)
+			s2, e2 = core.GreedyLargestFirstLinkFree(m)
+			sameSchedule(t, "GreedyLargestFirstLinkFree", s1, s2, e1, e2)
+
+			o1, e1 := AC(m)
+			o2, e2 := core.AC(m)
+			if (e1 == nil) != (e2 == nil) || !reflect.DeepEqual(o1, o2) {
+				t.Fatalf("AC: core diverged: %v/%v vs %v/%v", o1, e1, o2, e2)
+			}
+			o1, e1 = ACShuffled(m, rand.New(rand.NewSource(seed)))
+			o2, e2 = core.ACShuffled(m, rand.New(rand.NewSource(seed)))
+			if (e1 == nil) != (e2 == nil) || !reflect.DeepEqual(o1, o2) {
+				t.Fatalf("ACShuffled: core diverged: %v/%v vs %v/%v", o1, e1, o2, e2)
+			}
+		}
+	}
+}
+
+// TestCoreValidSchedules checks the structural invariants of schedules
+// produced by a reused core: coverage, node-contention freedom, and —
+// for the link-aware algorithms — link-contention freedom, via both
+// the allocating validator and the core's reusing one.
+func TestCoreValidSchedules(t *testing.T) {
+	cube := hypercube.MustNew(5)
+	core := NewCore(cube)
+	for i, m := range coreTestMatrices(t, cube.Nodes()) {
+		rng := rand.New(rand.NewSource(int64(i)))
+		s, err := core.RSNL(m, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Validate(m); err != nil {
+			t.Errorf("matrix %d: RSNL invalid: %v", i, err)
+		}
+		if err := s.ValidateLinkFree(cube); err != nil {
+			t.Errorf("matrix %d: RSNL not link-free: %v", i, err)
+		}
+		if err := core.ValidateLinkFree(s); err != nil {
+			t.Errorf("matrix %d: core validator disagrees: %v", i, err)
+		}
+		lf, err := core.GreedyLargestFirstLinkFree(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := lf.Validate(m); err != nil {
+			t.Errorf("matrix %d: GreedyLFLink invalid: %v", i, err)
+		}
+		if err := core.ValidateLinkFree(lf); err != nil {
+			t.Errorf("matrix %d: GreedyLFLink not link-free: %v", i, err)
+		}
+	}
+}
+
+// TestCoreTopologyFree checks the error paths: a core without a
+// topology refuses the link-aware algorithms but runs the rest, and a
+// core rejects matrices sized for a different machine.
+func TestCoreTopologyFree(t *testing.T) {
+	core := NewCoreDirect(nil)
+	m, err := comm.DRegular(16, 4, 1024, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.RSN(m, rand.New(rand.NewSource(1))); err != nil {
+		t.Errorf("topology-free RSN: %v", err)
+	}
+	if _, err := core.RSNL(m, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("topology-free RSNL did not error")
+	}
+	if _, err := core.GreedyLargestFirstLinkFree(m); err == nil {
+		t.Error("topology-free GreedyLargestFirstLinkFree did not error")
+	}
+	mismatch := NewCore(hypercube.MustNew(3)) // 8 nodes, matrix has 16
+	if _, err := mismatch.RSNL(m, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("node-count mismatch did not error")
+	}
+}
+
+// TestCoreReset exercises the exported Reset between schedules; it
+// must be a no-op for correctness (methods reset internally) and must
+// not corrupt later schedules.
+func TestCoreReset(t *testing.T) {
+	cube := hypercube.MustNew(4)
+	core := NewCore(cube)
+	m, err := comm.DRegular(16, 6, 4096, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.RSNL(m, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	core.Reset()
+	got, err := core.RSNL(m, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Error("schedule after explicit Reset diverged")
+	}
+}
+
+// TestCoreResetAfterTopologyFreeUse regression-tests Reset on a core
+// whose scratch vectors have diverging lengths (RSN sizes only trecv).
+func TestCoreResetAfterTopologyFreeUse(t *testing.T) {
+	core := NewCoreDirect(nil)
+	m, err := comm.DRegular(16, 4, 1024, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.RSN(m, rand.New(rand.NewSource(1))); err != nil {
+		t.Fatal(err)
+	}
+	core.Reset() // must not panic on mismatched scratch lengths
+}

@@ -1,8 +1,6 @@
 package sched
 
 import (
-	"sort"
-
 	"unsched/internal/comm"
 	"unsched/internal/topo"
 )
@@ -15,38 +13,7 @@ import (
 // phases for clustered patterns — the behaviour §4.2 of the paper
 // warns about.
 func Greedy(m *comm.Matrix) (*Schedule, error) {
-	if err := m.Validate(); err != nil {
-		return nil, err
-	}
-	n := m.N()
-	ccom := comm.NewCompressedOrdered(m)
-	var ops int64
-	ops += int64(n) // per-processor row compression, as in RSN
-	s := &Schedule{Algorithm: "GREEDY", N: n}
-	trecv := make([]int, n)
-	for !ccom.Empty() {
-		p := NewPhase(n)
-		for i := range trecv {
-			trecv[i] = -1
-		}
-		ops += int64(n)
-		for x := 0; x < n; x++ {
-			for z := 0; z < ccom.Remaining(x); z++ {
-				ops++
-				y := ccom.At(x, z)
-				if trecv[y] == -1 {
-					dest, bytes := ccom.Remove(x, z)
-					p.Send[x] = dest
-					p.Bytes[x] = bytes
-					trecv[dest] = x
-					break
-				}
-			}
-		}
-		s.Phases = append(s.Phases, p)
-	}
-	s.Ops = ops
-	return s, nil
+	return NewCoreDirect(nil).Greedy(m)
 }
 
 // GreedyLargestFirst schedules non-uniform message sizes by list
@@ -58,93 +25,16 @@ func Greedy(m *comm.Matrix) (*Schedule, error) {
 // size-aware direction the paper defers to [15] (Wang's thesis);
 // uniform inputs reduce it to a plain matching schedule.
 func GreedyLargestFirst(m *comm.Matrix) (*Schedule, error) {
-	if err := m.Validate(); err != nil {
-		return nil, err
-	}
-	n := m.N()
-	msgs := m.Messages()
-	sort.SliceStable(msgs, func(a, b int) bool { return msgs[a].Bytes > msgs[b].Bytes })
-	var ops int64
-	s := &Schedule{Algorithm: "GREEDY_LF", N: n}
-	// sendBusy[k*n+i] / recvBusy[k*n+j]: processor engagement per phase.
-	var sendBusy, recvBusy []bool
-	grow := func() {
-		sendBusy = append(sendBusy, make([]bool, n)...)
-		recvBusy = append(recvBusy, make([]bool, n)...)
-		s.Phases = append(s.Phases, NewPhase(n))
-	}
-	for _, msg := range msgs {
-		placed := false
-		for k := 0; k < len(s.Phases); k++ {
-			ops++
-			if !sendBusy[k*n+msg.Src] && !recvBusy[k*n+msg.Dst] {
-				sendBusy[k*n+msg.Src] = true
-				recvBusy[k*n+msg.Dst] = true
-				s.Phases[k].Send[msg.Src] = msg.Dst
-				s.Phases[k].Bytes[msg.Src] = msg.Bytes
-				placed = true
-				break
-			}
-		}
-		if !placed {
-			grow()
-			k := len(s.Phases) - 1
-			sendBusy[k*n+msg.Src] = true
-			recvBusy[k*n+msg.Dst] = true
-			s.Phases[k].Send[msg.Src] = msg.Dst
-			s.Phases[k].Bytes[msg.Src] = msg.Bytes
-			ops++
-		}
-	}
-	s.Ops = ops
-	return s, nil
+	return NewCoreDirect(nil).GreedyLargestFirst(m)
 }
 
 // GreedyLargestFirstLinkFree is GreedyLargestFirst with the RS_NL
 // link-contention constraint added: a message only joins a phase if
 // its e-cube circuit is disjoint from every circuit already in that
 // phase. It combines the non-uniform-size extension with the paper's
-// link-avoidance idea.
+// link-avoidance idea. A reusable Core draws the per-phase claim
+// tables from a recycled pool; this wrapper's throwaway core still
+// allocates them once per phase, as before.
 func GreedyLargestFirstLinkFree(m *comm.Matrix, net topo.Topology) (*Schedule, error) {
-	if err := m.Validate(); err != nil {
-		return nil, err
-	}
-	n := m.N()
-	msgs := m.Messages()
-	sort.SliceStable(msgs, func(a, b int) bool { return msgs[a].Bytes > msgs[b].Bytes })
-	var ops int64
-	s := &Schedule{Algorithm: "GREEDY_LF_LINK", N: n}
-	var sendBusy, recvBusy []bool
-	var occs []*topo.Occupancy
-	grow := func() {
-		sendBusy = append(sendBusy, make([]bool, n)...)
-		recvBusy = append(recvBusy, make([]bool, n)...)
-		s.Phases = append(s.Phases, NewPhase(n))
-		occs = append(occs, topo.NewOccupancy(net))
-	}
-	place := func(k int, msg comm.Message) {
-		sendBusy[k*n+msg.Src] = true
-		recvBusy[k*n+msg.Dst] = true
-		s.Phases[k].Send[msg.Src] = msg.Dst
-		s.Phases[k].Bytes[msg.Src] = msg.Bytes
-		occs[k].MarkPath(msg.Src, msg.Dst)
-	}
-	for _, msg := range msgs {
-		placed := false
-		for k := 0; k < len(s.Phases); k++ {
-			ops += 1 + int64(net.Hops(msg.Src, msg.Dst))
-			if !sendBusy[k*n+msg.Src] && !recvBusy[k*n+msg.Dst] && occs[k].CheckPath(msg.Src, msg.Dst) {
-				place(k, msg)
-				placed = true
-				break
-			}
-		}
-		if !placed {
-			grow()
-			place(len(s.Phases)-1, msg)
-			ops++
-		}
-	}
-	s.Ops = ops
-	return s, nil
+	return NewCoreDirect(net).GreedyLargestFirstLinkFree(m)
 }

@@ -1,8 +1,6 @@
 package sched
 
 import (
-	"fmt"
-
 	"unsched/internal/comm"
 )
 
@@ -21,34 +19,5 @@ import (
 //
 // n must be a power of two (XOR pairing needs a full address space).
 func LP(m *comm.Matrix) (*Schedule, error) {
-	n := m.N()
-	if n&(n-1) != 0 {
-		return nil, fmt.Errorf("sched: LP requires a power-of-two processor count, got %d", n)
-	}
-	if err := m.Validate(); err != nil {
-		return nil, err
-	}
-	s := &Schedule{Algorithm: "LP", N: n}
-	for k := 1; k < n; k++ {
-		p := NewPhase(n)
-		for i := 0; i < n; i++ {
-			j := i ^ k
-			if b := m.At(i, j); b > 0 {
-				p.Send[i] = j
-				p.Bytes[i] = b
-			}
-		}
-		// The paper's LP walks all n-1 iterations even when a phase is
-		// empty (that is exactly its weakness at low density); keep
-		// empty phases so the phase count is n-1 and the executor pays
-		// the per-phase loop cost.
-		s.Phases = append(s.Phases, p)
-	}
-	// Ops models the per-processor scheduling cost ("comp" in Table 1):
-	// each processor derives its own partner sequence with one XOR and
-	// one row lookup per phase — the "very low computation overhead" of
-	// §7. The n-way loop above is this simulator materializing every
-	// processor's view at once, not work the machine would do serially.
-	s.Ops = int64(n - 1)
-	return s, nil
+	return NewCoreDirect(nil).LP(m)
 }

@@ -21,8 +21,13 @@ import (
 // Expected behaviour for random workloads (paper, citing [15]): the
 // number of phases is bounded by d + log d, and each phase costs
 // O(n ln d + n) scheduling operations.
+//
+// This and the other package-level algorithm functions are thin
+// wrappers that allocate a throwaway Core per call; batch callers
+// (campaign workers, the unschedd service) hold a reusable Core and
+// invoke its methods directly to amortize the scratch state.
 func RSN(m *comm.Matrix, rng *rand.Rand) (*Schedule, error) {
-	return rsn(m, rng, true)
+	return NewCoreDirect(nil).RSN(m, rng)
 }
 
 // RSNOrdered is RSN without the randomizing row shuffle during
@@ -31,14 +36,15 @@ func RSN(m *comm.Matrix, rng *rand.Rand) (*Schedule, error) {
 // phases, inflating the phase count; this variant exists so the
 // ablation benchmark can measure exactly that effect.
 func RSNOrdered(m *comm.Matrix, rng *rand.Rand) (*Schedule, error) {
-	return rsn(m, rng, false)
+	return NewCoreDirect(nil).RSNOrdered(m, rng)
 }
 
 // RSNUncompressed is RS_N scanning the full n x n COM matrix directly
 // instead of the compressed CCOM — the O(n^2)-per-permutation worst
 // case the compression of §4.2 exists to avoid. Schedules are
 // equivalent in quality; only the scheduling cost differs. It exists
-// for the compression ablation benchmark.
+// for the compression ablation benchmark (and is deliberately not a
+// Core method: its whole point is the unoptimized scan).
 func RSNUncompressed(m *comm.Matrix, rng *rand.Rand) (*Schedule, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
@@ -67,56 +73,6 @@ func RSNUncompressed(m *comm.Matrix, rng *rand.Rand) (*Schedule, error) {
 					trecv[j] = x
 					rem.Set(x, j, 0)
 					remaining--
-					break
-				}
-			}
-			x = (x + 1) % n
-		}
-		s.Phases = append(s.Phases, p)
-	}
-	s.Ops = ops
-	return s, nil
-}
-
-func rsn(m *comm.Matrix, rng *rand.Rand, shuffle bool) (*Schedule, error) {
-	if err := m.Validate(); err != nil {
-		return nil, err
-	}
-	n := m.N()
-	var ccom *comm.Compressed
-	var ops int64
-	if shuffle {
-		ccom = comm.NewCompressed(m, rng)
-	} else {
-		ccom = comm.NewCompressedOrdered(m)
-	}
-	// Ops models the paper's "comp" column: the per-processor cost of
-	// runtime scheduling. Compression is parallelized — each processor
-	// compacts its own row, O(n), and the rows are combined by a
-	// concatenate (§4.2), whose cost is communication, not comp.
-	ops += int64(n)
-
-	s := &Schedule{Algorithm: "RS_N", N: n}
-	trecv := make([]int, n)
-	for !ccom.Empty() {
-		p := NewPhase(n)
-		for i := range trecv {
-			trecv[i] = -1
-		}
-		ops += int64(n) // vector reset
-		x := rng.Intn(n)
-		for k := 0; k < n; k++ {
-			ops++
-			// Along row x, find the first entry whose destination is
-			// still free this phase.
-			for z := 0; z < ccom.Remaining(x); z++ {
-				ops++
-				y := ccom.At(x, z)
-				if trecv[y] == -1 {
-					dest, bytes := ccom.Remove(x, z)
-					p.Send[x] = dest
-					p.Bytes[x] = bytes
-					trecv[dest] = x
 					break
 				}
 			}

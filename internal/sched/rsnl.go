@@ -1,7 +1,6 @@
 package sched
 
 import (
-	"fmt"
 	"math/rand"
 
 	"unsched/internal/comm"
@@ -17,7 +16,10 @@ import (
 //
 // Link contention is checked against the machine's deterministic
 // e-cube routes with Check_Path/Mark_Path over a per-phase channel
-// occupancy table (the paper's PATHS array, stored densely).
+// occupancy table (the paper's PATHS array, stored densely). A
+// reusable Core checks routes against a precomputed topo.RouteTable
+// instead of regenerating them per call; this wrapper allocates a
+// throwaway table-free Core, so its per-call cost is unchanged.
 //
 // The pairwise priority is implemented the way the paper's comp costs
 // imply (§5 refers to [15] for "locating pairwise exchanges"): pairs
@@ -27,7 +29,7 @@ import (
 // exhaustively, and the extra scheduling cost over RS_N is the path
 // checking, a small constant factor.
 func RSNL(m *comm.Matrix, net topo.Topology, rng *rand.Rand) (*Schedule, error) {
-	return rsnl(m, net, rng, true)
+	return NewCoreDirect(net).RSNL(m, rng)
 }
 
 // RSNLNoPairwise disables the pairwise-exchange priority, scheduling
@@ -35,7 +37,7 @@ func RSNL(m *comm.Matrix, net topo.Topology, rng *rand.Rand) (*Schedule, error) 
 // quantifies how much of RS_NL's win comes from concurrent
 // bidirectional exchange versus contention avoidance alone.
 func RSNLNoPairwise(m *comm.Matrix, net topo.Topology, rng *rand.Rand) (*Schedule, error) {
-	return rsnl(m, net, rng, false)
+	return NewCoreDirect(net).RSNLNoPairwise(m, rng)
 }
 
 // RSNLSized is the non-uniform-size variant of RS_NL (the direction
@@ -48,203 +50,12 @@ func RSNLNoPairwise(m *comm.Matrix, net topo.Topology, rng *rand.Rand) (*Schedul
 // largest remaining message. For uniform inputs it degenerates to
 // RS_NL without pairwise priority.
 func RSNLSized(m *comm.Matrix, net topo.Topology, rng *rand.Rand) (*Schedule, error) {
-	if err := m.Validate(); err != nil {
-		return nil, err
-	}
-	n := m.N()
-	if net.Nodes() != n {
-		return nil, fmt.Errorf("sched: RS_NL_SZ topology %s has %d nodes, matrix %d", net.Name(), net.Nodes(), n)
-	}
-	ccom := comm.NewCompressed(m, rng)
-	var ops int64
-	ops += int64(n)
-	// Sort each row by descending size: repeatedly partition on a
-	// shrinking threshold. Simpler: selection via PartitionRows is
-	// awkward — do an explicit per-row ordering by draining and
-	// reloading through a sort on (size, dest).
-	sortRowsBySize(ccom, m)
-	ops += int64(m.MessageCount())
-
-	occ := topo.NewOccupancy(net)
-	s := &Schedule{Algorithm: "RS_NL_SZ", N: n}
-	trecv := make([]int, n)
-	for !ccom.Empty() {
-		p := NewPhase(n)
-		for i := range trecv {
-			trecv[i] = -1
-		}
-		occ.Reset()
-		ops += int64(n)
-		// Start from the row with the largest remaining message so the
-		// phase's maximum is set by a message that must travel anyway.
-		x := 0
-		var best int64 = -1
-		for i := 0; i < n; i++ {
-			ops++
-			if ccom.Remaining(i) > 0 && ccom.SizeAt(i, 0) > best {
-				best = ccom.SizeAt(i, 0)
-				x = i
-			}
-		}
-		for k := 0; k < n; k++ {
-			ops++
-			// Rows are size-sorted, so the first feasible entry is the
-			// largest schedulable message of the row.
-			for z := 0; z < ccom.Remaining(x); z++ {
-				ops++
-				y := ccom.At(x, z)
-				if trecv[y] != -1 {
-					continue
-				}
-				ops += int64(net.Hops(x, y))
-				if !occ.CheckPath(x, y) {
-					continue
-				}
-				_, bytes := ccom.Remove(x, z)
-				p.Send[x], p.Bytes[x] = y, bytes
-				trecv[y] = x
-				occ.MarkPath(x, y)
-				break
-			}
-			x = (x + 1) % n
-		}
-		s.Phases = append(s.Phases, p)
-	}
-	s.Ops = ops
-	return s, nil
+	return NewCoreDirect(net).RSNLSized(m, rng)
 }
 
 // sortRowsBySize reorders every CCOM row into descending message-size
-// order (stable on the shuffled order for equal sizes). CCOM exposes
-// only partition and remove, so sort by repeated partitioning on size
-// thresholds — each distinct size is one pass.
+// order; see Core.sortRowsBySize. Kept as a standalone helper for
+// callers (and tests) that hold a CCOM without a Core.
 func sortRowsBySize(ccom *comm.Compressed, m *comm.Matrix) {
-	// Collect the distinct sizes ascending; partitioning from the
-	// smallest threshold upward leaves rows in descending order
-	// (later partitions move larger entries in front, stably).
-	seen := map[int64]bool{}
-	var sizes []int64
-	for _, msg := range m.Messages() {
-		if !seen[msg.Bytes] {
-			seen[msg.Bytes] = true
-			sizes = append(sizes, msg.Bytes)
-		}
-	}
-	for i := 1; i < len(sizes); i++ {
-		for j := i; j > 0 && sizes[j] < sizes[j-1]; j-- {
-			sizes[j], sizes[j-1] = sizes[j-1], sizes[j]
-		}
-	}
-	for _, threshold := range sizes {
-		th := threshold
-		ccom.PartitionRows(func(src, dst int) bool { return m.At(src, dst) >= th })
-	}
-}
-
-func rsnl(m *comm.Matrix, net topo.Topology, rng *rand.Rand, pairwise bool) (*Schedule, error) {
-	if err := m.Validate(); err != nil {
-		return nil, err
-	}
-	n := m.N()
-	if net.Nodes() != n {
-		return nil, fmt.Errorf("sched: RS_NL topology %s has %d nodes, matrix %d", net.Name(), net.Nodes(), n)
-	}
-	ccom := comm.NewCompressed(m, rng)
-	var ops int64
-	ops += int64(n) // per-processor compression of one row, as in RSN
-
-	if pairwise {
-		// Locate pairwise-exchange candidates once: stable-partition
-		// every row so destinations with a reverse message lead. The
-		// per-phase scan then meets exchange opportunities first.
-		ccom.PartitionRows(func(src, dst int) bool { return m.At(dst, src) > 0 })
-		ops += int64(m.MessageCount())
-	}
-
-	// rem mirrors the unscheduled message set so the scan can ask
-	// "does y still need to send to x" in O(1).
-	rem := make([]bool, n*n)
-	for _, msg := range m.Messages() {
-		rem[msg.Src*n+msg.Dst] = true
-	}
-
-	occ := topo.NewOccupancy(net)
-	s := &Schedule{Algorithm: "RS_NL", N: n}
-	tsend := make([]int, n)
-	trecv := make([]int, n)
-
-	// removeFrom drops the entry with destination dst from row src of
-	// CCOM (linear scan over at most d live entries).
-	removeFrom := func(src, dst int) int64 {
-		for z := 0; z < ccom.Remaining(src); z++ {
-			ops++
-			if ccom.At(src, z) == dst {
-				_, bytes := ccom.Remove(src, z)
-				return bytes
-			}
-		}
-		panic(fmt.Sprintf("sched: CCOM row %d lost entry for %d", src, dst))
-	}
-
-	for !ccom.Empty() {
-		p := NewPhase(n)
-		for i := range trecv {
-			trecv[i] = -1
-			tsend[i] = -1
-		}
-		occ.Reset()
-		ops += int64(n)
-		x := rng.Intn(n)
-		for k := 0; k < n; k++ {
-			ops++
-			if tsend[x] != -1 {
-				// x was already claimed as the reverse half of an
-				// earlier pairwise assignment this phase.
-				x = (x + 1) % n
-				continue
-			}
-			// First feasible entry: destination free this phase and
-			// circuit unclaimed.
-			for z := 0; z < ccom.Remaining(x); z++ {
-				ops++
-				y := ccom.At(x, z)
-				if trecv[y] != -1 {
-					continue
-				}
-				ops += int64(net.Hops(x, y))
-				if !occ.CheckPath(x, y) {
-					continue
-				}
-				// Feasible. Upgrade to a pairwise exchange if the
-				// reverse message is still pending and both the
-				// reverse circuit and both endpoints allow it.
-				if pairwise && rem[y*n+x] && tsend[y] == -1 && trecv[x] == -1 {
-					ops += int64(net.Hops(y, x))
-					if occ.CheckPath(y, x) {
-						_, bytes := ccom.Remove(x, z)
-						backBytes := removeFrom(y, x)
-						p.Send[x], p.Bytes[x] = y, bytes
-						p.Send[y], p.Bytes[y] = x, backBytes
-						tsend[x], trecv[y] = y, x
-						tsend[y], trecv[x] = x, y
-						rem[x*n+y] = false
-						rem[y*n+x] = false
-						occ.MarkPath(x, y)
-						occ.MarkPath(y, x)
-						break
-					}
-				}
-				_, bytes := ccom.Remove(x, z)
-				p.Send[x], p.Bytes[x] = y, bytes
-				tsend[x], trecv[y] = y, x
-				rem[x*n+y] = false
-				occ.MarkPath(x, y)
-				break
-			}
-			x = (x + 1) % n
-		}
-		s.Phases = append(s.Phases, p)
-	}
-	s.Ops = ops
-	return s, nil
+	(&Core{}).sortRowsBySize(ccom, m)
 }

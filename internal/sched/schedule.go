@@ -190,7 +190,12 @@ func (s *Schedule) ValidateLinkFree(net topo.Topology) error {
 	if net.Nodes() != s.N {
 		return fmt.Errorf("sched: topology %s has %d nodes, schedule %d", net.Name(), net.Nodes(), s.N)
 	}
-	occ := topo.NewOccupancy(net)
+	return s.validateLinkFree(topo.NewOccupancy(net))
+}
+
+// validateLinkFree is the occupancy-agnostic body of ValidateLinkFree;
+// Core.ValidateLinkFree feeds it a reused table-backed occupancy.
+func (s *Schedule) validateLinkFree(occ *topo.Occupancy) error {
 	for k, p := range s.Phases {
 		occ.Reset()
 		for i, j := range p.Send {

@@ -281,8 +281,8 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	digest := scheduleKey(m, req.Algorithm, net, req.Seed)
 	seed := effectiveSeed(digest)
 	key := digest.Hex()
-	s.respondMemoized(w, r, key, func(_ *worker) (any, error) {
-		return buildSchedule(m, req.Algorithm, net, seed)
+	s.respondMemoized(w, r, key, func(wk *worker) (any, error) {
+		return buildSchedule(wk.schedCore(net), m, req.Algorithm, net, seed)
 	})
 }
 
@@ -303,10 +303,13 @@ func chooseAlgorithm(m *comm.Matrix, net topo.Topology) string {
 	}
 }
 
-// buildSchedule runs the chosen scheduler. It is pure: everything it
-// returns derives from its arguments, which is what makes memoization
-// and deterministic re-computation equivalent.
-func buildSchedule(m *comm.Matrix, algorithm string, net topo.Topology, seed int64) (*scheduleResult, error) {
+// buildSchedule runs the chosen scheduler on the worker's reusable
+// core. It is pure in its inputs: everything it returns derives from
+// (matrix, algorithm, topology, seed) — core reuse cannot change a
+// schedule, because core methods consume the identical RNG stream as
+// the package-level functions — which is what makes memoization and
+// deterministic re-computation equivalent.
+func buildSchedule(core *sched.Core, m *comm.Matrix, algorithm string, net topo.Topology, seed int64) (*scheduleResult, error) {
 	chosen := algorithm
 	if chosen == "auto" {
 		chosen = chooseAlgorithm(m, net)
@@ -329,24 +332,24 @@ func buildSchedule(m *comm.Matrix, algorithm string, net topo.Topology, seed int
 	)
 	switch chosen {
 	case "LP":
-		sc, err = sched.LP(m)
+		sc, err = core.LP(m)
 	case "RS_N":
-		sc, err = sched.RSN(m, rng)
+		sc, err = core.RSN(m, rng)
 	case "RS_NL":
-		sc, err = sched.RSNL(m, net, rng)
+		sc, err = core.RSNL(m, rng)
 	case "RS_NL_SZ":
-		sc, err = sched.RSNLSized(m, net, rng)
+		sc, err = core.RSNLSized(m, rng)
 	case "GREEDY":
-		sc, err = sched.Greedy(m)
+		sc, err = core.Greedy(m)
 	case "GREEDY_LF":
-		sc, err = sched.GreedyLargestFirst(m)
+		sc, err = core.GreedyLargestFirst(m)
 	default:
 		return nil, badRequest("unknown algorithm %q", chosen)
 	}
 	if err != nil {
 		return nil, badRequest("%s: %v", chosen, err)
 	}
-	res.LinkFree = sc.ValidateLinkFree(net) == nil
+	res.LinkFree = core.ValidateLinkFree(sc) == nil
 	res.Schedule = scheduleWire(sc)
 	return res, nil
 }

@@ -8,6 +8,7 @@ import (
 
 	"unsched/internal/costmodel"
 	"unsched/internal/ipsc"
+	"unsched/internal/sched"
 	"unsched/internal/topo"
 )
 
@@ -32,12 +33,53 @@ type task struct {
 	panicked error
 }
 
-// worker owns the reusable per-goroutine simulation state: one machine
-// per (topology, params) pair it has served, reset and reused across
-// requests so the hot path — repeated workloads on the default machine
-// — allocates nothing per run beyond program compilation.
+// worker owns the reusable per-goroutine simulation and scheduling
+// state: one simulator machine per (topology, params) pair and one
+// scheduler core per topology it has served, reset and reused across
+// requests so the hot path — repeated workloads on the default
+// machine — allocates nothing per run beyond program compilation and
+// the schedule itself. Cores hold mutable scratch and are private to
+// the worker; the route tables they walk are immutable and shared
+// daemon-wide through the pool's tableCache, so the O(n^2 * diameter)
+// precompute happens once per topology per daemon, not once per
+// worker.
 type worker struct {
 	machines map[machineKey]*ipsc.Machine
+	cores    map[string]*sched.Core
+	tables   *tableCache
+}
+
+// tableCache shares precomputed route tables across all workers of a
+// pool. Tables are immutable after construction, so publishing one
+// pointer serves every goroutine; building under the lock serializes
+// cold-start misses on the same topology instead of duplicating the
+// n^2-route precompute per worker.
+type tableCache struct {
+	mu     sync.Mutex
+	tables map[string]*topo.RouteTable
+}
+
+// maxSharedTables bounds daemon-wide retained route tables. At the
+// service's 1024-node cap a table is ~20 MB, so the worst-case
+// adversarial topology mix retains well under 200 MB — and unlike the
+// per-worker caches, this bound does not multiply by worker count.
+const maxSharedTables = 8
+
+func (tc *tableCache) get(net topo.Topology) *topo.RouteTable {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	if rt, ok := tc.tables[net.Name()]; ok {
+		return rt
+	}
+	if len(tc.tables) >= maxSharedTables {
+		for k := range tc.tables {
+			delete(tc.tables, k)
+			break
+		}
+	}
+	rt := topo.NewRouteTable(net)
+	tc.tables[net.Name()] = rt
+	return rt
 }
 
 type machineKey struct {
@@ -77,6 +119,25 @@ func (w *worker) machine(net topo.Topology, paramsName string, params costmodel.
 	return m, nil
 }
 
+// schedCore returns the worker's reusable scheduler core for net,
+// building it over the daemon-shared route table on first use. The
+// same eviction bound as the machine cache applies to the per-worker
+// core scratch; the heavyweight tables live in the shared cache.
+func (w *worker) schedCore(net topo.Topology) *sched.Core {
+	if c, ok := w.cores[net.Name()]; ok {
+		return c
+	}
+	if len(w.cores) >= maxMachinesPerWorker {
+		for k := range w.cores {
+			delete(w.cores, k)
+			break
+		}
+	}
+	c := sched.NewCoreForTable(w.tables.get(net))
+	w.cores[net.Name()] = c
+	return c
+}
+
 // pool runs tasks on a fixed set of workers fed by a bounded queue.
 type pool struct {
 	mu     sync.Mutex
@@ -89,11 +150,16 @@ type pool struct {
 // newPool starts workers goroutines behind a queue of queueLen slots.
 func newPool(workers, queueLen int) *pool {
 	p := &pool{queue: make(chan *task, queueLen)}
+	shared := &tableCache{tables: make(map[string]*topo.RouteTable)}
 	for i := 0; i < workers; i++ {
 		p.wg.Add(1)
 		go func() {
 			defer p.wg.Done()
-			w := &worker{machines: make(map[machineKey]*ipsc.Machine)}
+			w := &worker{
+				machines: make(map[machineKey]*ipsc.Machine),
+				cores:    make(map[string]*sched.Core),
+				tables:   shared,
+			}
 			for t := range p.queue {
 				p.depth.Add(-1)
 				runOne(w, t)
@@ -106,14 +172,15 @@ func newPool(workers, queueLen int) *pool {
 // runOne executes one task, containing any panic to that task: the
 // worker survives, done is always closed (so single-flight followers
 // are never stranded), and the panic surfaces to the one request that
-// triggered it instead of killing the daemon. The machine map is
-// dropped because a panic may have left a cached machine mid-run.
+// triggered it instead of killing the daemon. The machine and core
+// maps are dropped because a panic may have left cached state mid-run.
 func runOne(w *worker, t *task) {
 	defer close(t.done)
 	defer func() {
 		if r := recover(); r != nil {
 			t.panicked = fmt.Errorf("service: panic serving request: %v", r)
 			w.machines = make(map[machineKey]*ipsc.Machine)
+			w.cores = make(map[string]*sched.Core)
 		}
 	}()
 	t.run(w)

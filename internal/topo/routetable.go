@@ -1,0 +1,91 @@
+package topo
+
+import "fmt"
+
+// RouteTable is the §5 observation made concrete: for a regular
+// topology with deterministic routing, every route is a pure function
+// of (src, dst), so all n^2 of them can be computed once and shared.
+// The table stores the directed-channel indices of every route
+// CSR-packed into two flat slices — offsets plus concatenated ids — so
+// a route lookup is two array reads and a slice, with no per-call
+// route generation and no pointer chasing.
+//
+// Memory is O(n^2 * diameter): one int32 per route hop plus n^2+1
+// offsets. On the paper's 64-node hypercube that is ~12k hop entries
+// (~64 KB); a 1024-node cube needs ~20 MB. Precomputation costs one
+// RouteIDs call per (src, dst) pair, so it pays off as soon as a table
+// is reused for more than a handful of schedules — which is exactly
+// the shape of campaign and service traffic. Build one table per
+// topology and share it: a RouteTable is immutable after construction
+// and therefore safe for concurrent readers.
+type RouteTable struct {
+	t       Topology
+	n       int
+	offsets []int32 // len n*n+1; route k occupies ids[offsets[k]:offsets[k+1]]
+	ids     []int32 // directed-channel indices of all routes, concatenated
+}
+
+// DiameterHinter is optionally implemented by topologies that know
+// their diameter; NewRouteTable uses it to presize the hop storage in
+// one allocation instead of growing it.
+type DiameterHinter interface {
+	Diameter() int
+}
+
+// NewRouteTable precomputes every deterministic route of t. It panics
+// when n^2 routes cannot be indexed by int32 offsets (n > 46340) —
+// tables that size would not fit in memory anyway; keep using
+// RouteIDs on the fly for such machines.
+func NewRouteTable(t Topology) *RouteTable {
+	n := t.Nodes()
+	if int64(n)*int64(n) >= int64(1)<<31 {
+		panic(fmt.Sprintf("topo: route table for %d nodes exceeds int32 indexing; use on-the-fly routes", n))
+	}
+	rt := &RouteTable{t: t, n: n, offsets: make([]int32, n*n+1)}
+	if h, ok := t.(DiameterHinter); ok {
+		// Average route length is roughly half the diameter on the
+		// regular topologies here; presize to that and let append cover
+		// the remainder.
+		rt.ids = make([]int32, 0, n*n*(h.Diameter()+1)/2)
+	}
+	var buf []int
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			buf = t.RouteIDs(src, dst, buf[:0])
+			for _, id := range buf {
+				rt.ids = append(rt.ids, int32(id))
+			}
+			rt.offsets[src*n+dst+1] = int32(len(rt.ids))
+		}
+	}
+	return rt
+}
+
+// Topology returns the topology the table was built from.
+func (rt *RouteTable) Topology() Topology { return rt.t }
+
+// Nodes returns the number of processors.
+func (rt *RouteTable) Nodes() int { return rt.n }
+
+// NumChannels returns the number of directed channels, the valid index
+// range of the ids Route returns.
+func (rt *RouteTable) NumChannels() int { return rt.t.NumChannels() }
+
+// Route returns the precomputed directed-channel indices of the route
+// src->dst. The slice aliases the table's storage: read-only, valid
+// forever, safe to hold across calls.
+func (rt *RouteTable) Route(src, dst int) []int32 {
+	k := src*rt.n + dst
+	return rt.ids[rt.offsets[k]:rt.offsets[k+1]]
+}
+
+// Hops returns the precomputed route length from src to dst.
+func (rt *RouteTable) Hops(src, dst int) int {
+	k := src*rt.n + dst
+	return int(rt.offsets[k+1] - rt.offsets[k])
+}
+
+// HopEntries returns the total number of stored hops across all
+// routes — the n^2 * average-route-length term of the memory bound,
+// for tests and capacity planning.
+func (rt *RouteTable) HopEntries() int { return len(rt.ids) }

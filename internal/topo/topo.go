@@ -30,16 +30,32 @@ type Topology interface {
 // generic form of the paper's PATHS array with O(1) amortized
 // clearing. It supports the Check_Path / Mark_Path operations of the
 // RS_NL algorithm (Figure 4).
+//
+// Two route backends exist. NewOccupancy generates each route on the
+// fly through Topology.RouteIDs — right for one-shot use. When built
+// over a precomputed RouteTable (NewOccupancyTable), CheckPath and
+// MarkPath become index walks over the table's flat hop storage with
+// no route generation at all; that is the backend the reusable
+// scheduler cores run on.
 type Occupancy struct {
 	t     Topology
+	rt    *RouteTable // non-nil: walk precomputed routes instead of generating
 	epoch uint32
 	marks []uint32
 	buf   []int
 }
 
-// NewOccupancy returns an empty claim table for t.
+// NewOccupancy returns an empty claim table for t, generating routes
+// on the fly.
 func NewOccupancy(t Topology) *Occupancy {
 	return &Occupancy{t: t, epoch: 1, marks: make([]uint32, t.NumChannels())}
+}
+
+// NewOccupancyTable returns an empty claim table that walks rt's
+// precomputed routes. The table is shared read-only; each Occupancy
+// keeps only its own claim marks.
+func NewOccupancyTable(rt *RouteTable) *Occupancy {
+	return &Occupancy{t: rt.Topology(), rt: rt, epoch: 1, marks: make([]uint32, rt.NumChannels())}
 }
 
 // Reset clears all claims; O(1) amortized.
@@ -56,6 +72,14 @@ func (o *Occupancy) Reset() {
 // CheckPath reports whether the route src->dst is entirely unclaimed
 // in the current phase (the paper's Check_Path).
 func (o *Occupancy) CheckPath(src, dst int) bool {
+	if o.rt != nil {
+		for _, id := range o.rt.Route(src, dst) {
+			if o.marks[id] == o.epoch {
+				return false
+			}
+		}
+		return true
+	}
 	o.buf = o.t.RouteIDs(src, dst, o.buf[:0])
 	for _, id := range o.buf {
 		if o.marks[id] == o.epoch {
@@ -68,6 +92,12 @@ func (o *Occupancy) CheckPath(src, dst int) bool {
 // MarkPath claims every channel on the route src->dst for the current
 // phase (the paper's Mark_Path).
 func (o *Occupancy) MarkPath(src, dst int) {
+	if o.rt != nil {
+		for _, id := range o.rt.Route(src, dst) {
+			o.marks[id] = o.epoch
+		}
+		return
+	}
 	o.buf = o.t.RouteIDs(src, dst, o.buf[:0])
 	for _, id := range o.buf {
 		o.marks[id] = o.epoch
