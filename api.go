@@ -31,6 +31,16 @@ type (
 	// Topology is any deterministic-routing network the link-aware
 	// scheduler and the simulator can target.
 	Topology = topo.Topology
+	// TopologySpec is the canonical description of a topology — the
+	// parse/format/validate layer behind the service's topology wire
+	// field and the CLI's -topo flag. Specs round-trip through strings:
+	// "cube:6", "mesh:8x8", "torus:16x16", "ring:12",
+	// "graph:5:0-1,1-2,2-3,3-4,4-0".
+	TopologySpec = topo.Spec
+	// Graph is an arbitrary connected graph topology with canonical
+	// BFS shortest-path routing (lowest-id tie-breaking) — the fully
+	// general backend behind ring:N and graph:N:edges specs.
+	Graph = topo.Graph
 	// Schedule is an ordered list of contention-avoiding phases.
 	Schedule = sched.Schedule
 	// Phase is one partial permutation.
@@ -86,6 +96,19 @@ func NewCube(dim int) *Cube { return hypercube.MustNew(dim) }
 
 // NewMesh2D returns a w x h mesh (torus if wrap) with XY routing.
 func NewMesh2D(w, h int, wrap bool) (*Mesh2D, error) { return mesh.New(w, h, wrap) }
+
+// NewRing returns the n-node ring with shorter-way-around routing.
+func NewRing(n int) (*Graph, error) { return topo.NewRing(n) }
+
+// NewGraph returns the connected graph over n nodes with the given
+// undirected edges, routed by canonical BFS shortest paths with
+// lowest-id tie-breaking. Any such graph drives the link-aware
+// schedulers, the simulator, and the experiment engine.
+func NewGraph(n int, edges [][2]int) (*Graph, error) { return topo.NewGraph(n, edges) }
+
+// ParseTopologySpec parses a canonical topology spec string; see
+// TopologySpec for the grammar. Build the Topology with Spec.Build.
+func ParseTopologySpec(s string) (TopologySpec, error) { return topo.ParseSpec(s) }
 
 // Workload generators (see internal/comm for details).
 var (

@@ -222,8 +222,8 @@ func TestDefaultExperimentConfig(t *testing.T) {
 	if err := cfg.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	if cfg.Cube.Nodes() != 64 {
-		t.Errorf("default config should model the 64-node machine, got %d", cfg.Cube.Nodes())
+	if cfg.Topology.Nodes() != 64 {
+		t.Errorf("default config should model the 64-node machine, got %d", cfg.Topology.Nodes())
 	}
 }
 
@@ -276,5 +276,62 @@ func TestSimMachineFacadeReuse(t *testing.T) {
 	}
 	if first != second {
 		t.Errorf("reused machine diverged: %+v vs %+v", first, second)
+	}
+}
+
+// TestTopologySpecFacade drives the spec layer end to end through the
+// public API: parse a ring spec, build it, schedule link-free on it,
+// and simulate the schedule.
+func TestTopologySpecFacade(t *testing.T) {
+	sp, err := ParseTopologySpec("ring:8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.String() != "ring:8" {
+		t.Errorf("spec round trip: %q", sp.String())
+	}
+	net, err := sp.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	m, err := DRegular(net.Nodes(), 3, 2048, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := RSNL(m, net, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ValidateLinkFree(net); err != nil {
+		t.Errorf("RSNL schedule contends on the ring: %v", err)
+	}
+	res, err := SimulateS1(net, DefaultIPSC860(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MakespanUS <= 0 {
+		t.Error("simulated run took no time")
+	}
+
+	// The graph constructor covers machines no spec string was written
+	// for: a cube with one extra chord still schedules and simulates.
+	g, err := NewGraph(4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := AllToAll(4, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := RSNL(m2, g, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.ValidateLinkFree(g); err != nil {
+		t.Errorf("RSNL schedule contends on the graph: %v", err)
 	}
 }

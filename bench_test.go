@@ -485,6 +485,33 @@ func benchCampaign(b *testing.B, parallelism int) {
 func BenchmarkCampaignSequential(b *testing.B) { benchCampaign(b, 1) }
 func BenchmarkCampaignParallel(b *testing.B)   { benchCampaign(b, runtime.GOMAXPROCS(0)) }
 
+// benchCampaignTorus is benchCampaign on the 8x8 torus — the same
+// node count and grid as the hypercube campaign above, so the pair
+// prices the topology generalization: longer XY routes mean a bigger
+// route table, more occupancy work per Check_Path, and more phases
+// per schedule. Tracked by the CI benchgate alongside the cube runs.
+func benchCampaignTorus(b *testing.B, parallelism int) {
+	cfg := benchConfig()
+	cfg.Topology = mesh.MustNew(8, 8, true)
+	r := &expt.Runner{Config: cfg, Parallelism: parallelism}
+	var points []expt.Point
+	for _, d := range []int{4, 8, 16, 32} {
+		for _, size := range []int64{1024, 16 * 1024} {
+			points = append(points, expt.Point{Density: d, MsgBytes: size})
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.MeasureCells(context.Background(), points); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(parallelism), "workers")
+}
+
+func BenchmarkCampaignTorusSequential(b *testing.B) { benchCampaignTorus(b, 1) }
+func BenchmarkCampaignTorusParallel(b *testing.B)   { benchCampaignTorus(b, runtime.GOMAXPROCS(0)) }
+
 // --- Micro-benchmarks: raw scheduler and simulator throughput -------
 
 func benchScheduler(b *testing.B, build func(*comm.Matrix, *rand.Rand) (*sched.Schedule, error)) {

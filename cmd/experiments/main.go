@@ -13,14 +13,18 @@
 //	-seed S      master seed (default 1994)
 //	-csv         emit figures as CSV instead of ASCII charts
 //	-dim D       hypercube dimension (default 6, the 64-node machine)
+//	-topo SPEC   run on any topology instead: cube:D, mesh:WxH,
+//	             torus:WxH, ring:N, or graph:N:a-b,c-d,... (exclusive
+//	             with -dim)
 //	-parallel P  worker goroutines (default 0 = GOMAXPROCS)
 //	-progress    report campaign progress on stderr
 //
-// Output is bit-identical at every -parallel value: each simulated run
-// derives its randomness from (seed, density, size, sample, algorithm)
-// alone, never from worker scheduling. On small machines (-dim < 6)
-// density rows that cannot exist there (d >= nodes) are dropped from
-// the grids, and figures pinned to such a density fail cleanly.
+// Output is bit-identical at every -parallel value on every topology:
+// each simulated run derives its randomness from (seed, density,
+// size, sample, algorithm) alone, never from worker scheduling or
+// topology internals. On machines smaller than the paper's 64-node
+// cube, density rows that cannot exist there (d >= nodes) are dropped
+// from the grids, and figures pinned to such a density fail cleanly.
 //
 // The `all` target runs every table and figure in order and stops at
 // the first failure with a non-zero exit.
@@ -36,6 +40,7 @@ import (
 	"unsched/internal/expt"
 	"unsched/internal/hypercube"
 	"unsched/internal/plot"
+	"unsched/internal/topo"
 )
 
 // allTargets is the canonical target order of the `all` run — the
@@ -62,6 +67,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	seed := fs.Int64("seed", 1994, "master seed")
 	csv := fs.Bool("csv", false, "emit figure data as CSV instead of ASCII charts")
 	dim := fs.Int("dim", 6, "hypercube dimension (6 = the paper's 64-node machine)")
+	topoSpec := fs.String("topo", "", "topology spec (cube:D, mesh:WxH, torus:WxH, ring:N, graph:N:a-b,...); exclusive with -dim")
 	parallel := fs.Int("parallel", 0, "worker goroutines; 0 means GOMAXPROCS")
 	progress := fs.Bool("progress", false, "report campaign progress on stderr")
 	if err := fs.Parse(args); err != nil {
@@ -76,12 +82,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("expected exactly one target, got %d", fs.NArg())
 	}
 
-	cube, err := hypercube.New(*dim)
+	net, err := resolveNet(fs, *topoSpec, *dim)
 	if err != nil {
 		return err
 	}
+	if n := net.Nodes(); n&(n-1) != 0 {
+		// Every target compares the paper's four contenders, and LP's
+		// XOR pairing exists only on power-of-two machines.
+		return fmt.Errorf("the experiment grids include LP, which needs a power-of-two node count; %s has %d nodes", net.Name(), n)
+	}
 	cfg := expt.DefaultConfig()
-	cfg.Cube = cube
+	cfg.Topology = net
 	cfg.Samples = *samples
 	cfg.Seed = *seed
 
@@ -120,6 +131,29 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("target %s: %w", name, err)
 	}
 	return nil
+}
+
+// resolveNet builds the campaign's machine from -topo (any spec the
+// topo package parses) or -dim (a hypercube, the historical flag).
+// Setting both explicitly is ambiguous and rejected.
+func resolveNet(fs *flag.FlagSet, topoSpec string, dim int) (topo.Topology, error) {
+	dimSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "dim" {
+			dimSet = true
+		}
+	})
+	if topoSpec != "" {
+		if dimSet {
+			return nil, fmt.Errorf("-topo and -dim are mutually exclusive; say -topo cube:%d", dim)
+		}
+		sp, err := topo.ParseSpec(topoSpec)
+		if err != nil {
+			return nil, err
+		}
+		return sp.Build()
+	}
+	return hypercube.New(dim)
 }
 
 // progressPrinter adapts campaign progress to the writer: a terminal
@@ -165,7 +199,7 @@ func isTerminal(w io.Writer) bool {
 func runTable1(r *expt.Runner, stdout io.Writer, _ bool) error {
 	cfg := r.Config
 	fmt.Fprintf(stdout, "Table 1: %d-node machine, %d samples per cell, seed %d (timings in ms)\n",
-		cfg.Cube.Nodes(), cfg.Samples, cfg.Seed)
+		cfg.Topology.Nodes(), cfg.Samples, cfg.Seed)
 	rows, err := r.Table1(context.Background())
 	if err != nil {
 		return err
@@ -179,7 +213,7 @@ func runFig5(r *expt.Runner, stdout io.Writer, _ bool) error {
 	for b := int64(64); b <= 64*1024; b *= 4 {
 		sizes = append(sizes, b)
 	}
-	densities := expt.DensitiesFor(expt.Table1Densities, r.Config.Cube.Nodes())
+	densities := expt.DensitiesFor(expt.Table1Densities, r.Config.Topology.Nodes())
 	regions, err := r.RegionMap(context.Background(), densities, sizes)
 	if err != nil {
 		return err
@@ -189,7 +223,7 @@ func runFig5(r *expt.Runner, stdout io.Writer, _ bool) error {
 
 func figComm(d int) func(*expt.Runner, io.Writer, bool) error {
 	return func(r *expt.Runner, stdout io.Writer, csv bool) error {
-		if nodes := r.Config.Cube.Nodes(); d >= nodes {
+		if nodes := r.Config.Topology.Nodes(); d >= nodes {
 			return fmt.Errorf("density %d does not exist on a %d-node machine; raise -dim", d, nodes)
 		}
 		series, err := r.CommVsSize(context.Background(), d, expt.FigureSizes())
@@ -200,7 +234,7 @@ func figComm(d int) func(*expt.Runner, io.Writer, bool) error {
 			return plot.WriteCSV(stdout, series)
 		}
 		fmt.Fprint(stdout, plot.ASCII(series, plot.Options{
-			Title:  fmt.Sprintf("Communication cost, uniform messages, d = %d, %d nodes", d, r.Config.Cube.Nodes()),
+			Title:  fmt.Sprintf("Communication cost, uniform messages, d = %d, %d nodes", d, r.Config.Topology.Nodes()),
 			LogX:   true,
 			XLabel: "message bytes",
 			YLabel: "time (ms)",
@@ -211,7 +245,7 @@ func figComm(d int) func(*expt.Runner, io.Writer, bool) error {
 
 func figOverhead(alg expt.Algorithm, title string) func(*expt.Runner, io.Writer, bool) error {
 	return func(r *expt.Runner, stdout io.Writer, csv bool) error {
-		densities := expt.DensitiesFor(expt.Table1Densities, r.Config.Cube.Nodes())
+		densities := expt.DensitiesFor(expt.Table1Densities, r.Config.Topology.Nodes())
 		series, err := r.OverheadVsSize(context.Background(), alg, densities, expt.FigureSizes())
 		if err != nil {
 			return err

@@ -119,3 +119,31 @@ func TestUnknownTargetFails(t *testing.T) {
 		t.Fatal("missing target accepted")
 	}
 }
+
+// TestTopoFlag drives the -topo spec path: a torus table renders, the
+// cube spec reproduces the -dim golden byte for byte, and the flag
+// conflicts and non-power-of-two machines are rejected up front.
+func TestTopoFlag(t *testing.T) {
+	got := goldenRun(t, "-samples", "1", "-seed", "7", "-topo", "torus:4x4", "table1")
+	if !strings.Contains(got, "16-node machine") {
+		t.Errorf("torus:4x4 table does not report the 16-node machine:\n%s", got)
+	}
+	// -topo cube:4 is the same machine as -dim 4: identical output.
+	viaDim := goldenRun(t, "-samples", "2", "-seed", "1994", "-dim", "4", "table1")
+	viaSpec := goldenRun(t, "-samples", "2", "-seed", "1994", "-topo", "cube:4", "table1")
+	if viaDim != viaSpec {
+		t.Errorf("-topo cube:4 output differs from -dim 4:\n--- dim\n%s--- topo\n%s", viaDim, viaSpec)
+	}
+
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-topo", "torus:4x4", "-dim", "4", "table1"}, &stdout, &stderr); err == nil {
+		t.Error("-topo with explicit -dim accepted")
+	}
+	if err := run([]string{"-topo", "ring:12", "table1"}, &stdout, &stderr); err == nil ||
+		!strings.Contains(err.Error(), "power-of-two") {
+		t.Errorf("non-power-of-two machine error = %v, want a power-of-two explanation", err)
+	}
+	if err := run([]string{"-topo", "klein:4", "table1"}, &stdout, &stderr); err == nil {
+		t.Error("bad spec accepted")
+	}
+}

@@ -37,6 +37,18 @@
 // the paper lives behind cmd/experiments; the root bench suite
 // (bench_test.go) exposes the same measurements as Go benchmarks.
 //
+// # Topologies
+//
+// The schedulers, simulator, and experiment engine are generic over
+// Topology — any deterministic-routing network, which is all the
+// paper's approach requires (§5). Built-in machines: the hypercube
+// (e-cube routing), 2D mesh and torus (XY routing), rings, and
+// arbitrary connected graphs routed by canonical BFS shortest paths
+// with lowest-id tie-breaking. TopologySpec is the shared vocabulary:
+// parse "cube:6", "torus:8x8", "ring:12", or "graph:5:0-1,..." with
+// ParseTopologySpec and Build the machine; the unschedd topology wire
+// field and the experiments -topo flag accept the same grammar.
+//
 // # Parallel campaigns
 //
 // Measurement campaigns run on a worker-pool engine
@@ -44,7 +56,10 @@
 // combination is one independent unit, fanned across up to GOMAXPROCS
 // workers, each owning a reusable simulator machine (SimMachine); a
 // unit generates its random matrix once and measures all four
-// algorithms on it.
+// algorithms on it. The campaign machine is ExperimentConfig.Topology
+// — any Topology with a power-of-two node count (LP's XOR pairing
+// needs one) runs the paper's full §6 protocol; all workers share one
+// precomputed RouteTable per campaign.
 // Randomness is organized so parallelism can never change a result:
 // the master seed plus a unit's own coordinates name its RNG streams
 // via a SplitMix64-keyed source (internal/stats), so a unit draws the

@@ -1,0 +1,97 @@
+// Crosstopo: the paper's §6 measurement protocol on machines the
+// paper never had — the experiment engine is topology-generic, so the
+// same campaign runs on the 64-node hypercube and on an 8x8 torus at
+// equal node count, and the four contenders (AC, LP, RS_N, RS_NL) can
+// be compared machine against machine.
+//
+// Two things to look for in the output:
+//
+//   - LP's guarantee evaporates off the cube: XOR permutations are
+//     congestion-free under e-cube routing only, so on the torus LP
+//     is just another node-contention-free schedule — and its comm
+//     cost roughly doubles while everyone else's grows ~40%.
+//
+//   - Link-freedom costs more where channels are scarce: the torus
+//     has longer routes and fewer channels than the cube, so RS_NL
+//     needs more phases there and its premium over RS_N widens — the
+//     topology, not the algorithm, sets the price of avoiding link
+//     contention.
+//
+// Both campaigns share one worker pool configuration and one master
+// seed; per-unit RNG streams are keyed by (seed, density, size,
+// sample, algorithm), so each machine's numbers are bit-identical at
+// any -parallel value.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+
+	"unsched"
+)
+
+func main() {
+	parallel := flag.Int("parallel", 0, "worker goroutines; 0 means GOMAXPROCS")
+	samples := flag.Int("samples", 10, "samples per cell; the paper's protocol uses 50")
+	flag.Parse()
+
+	// Equal node count, different wiring: specs are the canonical
+	// topology vocabulary (the same strings the unschedd service and
+	// the experiments -topo flag accept).
+	specs := []string{"cube:6", "torus:8x8"}
+
+	grid := []unsched.ExperimentPoint{
+		{Density: 8, MsgBytes: 1024},
+		{Density: 8, MsgBytes: 64 * 1024},
+		{Density: 32, MsgBytes: 1024},
+		{Density: 32, MsgBytes: 64 * 1024},
+	}
+	algs := []unsched.ExperimentAlgorithm{"AC", "LP", "RS_N", "RS_NL"}
+
+	results := map[string][]map[unsched.ExperimentAlgorithm]unsched.ExperimentCell{}
+	for _, spec := range specs {
+		sp, err := unsched.ParseTopologySpec(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		net, err := sp.Build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := unsched.DefaultExperimentConfig()
+		cfg.Topology = net
+		cfg.Samples = *samples
+		runner := unsched.NewExperimentRunner(cfg, *parallel)
+		cells, err := runner.MeasureCells(context.Background(), grid)
+		if err != nil {
+			log.Fatal(err)
+		}
+		results[spec] = cells
+	}
+
+	fmt.Printf("§6 protocol, %d samples per cell, %d nodes each, comm cost in ms\n\n", *samples, 64)
+	fmt.Printf("%3s  %6s   %-10s %10s %10s %10s %10s\n", "d", "size", "machine", "AC", "LP", "RS_N", "RS_NL")
+	for i, pt := range grid {
+		for _, spec := range specs {
+			c := results[spec][i]
+			label := ""
+			if spec == specs[0] {
+				label = fmt.Sprintf("%3d  %5dK", pt.Density, pt.MsgBytes/1024)
+			} else {
+				label = fmt.Sprintf("%3s  %6s", "", "")
+			}
+			fmt.Printf("%s   %-10s", label, spec)
+			for _, alg := range algs {
+				fmt.Printf(" %9.2f", c[alg].CommMS)
+			}
+			fmt.Println()
+		}
+		// The price of link-freedom, machine by machine.
+		cube, torus := results[specs[0]][i], results[specs[1]][i]
+		fmt.Printf("%12s RS_NL premium over RS_N: %4.1f%% on %s, %4.1f%% on %s\n\n", "",
+			100*(cube["RS_NL"].CommMS/cube["RS_N"].CommMS-1), specs[0],
+			100*(torus["RS_NL"].CommMS/torus["RS_N"].CommMS-1), specs[1])
+	}
+}

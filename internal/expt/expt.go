@@ -11,10 +11,19 @@
 // processor, and cells report the average over samples. All
 // randomness is derived from a single master seed.
 //
+// The engine is topology-generic: Config carries any topo.Topology —
+// the paper's hypercube (the default), a mesh or torus, a ring, an
+// arbitrary graph — because the §6 protocol needs nothing from the
+// machine beyond deterministic routing (§5's observation). All
+// scheduling and simulation inside a campaign runs over one shared
+// precomputed route table, built per campaign or supplied via
+// Config.Routes by callers that run many campaigns on one machine.
+//
 // Campaigns execute on the Runner, a worker pool that fans every
 // (density, size, sample, algorithm) unit out concurrently. Each
 // unit's RNG streams are keyed by the master seed and the unit's own
-// coordinates, so results are bit-identical at any parallelism; see
+// coordinates — never by worker scheduling or topology internals — so
+// results are bit-identical at any parallelism on every topology; see
 // runner.go.
 package expt
 
@@ -33,6 +42,7 @@ import (
 	"unsched/internal/ipsc"
 	"unsched/internal/plot"
 	"unsched/internal/sched"
+	"unsched/internal/topo"
 )
 
 // Algorithm names the paper's four contenders.
@@ -50,7 +60,17 @@ var Algorithms = []Algorithm{AC, LP, RSN, RSNL}
 
 // Config parameterizes a measurement campaign.
 type Config struct {
-	Cube    *hypercube.Cube
+	// Topology is the machine the campaign measures. Any deterministic-
+	// routing topo.Topology works — the paper's hypercube, a mesh or
+	// torus, a ring, an arbitrary graph — because the §6 protocol needs
+	// nothing beyond deterministic routes (§5's observation).
+	Topology topo.Topology
+	// Routes optionally supplies a prebuilt route table for Topology.
+	// When nil, the Runner precomputes one per campaign; supply a
+	// shared table (topo.NewRouteTable) to amortize the O(n^2*diameter)
+	// build across many campaigns on the same machine — the unschedd
+	// daemon does exactly that.
+	Routes  *topo.RouteTable
 	Params  costmodel.Params
 	Samples int   // random samples per (d, M) cell; the paper uses 50
 	Seed    int64 // master seed; everything derives from it
@@ -61,17 +81,21 @@ type Config struct {
 // runs; raise Samples to 50 to match the paper's protocol exactly.
 func DefaultConfig() Config {
 	return Config{
-		Cube:    hypercube.MustNew(6),
-		Params:  costmodel.DefaultIPSC860(),
-		Samples: 10,
-		Seed:    1994,
+		Topology: hypercube.MustNew(6),
+		Params:   costmodel.DefaultIPSC860(),
+		Samples:  10,
+		Seed:     1994,
 	}
 }
 
 // Validate rejects unusable configurations.
 func (c Config) Validate() error {
-	if c.Cube == nil {
-		return fmt.Errorf("expt: nil cube")
+	if c.Topology == nil {
+		return fmt.Errorf("expt: nil topology")
+	}
+	if c.Routes != nil && c.Routes.Topology().Name() != c.Topology.Name() {
+		return fmt.Errorf("expt: route table is for %s, config topology is %s",
+			c.Routes.Topology().Name(), c.Topology.Name())
 	}
 	if c.Samples <= 0 {
 		return fmt.Errorf("expt: Samples must be positive, got %d", c.Samples)

@@ -24,7 +24,7 @@ func TestConfigValidate(t *testing.T) {
 		t.Error("zero samples accepted")
 	}
 	cfg = DefaultConfig()
-	cfg.Cube = nil
+	cfg.Topology = nil
 	if err := cfg.Validate(); err == nil {
 		t.Error("nil cube accepted")
 	}
@@ -244,7 +244,7 @@ func TestFigureSizes(t *testing.T) {
 
 func TestMeasureCellSmallCube(t *testing.T) {
 	cfg := quickConfig()
-	cfg.Cube = hypercube.MustNew(3)
+	cfg.Topology = hypercube.MustNew(3)
 	cells, err := cfg.MeasureCell(2, 512)
 	if err != nil {
 		t.Fatal(err)

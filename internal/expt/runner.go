@@ -90,8 +90,12 @@ func (r *Runner) MeasureCells(ctx context.Context, points []Point) ([]map[Algori
 	// All routes on the campaign's machine are a pure function of
 	// (src, dst), so precompute them once and share the read-only
 	// table: every worker's scheduler core walks it instead of
-	// regenerating e-cube routes on each Check_Path/Mark_Path.
-	routes := topo.NewRouteTable(cfg.Cube)
+	// regenerating routes on each Check_Path/Mark_Path. A caller-
+	// supplied table (Config.Routes) skips even that one build.
+	routes := cfg.Routes
+	if routes == nil {
+		routes = topo.NewRouteTable(cfg.Topology)
+	}
 
 	var (
 		wg       sync.WaitGroup
@@ -123,7 +127,7 @@ func (r *Runner) MeasureCells(ctx context.Context, points []Point) ([]map[Algori
 			// one stream source; all are confined to this goroutine, so
 			// the steady-state schedule→simulate pipeline allocates
 			// (near) nothing per unit.
-			mach, err := ipsc.NewMachine(cfg.Cube, cfg.Params)
+			mach, err := ipsc.NewMachine(cfg.Topology, cfg.Params)
 			if err != nil {
 				fail(err)
 				return
@@ -214,7 +218,7 @@ func (c Config) runSample(mach *ipsc.Machine, core *sched.Core, src *stats.Sourc
 	// arbitrary densities and sizes), which would hand "independent"
 	// cells identical generators.
 	patRNG := src.StreamKeyed(0, int64(d), msgBytes, int64(sample))
-	m, err := comm.DRegular(c.Cube.Nodes(), d, msgBytes, patRNG)
+	m, err := comm.DRegular(c.Topology.Nodes(), d, msgBytes, patRNG)
 	if err != nil {
 		return err
 	}
@@ -249,7 +253,7 @@ func grid(densities []int, sizes []int64) []Point {
 // smaller than the paper's (cube dimension < 6) the grid keeps only
 // the densities that exist there (d < nodes).
 func (r *Runner) Table1(ctx context.Context) ([]Table1Row, error) {
-	densities := DensitiesFor(Table1Densities, r.Config.Cube.Nodes())
+	densities := DensitiesFor(Table1Densities, r.Config.Topology.Nodes())
 	cells, err := r.MeasureCells(ctx, grid(densities, Table1Sizes))
 	if err != nil {
 		return nil, err

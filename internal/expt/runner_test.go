@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"unsched/internal/hypercube"
+	"unsched/internal/topo"
 )
 
 // renderTable1 runs Table1 at the given parallelism and renders it to
@@ -56,12 +57,62 @@ func TestRunnerDeterministicAcrossParallelism(t *testing.T) {
 		}
 	}
 
-	cfg.Cube = hypercube.MustNew(4)
+	cfg.Topology = hypercube.MustNew(4)
 	seqMap := renderRegionMap(t, cfg, 1)
 	for _, p := range []int{3, 8} {
 		if got := renderRegionMap(t, cfg, p); got != seqMap {
 			t.Errorf("RegionMap at parallelism %d differs from sequential:\n--- p=1\n%s--- p=%d\n%s", p, seqMap, p, got)
 		}
+	}
+}
+
+// TestRunnerDeterministicOnAnyTopology extends the tentpole invariant
+// across the topology-generic engine: on a torus, a ring, and an
+// arbitrary graph, the campaign output at any worker count is
+// byte-identical to the sequential run — unit RNG streams are keyed
+// by coordinates, never by worker scheduling or topology internals.
+func TestRunnerDeterministicOnAnyTopology(t *testing.T) {
+	// Node counts are powers of two because the contender set includes
+	// LP, whose XOR pairing needs one.
+	graph16 := "graph:16:0-1,1-2,2-3,3-4,4-5,5-6,6-7,7-8,8-9,9-10,10-11,11-12,12-13,13-14,14-15,15-0,0-8,4-12,2-10"
+	for _, spec := range []string{"torus:4x4", "ring:16", graph16} {
+		cfg := DefaultConfig()
+		cfg.Topology = topo.MustParseSpec(spec).MustBuild()
+		cfg.Samples = 2
+		seq := renderRegionMap(t, cfg, 1)
+		for _, p := range []int{3, 8} {
+			if got := renderRegionMap(t, cfg, p); got != seq {
+				t.Errorf("%s: RegionMap at parallelism %d differs from sequential:\n--- p=1\n%s--- p=%d\n%s",
+					spec, p, seq, p, got)
+			}
+		}
+	}
+}
+
+// TestRunnerSharedRouteTable: a caller-supplied Config.Routes (the
+// daemon sharing path) must change nothing about the measured
+// numbers, and a table for the wrong topology must be rejected.
+func TestRunnerSharedRouteTable(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Topology = topo.MustParseSpec("torus:4x4").MustBuild()
+	cfg.Samples = 2
+	own, err := (&Runner{Config: cfg, Parallelism: 4}).MeasureCell(context.Background(), 4, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Routes = topo.NewRouteTable(cfg.Topology)
+	shared, err := (&Runner{Config: cfg, Parallelism: 4}).MeasureCell(context.Background(), 4, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range Algorithms {
+		if own[alg] != shared[alg] {
+			t.Errorf("%s: per-campaign table %+v != shared table %+v", alg, own[alg], shared[alg])
+		}
+	}
+	cfg.Routes = topo.NewRouteTable(hypercube.MustNew(4))
+	if err := cfg.Validate(); err == nil {
+		t.Error("route table for the wrong topology accepted")
 	}
 }
 
@@ -98,7 +149,7 @@ func TestRunnerCancellation(t *testing.T) {
 
 func TestRunnerCancelMidway(t *testing.T) {
 	cfg := DefaultConfig()
-	cfg.Cube = hypercube.MustNew(4)
+	cfg.Topology = hypercube.MustNew(4)
 	cfg.Samples = 4
 	ctx, cancel := context.WithCancel(context.Background())
 	stopAt := 3
@@ -115,7 +166,7 @@ func TestRunnerCancelMidway(t *testing.T) {
 
 func TestRunnerProgress(t *testing.T) {
 	cfg := DefaultConfig()
-	cfg.Cube = hypercube.MustNew(3)
+	cfg.Topology = hypercube.MustNew(3)
 	cfg.Samples = 2
 	var dones []int
 	var totals []int

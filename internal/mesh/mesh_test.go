@@ -3,12 +3,7 @@ package mesh
 import (
 	"testing"
 	"testing/quick"
-
-	"unsched/internal/topo"
 )
-
-// Compile-time interface check.
-var _ topo.Topology = (*Mesh)(nil)
 
 func TestNewValidation(t *testing.T) {
 	if _, err := New(0, 4, false); err == nil {
@@ -155,29 +150,4 @@ func TestRoutePanicsOutOfRange(t *testing.T) {
 		}
 	}()
 	m.RouteIDs(0, 99, nil)
-}
-
-func TestOccupancyOverMesh(t *testing.T) {
-	m := MustNew(4, 4, false)
-	occ := topo.NewOccupancy(m)
-	if !occ.CheckPath(0, 3) {
-		t.Fatal("fresh table should be free")
-	}
-	occ.MarkPath(0, 3) // +X +X +X along row 0
-	if occ.CheckPath(0, 1) {
-		t.Error("first +X channel should be claimed")
-	}
-	if !occ.CheckPath(1, 0) {
-		t.Error("reverse channel should be free")
-	}
-	if !occ.CheckPath(4, 7) {
-		t.Error("row 1 should be free")
-	}
-	if got := occ.ClaimedCount(); got != 3 {
-		t.Errorf("ClaimedCount = %d", got)
-	}
-	occ.Reset()
-	if !occ.CheckPath(0, 1) {
-		t.Error("reset should clear claims")
-	}
 }

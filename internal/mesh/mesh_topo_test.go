@@ -1,0 +1,38 @@
+package mesh_test
+
+import (
+	"testing"
+
+	"unsched/internal/mesh"
+	"unsched/internal/topo"
+)
+
+// Compile-time interface check. This lives in an external test
+// package because topo now imports mesh (for Spec.Build), so an
+// in-package test importing topo would be a cycle.
+var _ topo.Topology = (*mesh.Mesh)(nil)
+
+func TestOccupancyOverMesh(t *testing.T) {
+	m := mesh.MustNew(4, 4, false)
+	occ := topo.NewOccupancy(m)
+	if !occ.CheckPath(0, 3) {
+		t.Fatal("fresh table should be free")
+	}
+	occ.MarkPath(0, 3) // +X +X +X along row 0
+	if occ.CheckPath(0, 1) {
+		t.Error("first +X channel should be claimed")
+	}
+	if !occ.CheckPath(1, 0) {
+		t.Error("reverse channel should be free")
+	}
+	if !occ.CheckPath(4, 7) {
+		t.Error("row 1 should be free")
+	}
+	if got := occ.ClaimedCount(); got != 3 {
+		t.Errorf("ClaimedCount = %d", got)
+	}
+	occ.Reset()
+	if !occ.CheckPath(0, 1) {
+		t.Error("reset should clear claims")
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"unsched/internal/comm"
 	"unsched/internal/hypercube"
+	"unsched/internal/topo"
 )
 
 // Property-based validity tests: for random workloads across many
@@ -92,6 +93,82 @@ func TestPropertyRSNLValidAndLinkFreeAcrossSeeds(t *testing.T) {
 				checkNodeContention(t, label, s)
 				if err := s.ValidateLinkFree(cube); err != nil {
 					t.Errorf("%s n=%d seed=%d: link contention: %v", label, n, seed, err)
+				}
+			}
+		}
+	}
+}
+
+// TestPropertyRSNLLinkFreeOnGraphTopologies is the §5 generalization
+// under test: the link-contention-avoiding scheduler needs nothing
+// from the machine beyond deterministic routing, so its schedules
+// must stay link-free on the canonical-BFS graph backend (rings and
+// arbitrary connected graphs) exactly as they do under e-cube.
+func TestPropertyRSNLLinkFreeOnGraphTopologies(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	sparse := [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}, {6, 7}, {7, 0}, {0, 4}, {2, 6}}
+	var dense [][2]int
+	for v := 1; v < 16; v++ {
+		dense = append(dense, [2]int{rng.Intn(v), v})
+	}
+	for k := 0; k < 24; k++ {
+		a, b := rng.Intn(16), rng.Intn(16)
+		if a < b {
+			dense = append(dense, [2]int{a, b})
+		}
+	}
+	// Random extras may duplicate tree edges; drop duplicates.
+	seen := map[[2]int]bool{}
+	uniq := dense[:0]
+	for _, e := range dense {
+		if !seen[e] {
+			seen[e] = true
+			uniq = append(uniq, e)
+		}
+	}
+	nets := []topo.Topology{
+		topo.MustNewRing(8),
+		topo.MustNewRing(16),
+		topo.MustNewGraph(8, sparse),
+		topo.MustNewGraph(16, uniq),
+	}
+	for _, net := range nets {
+		n := net.Nodes()
+		for seed := int64(0); seed < 10; seed++ {
+			for name, m := range randomWorkloads(t, n, seed) {
+				s, err := RSNL(m, net, rand.New(rand.NewSource(seed*43)))
+				if err != nil {
+					t.Fatalf("RSNL on %s seed=%d %s: %v", net.Name(), seed, name, err)
+				}
+				label := "RSNL " + net.Name() + " " + name
+				if err := s.Validate(m); err != nil {
+					t.Errorf("%s seed=%d: %v", label, seed, err)
+				}
+				checkNodeContention(t, label, s)
+				if err := s.ValidateLinkFree(net); err != nil {
+					t.Errorf("%s seed=%d: link contention: %v", label, seed, err)
+				}
+				// The reusable core over a precomputed table must emit the
+				// bit-identical schedule from the identical RNG stream:
+				// same phases, same sends, same sizes.
+				core := NewCore(net)
+				s2, err := core.RSNL(m, rand.New(rand.NewSource(seed*43)))
+				if err != nil {
+					t.Fatalf("core RSNL on %s: %v", net.Name(), err)
+				}
+				if s.NumPhases() != s2.NumPhases() {
+					t.Fatalf("%s seed=%d: core schedule has %d phases, package %d",
+						label, seed, s2.NumPhases(), s.NumPhases())
+				}
+				for k := range s.Phases {
+					for i := range s.Phases[k].Send {
+						if s.Phases[k].Send[i] != s2.Phases[k].Send[i] ||
+							s.Phases[k].Bytes[i] != s2.Phases[k].Bytes[i] {
+							t.Fatalf("%s seed=%d: phase %d P%d: package sends %d (%dB), core %d (%dB)",
+								label, seed, k, i, s.Phases[k].Send[i], s.Phases[k].Bytes[i],
+								s2.Phases[k].Send[i], s2.Phases[k].Bytes[i])
+						}
+					}
 				}
 			}
 		}

@@ -34,16 +34,26 @@ type cacheEntry struct {
 
 // newScheduleCache bounds the cache to maxEntries total entries spread
 // over the shards; maxEntries <= 0 disables caching (every lookup
-// misses).
+// misses). The bound is global and exact: shard capacities sum to
+// maxEntries, with the remainder of maxEntries/cacheShards spread one
+// entry each over the leading shards. (Rounding every shard up
+// instead would let a 1-entry cache hold 16.) Below cacheShards
+// entries some shards get capacity zero and never store — an accepted
+// cost of keeping the documented bound honest at sizes nobody should
+// configure anyway.
 func newScheduleCache(maxEntries int) *scheduleCache {
 	c := &scheduleCache{}
-	perShard := maxEntries / cacheShards
-	if maxEntries > 0 && perShard == 0 {
-		perShard = 1
+	if maxEntries < 0 {
+		maxEntries = 0
 	}
+	base, extra := maxEntries/cacheShards, maxEntries%cacheShards
 	for i := range c.shards {
+		max := base
+		if i < extra {
+			max++
+		}
 		c.shards[i] = cacheShard{
-			max:   perShard,
+			max:   max,
 			order: list.New(),
 			items: make(map[string]*list.Element),
 		}

@@ -52,6 +52,32 @@ func TestCachePutRefreshesExisting(t *testing.T) {
 	}
 }
 
+// TestCacheGlobalBoundIsExact is the capacity-overshoot regression
+// test: shard capacities must sum to exactly maxEntries. Before the
+// fix, any maxEntries in [1,15] rounded every shard up to one slot —
+// a 16-entry cache wearing a 1-entry label.
+func TestCacheGlobalBoundIsExact(t *testing.T) {
+	for _, maxEntries := range []int{1, 5, 15, 16, 17, 32, 100} {
+		c := newScheduleCache(maxEntries)
+		total := 0
+		for i := range c.shards {
+			total += c.shards[i].max
+		}
+		if total != maxEntries {
+			t.Errorf("newScheduleCache(%d): shard capacities sum to %d", maxEntries, total)
+		}
+		// Stuffing every shard can never exceed the global bound.
+		for shard := 0; shard < cacheShards; shard++ {
+			for i := 0; i < 4; i++ {
+				c.put(cacheKeyFor(shard, i), []byte("v"))
+			}
+		}
+		if got := c.len(); got > maxEntries {
+			t.Errorf("cache bounded at %d holds %d entries", maxEntries, got)
+		}
+	}
+}
+
 func TestCacheDisabled(t *testing.T) {
 	c := newScheduleCache(0)
 	c.put(cacheKeyFor(0, 1), []byte("x"))

@@ -6,12 +6,15 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"unsched/internal/comm"
 	"unsched/internal/expt"
 	"unsched/internal/hypercube"
+	"unsched/internal/topo"
 )
 
 // campaignRequest is the body of POST /v1/campaign: a measurement grid
-// in the shape of the paper's §6 protocol, run asynchronously.
+// in the shape of the paper's §6 protocol, run asynchronously on any
+// topology the service knows.
 type campaignRequest struct {
 	Densities []int   `json:"densities"`
 	Sizes     []int64 `json:"sizes"`
@@ -19,7 +22,13 @@ type campaignRequest struct {
 	Samples int   `json:"samples"`
 	Seed    int64 `json:"seed,omitempty"`
 	// Dim is the hypercube dimension (default 6, the 64-node machine).
+	// Mutually exclusive with Topology.
 	Dim int `json:"dim,omitempty"`
+	// Topology names the machine the grid runs on — the same wire form
+	// /v1/schedule and /v1/simulate take (cube, mesh, torus, ring,
+	// graph). Absent means the hypercube picked by Dim. Its identity is
+	// fingerprinted into the campaign's content hash.
+	Topology *topologyJSON `json:"topology,omitempty"`
 	// Params picks the timing model: "ipsc860" (default) or "ipsc2".
 	Params string `json:"params,omitempty"`
 }
@@ -39,9 +48,16 @@ type campaignCell struct {
 type campaignStatus struct {
 	ID    string `json:"id"`
 	State string `json:"state"` // running | done | failed
-	Done  int    `json:"done"`
-	Total int    `json:"total"`
-	Error string `json:"error,omitempty"`
+	// Key is the campaign's content hash — every input that determines
+	// the measured numbers (grid, samples, seed, params, topology) is
+	// fingerprinted into it, exactly as schedule/simulate keys are, so
+	// identical campaigns are identifiable across jobs and servers.
+	Key string `json:"key"`
+	// Topology is the canonical name of the machine measured.
+	Topology string `json:"topology"`
+	Done     int    `json:"done"`
+	Total    int    `json:"total"`
+	Error    string `json:"error,omitempty"`
 	// Cells is populated when State is done, in (density, size,
 	// algorithm) order with sizes varying faster than densities.
 	Cells []campaignCell `json:"cells,omitempty"`
@@ -55,9 +71,11 @@ const (
 
 // campaignJob tracks one asynchronous grid measurement.
 type campaignJob struct {
-	id    string
-	done  atomic.Int64
-	total int
+	id       string
+	key      string
+	topology string
+	done     atomic.Int64
+	total    int
 
 	mu    sync.Mutex
 	state string
@@ -69,12 +87,14 @@ func (j *campaignJob) status() campaignStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return campaignStatus{
-		ID:    j.id,
-		State: j.state,
-		Done:  int(j.done.Load()),
-		Total: j.total,
-		Error: j.err,
-		Cells: j.cells,
+		ID:       j.id,
+		State:    j.state,
+		Key:      j.key,
+		Topology: j.topology,
+		Done:     int(j.done.Load()),
+		Total:    j.total,
+		Error:    j.err,
+		Cells:    j.cells,
 	}
 }
 
@@ -86,6 +106,11 @@ func (j *campaignJob) finish(cells []campaignCell, err error) {
 		j.err = err.Error()
 		return
 	}
+	// Pin the progress counter before the state flips to done: the
+	// counter is written by Progress callbacks on runner goroutines,
+	// and a status() racing the flip must never see state done with
+	// done < total.
+	j.done.Store(int64(j.total))
 	j.state = campaignDone
 	j.cells = cells
 }
@@ -127,7 +152,7 @@ func (r *campaignRegistry) release() { <-r.running }
 // add registers a new running job, evicting the oldest finished job
 // when the registry is full. It fails only when every retained job is
 // still running.
-func (r *campaignRegistry) add(total int) (*campaignJob, error) {
+func (r *campaignRegistry) add(total int, key, topology string) (*campaignJob, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if len(r.order) >= r.maxJobs {
@@ -149,7 +174,8 @@ func (r *campaignRegistry) add(total int) (*campaignJob, error) {
 		}
 	}
 	r.nextID++
-	j := &campaignJob{id: fmt.Sprintf("c%06d", r.nextID), state: campaignRunning, total: total}
+	j := &campaignJob{id: fmt.Sprintf("c%06d", r.nextID), key: key, topology: topology,
+		state: campaignRunning, total: total}
 	r.jobs[j.id] = j
 	r.order = append(r.order, j.id)
 	return j, nil
@@ -170,49 +196,74 @@ const (
 	maxCampaignBytes   = 16 << 20
 )
 
-// resolveCampaign validates the request and builds the runner config
-// and point grid.
-func resolveCampaign(req *campaignRequest) (expt.Config, []expt.Point, error) {
-	dim := req.Dim
-	if dim == 0 {
-		dim = 6
+// resolveCampaign validates the request and builds the runner config,
+// point grid, and content-hash key. The topology comes from the
+// request's topology field (any kind the service speaks), or from Dim
+// as a hypercube — the two are mutually exclusive.
+func resolveCampaign(req *campaignRequest) (expt.Config, []expt.Point, string, error) {
+	fail := func(err error) (expt.Config, []expt.Point, string, error) {
+		return expt.Config{}, nil, "", err
 	}
-	if dim < 1 || dim > maxCampaignDim {
-		return expt.Config{}, nil, badRequest("dim %d out of range [1,%d]", dim, maxCampaignDim)
+	if req.Topology != nil && req.Dim != 0 {
+		return fail(badRequest("dim and topology are mutually exclusive; put the cube in topology"))
 	}
-	nodes := 1 << dim
+	var net topo.Topology
+	if req.Topology != nil {
+		// buildTopology enforces the maxServiceNodes cap from the spec
+		// before paying for the build.
+		var err error
+		if net, err = buildTopology(req.Topology, 0); err != nil {
+			return fail(err)
+		}
+	} else {
+		dim := req.Dim
+		if dim == 0 {
+			dim = 6
+		}
+		if dim < 1 || dim > maxCampaignDim {
+			return fail(badRequest("dim %d out of range [1,%d]", dim, maxCampaignDim))
+		}
+		net = hypercube.MustNew(dim)
+	}
+	nodes := net.Nodes()
+	if nodes&(nodes-1) != 0 {
+		// The §6 grid compares all four contenders, and LP's XOR
+		// pairing exists only for power-of-two machines; reject here
+		// instead of letting the async job fail at its first LP cell.
+		return fail(badRequest("campaigns include LP, which needs a power-of-two node count; topology %s has %d nodes", net.Name(), nodes))
+	}
 	if req.Samples < 1 || req.Samples > maxCampaignSamples {
-		return expt.Config{}, nil, badRequest("samples %d out of range [1,%d]", req.Samples, maxCampaignSamples)
+		return fail(badRequest("samples %d out of range [1,%d]", req.Samples, maxCampaignSamples))
 	}
 	if len(req.Densities) == 0 || len(req.Sizes) == 0 {
-		return expt.Config{}, nil, badRequest("need at least one density and one size")
+		return fail(badRequest("need at least one density and one size"))
 	}
 	if cells := len(req.Densities) * len(req.Sizes); cells > maxCampaignCells {
-		return expt.Config{}, nil, badRequest("grid has %d cells, limit %d", cells, maxCampaignCells)
+		return fail(badRequest("grid has %d cells, limit %d", cells, maxCampaignCells))
 	}
 	for _, d := range req.Densities {
 		if d <= 0 || d >= nodes {
-			return expt.Config{}, nil, badRequest("density %d out of range (0,%d) for a %d-node cube", d, nodes, nodes)
+			return fail(badRequest("density %d out of range (0,%d) for the %d-node %s", d, nodes, nodes, net.Name()))
 		}
 	}
 	for _, size := range req.Sizes {
 		if size <= 0 || size > maxCampaignBytes {
-			return expt.Config{}, nil, badRequest("size %d out of range (0,%d]", size, maxCampaignBytes)
+			return fail(badRequest("size %d out of range (0,%d]", size, maxCampaignBytes))
 		}
 	}
-	_, params, err := resolveParams(req.Params)
+	paramsName, params, err := resolveParams(req.Params)
 	if err != nil {
-		return expt.Config{}, nil, err
+		return fail(err)
 	}
 	seed := req.Seed
 	if seed == 0 {
 		seed = 1994
 	}
 	cfg := expt.Config{
-		Cube:    hypercube.MustNew(dim),
-		Params:  params,
-		Samples: req.Samples,
-		Seed:    seed,
+		Topology: net,
+		Params:   params,
+		Samples:  req.Samples,
+		Seed:     seed,
 	}
 	var points []expt.Point
 	for _, d := range req.Densities {
@@ -220,7 +271,28 @@ func resolveCampaign(req *campaignRequest) (expt.Config, []expt.Point, error) {
 			points = append(points, expt.Point{Density: d, MsgBytes: size})
 		}
 	}
-	return cfg, points, nil
+	return cfg, points, campaignKey(req, net, paramsName, seed).Hex(), nil
+}
+
+// campaignKey hashes everything that determines a campaign's measured
+// cells: the grid, samples, seed, timing model, and — like the
+// schedule/simulate keys — the topology identity.
+func campaignKey(req *campaignRequest, net topo.Topology, paramsName string, seed int64) *comm.Digest {
+	d := comm.NewDigest()
+	d.String("campaign/v1")
+	d.Int64(int64(len(req.Densities)))
+	for _, v := range req.Densities {
+		d.Int64(int64(v))
+	}
+	d.Int64(int64(len(req.Sizes)))
+	for _, v := range req.Sizes {
+		d.Int64(v)
+	}
+	d.Int64(int64(req.Samples))
+	d.Int64(seed)
+	d.String(paramsName)
+	fingerprintTopology(d, net)
+	return d
 }
 
 // runCampaign executes the grid on its own expt.Runner and stores the

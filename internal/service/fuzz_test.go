@@ -50,6 +50,38 @@ func FuzzScheduleRequest(f *testing.F) {
 	})
 }
 
+// FuzzCampaignRequest drives POST /v1/campaign with arbitrary bodies,
+// covering the topology field in all its forms (structured kinds,
+// spec strings, graph edge lists): the decoder and topology builder
+// must never panic, whatever the wire says. Accepted campaigns run
+// asynchronously and are bounded by the server's campaign slots, so
+// the shared fuzz server stays healthy across iterations.
+func FuzzCampaignRequest(f *testing.F) {
+	f.Add(`{"densities":[2],"sizes":[64],"samples":1,"dim":3}`)
+	f.Add(`{"densities":[2,4],"sizes":[64,1024],"samples":2,"seed":7,"topology":{"kind":"torus","w":4,"h":4}}`)
+	f.Add(`{"densities":[2],"sizes":[64],"samples":1,"topology":{"kind":"ring","n":8}}`)
+	f.Add(`{"densities":[2],"sizes":[64],"samples":1,"topology":{"kind":"graph","n":4,"edges":[[0,1],[1,2],[2,3],[3,0]]}}`)
+	f.Add(`{"densities":[2],"sizes":[64],"samples":1,"topology":{"spec":"cube:3"}}`)
+	f.Add(`{"densities":[2],"sizes":[64],"samples":1,"topology":{"spec":"graph:4:0-1,1-2,2-3"}}`)
+	f.Add(`{"densities":[2],"sizes":[64],"samples":1,"dim":3,"topology":{"kind":"cube","dim":3}}`)
+	f.Add(`{"densities":[2],"sizes":[64],"samples":1,"topology":{"kind":"graph","n":4,"edges":[[0,0]]}}`)
+	f.Add(`{"densities":[2],"sizes":[64],"samples":1,"topology":{"kind":"graph","n":-1,"edges":[[0,1]]}}`)
+	f.Add(`{"densities":[2],"sizes":[64],"samples":1,"topology":{"kind":"ring","n":999999999}}`)
+	f.Add(`{"densities":[1000000],"sizes":[-5],"samples":0}`)
+	f.Add(`{"topology":{}}`)
+	f.Add(`{`)
+	f.Add(``)
+	f.Fuzz(func(t *testing.T, body string) {
+		srv := fuzzServer()
+		req := httptest.NewRequest(http.MethodPost, "/v1/campaign", strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req) // must not panic
+		if rec.Code == 0 {
+			t.Fatalf("no status written for input %q", body)
+		}
+	})
+}
+
 // FuzzSimulateRequest drives POST /v1/simulate the same way; schedules
 // with contention, out-of-range nodes, or absurd phase counts must be
 // rejected, never simulated into a crash.

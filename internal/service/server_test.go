@@ -18,6 +18,7 @@ import (
 	"unsched/internal/costmodel"
 	"unsched/internal/expt"
 	"unsched/internal/hypercube"
+	"unsched/internal/mesh"
 )
 
 func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
@@ -198,7 +199,9 @@ func TestScheduleBadRequests(t *testing.T) {
 		{"out of range", `{"matrix":{"n":4,"messages":[[0,9,10]]}}`},
 		{"negative size", `{"matrix":{"n":4,"messages":[[0,1,-10]]}}`},
 		{"unknown algorithm", `{"matrix":{"n":4,"messages":[[0,1,10]]},"algorithm":"MAGIC"}`},
-		{"unknown topology", `{"matrix":{"n":4,"messages":[[0,1,10]]},"topology":{"kind":"ring"}}`},
+		{"unknown topology", `{"matrix":{"n":4,"messages":[[0,1,10]]},"topology":{"kind":"hex"}}`},
+		{"spec plus structured fields", `{"matrix":{"n":4,"messages":[[0,1,10]]},"topology":{"kind":"mesh","spec":"mesh:2x2"}}`},
+		{"disconnected graph", `{"matrix":{"n":4,"messages":[[0,1,10]]},"topology":{"kind":"graph","n":4,"edges":[[0,1],[2,3]]}}`},
 		{"topology size mismatch", `{"matrix":{"n":4,"messages":[[0,1,10]]},"topology":{"kind":"mesh","w":3,"h":3}}`},
 		{"non power of two cube", `{"matrix":{"n":6,"messages":[[0,1,10]]}}`},
 	}
@@ -358,7 +361,7 @@ func TestCampaignEndpoint(t *testing.T) {
 
 	// The async service result must agree exactly with a direct
 	// in-process run of the campaign engine at the same seed.
-	cfg := expt.Config{Cube: hypercube.MustNew(3), Params: mustParams(t, "ipsc860"), Samples: 2, Seed: 11}
+	cfg := expt.Config{Topology: hypercube.MustNew(3), Params: mustParams(t, "ipsc860"), Samples: 2, Seed: 11}
 	want, err := expt.NewRunner(cfg).MeasureCell(context.Background(), 2, 256)
 	if err != nil {
 		t.Fatal(err)
@@ -666,5 +669,199 @@ func TestCloseRefusesNewWork(t *testing.T) {
 	status, _ := postJSON(t, ts.URL+"/v1/schedule", req, nil)
 	if status != http.StatusServiceUnavailable {
 		t.Fatalf("request after Close: status %d, want 503", status)
+	}
+}
+
+// TestCampaignTorusTopology is the tentpole acceptance check at the
+// service boundary: a campaign on "topology": torus 8x8 runs the §6
+// grid, and its cells agree exactly with a direct in-process run of
+// the topology-generic engine — at sequential parallelism, which the
+// engine guarantees is bit-identical to any other worker count.
+func TestCampaignTorusTopology(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2})
+	req := campaignRequest{
+		Densities: []int{4, 8},
+		Sizes:     []int64{1024},
+		Samples:   1,
+		Seed:      11,
+		Topology:  &topologyJSON{Kind: "torus", W: 8, H: 8},
+	}
+	var accepted map[string]string
+	status, raw := postJSON(t, ts.URL+"/v1/campaign", req, &accepted)
+	if status != http.StatusAccepted {
+		t.Fatalf("campaign: status %d: %s", status, raw)
+	}
+	if accepted["key"] == "" {
+		t.Fatalf("campaign response missing content-hash key: %s", raw)
+	}
+
+	var st campaignStatus
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if status, raw = getJSON(t, ts.URL+accepted["url"], &st); status != http.StatusOK {
+			t.Fatalf("poll: status %d: %s", status, raw)
+		}
+		if st.State != campaignRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign still running after 30s: %+v", st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if st.State != campaignDone {
+		t.Fatalf("campaign finished as %q (%s)", st.State, st.Error)
+	}
+	if st.Topology != "torus-8x8" {
+		t.Errorf("status topology %q, want torus-8x8", st.Topology)
+	}
+	if st.Key != accepted["key"] {
+		t.Errorf("status key %q != accepted key %q", st.Key, accepted["key"])
+	}
+	if st.Done != st.Total {
+		t.Errorf("done campaign reports %d/%d", st.Done, st.Total)
+	}
+
+	cfg := expt.Config{
+		Topology: mesh.MustNew(8, 8, true),
+		Params:   mustParams(t, "ipsc860"),
+		Samples:  1,
+		Seed:     11,
+	}
+	runner := &expt.Runner{Config: cfg, Parallelism: 1}
+	want, err := runner.MeasureCells(context.Background(),
+		[]expt.Point{{Density: 4, MsgBytes: 1024}, {Density: 8, MsgBytes: 1024}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Cells) != 2*len(expt.Algorithms) {
+		t.Fatalf("got %d cells, want %d", len(st.Cells), 2*len(expt.Algorithms))
+	}
+	for _, cell := range st.Cells {
+		pt := 0
+		if cell.Density == 8 {
+			pt = 1
+		}
+		ref := want[pt][expt.Algorithm(cell.Algorithm)]
+		if cell.CommMS != ref.CommMS || cell.CompMS != ref.CompMS || cell.Iters != ref.Iters {
+			t.Errorf("%s d=%d: service says comm=%v comp=%v iters=%v, direct run %v/%v/%v",
+				cell.Algorithm, cell.Density, cell.CommMS, cell.CompMS, cell.Iters,
+				ref.CommMS, ref.CompMS, ref.Iters)
+		}
+	}
+
+	// The identical request must produce the identical content key.
+	var accepted2 map[string]string
+	if status, raw := postJSON(t, ts.URL+"/v1/campaign", req, &accepted2); status != http.StatusAccepted {
+		t.Fatalf("second campaign: status %d: %s", status, raw)
+	}
+	if accepted2["key"] != accepted["key"] {
+		t.Errorf("identical campaigns keyed %q and %q", accepted["key"], accepted2["key"])
+	}
+}
+
+// TestCampaignTopologyBadRequests covers the topology-specific
+// rejections of POST /v1/campaign.
+func TestCampaignTopologyBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	bad := []campaignRequest{
+		// dim and topology together are ambiguous.
+		{Densities: []int{2}, Sizes: []int64{64}, Samples: 1, Dim: 3,
+			Topology: &topologyJSON{Kind: "torus", W: 4, H: 4}},
+		// LP needs a power-of-two node count.
+		{Densities: []int{2}, Sizes: []int64{64}, Samples: 1,
+			Topology: &topologyJSON{Kind: "ring", N: 12}},
+		// Density too dense for the machine.
+		{Densities: []int{16}, Sizes: []int64{64}, Samples: 1,
+			Topology: &topologyJSON{Kind: "torus", W: 4, H: 4}},
+		// Unknown kind, disconnected graph, over the service node cap.
+		{Densities: []int{2}, Sizes: []int64{64}, Samples: 1,
+			Topology: &topologyJSON{Kind: "hex", N: 8}},
+		{Densities: []int{2}, Sizes: []int64{64}, Samples: 1,
+			Topology: &topologyJSON{Kind: "graph", N: 4, Edges: [][2]int{{0, 1}, {2, 3}}}},
+		{Densities: []int{2}, Sizes: []int64{64}, Samples: 1,
+			Topology: &topologyJSON{Kind: "ring", N: 2048}},
+		// Passes the node cap (1024 is a power of two) but its
+		// diameter-512 route table would be ~270M hops: the
+		// maxRouteTableHops gate must reject it before any worker or
+		// campaign precomputes the table.
+		{Densities: []int{2}, Sizes: []int64{64}, Samples: 1,
+			Topology: &topologyJSON{Kind: "ring", N: 1024}},
+	}
+	for i, req := range bad {
+		if status, raw := postJSON(t, ts.URL+"/v1/campaign", req, nil); status != http.StatusBadRequest {
+			t.Errorf("bad campaign %d accepted: status %d (%s)", i, status, raw)
+		}
+	}
+	// The spec string form works end to end on the campaign endpoint.
+	ok := campaignRequest{Densities: []int{2}, Sizes: []int64{64}, Samples: 1,
+		Topology: &topologyJSON{Spec: "cube:3"}}
+	if status, raw := postJSON(t, ts.URL+"/v1/campaign", ok, nil); status != http.StatusAccepted {
+		t.Errorf("spec-form campaign rejected: status %d (%s)", status, raw)
+	}
+}
+
+// TestCampaignDonePinnedAtCompletion is the progress-race regression
+// test: finish must pin done to total before flipping the state, so a
+// status read can never see a done campaign under 100%. (Before the
+// fix, finish left the counter wherever the last Progress tick put
+// it.)
+func TestCampaignDonePinnedAtCompletion(t *testing.T) {
+	j := &campaignJob{id: "c1", state: campaignRunning, total: 8}
+	// The last Progress tick a status reader might have raced with.
+	j.done.Store(int64(j.total) - 1)
+	j.finish([]campaignCell{}, nil)
+	st := j.status()
+	if st.State != campaignDone {
+		t.Fatalf("state %q, want done", st.State)
+	}
+	if st.Done != st.Total {
+		t.Errorf("done campaign reports %d/%d; finish must pin done = total", st.Done, st.Total)
+	}
+	// A failed campaign keeps its true progress: pinning there would
+	// fake completed work.
+	f := &campaignJob{id: "c2", state: campaignRunning, total: 8}
+	f.done.Store(3)
+	f.finish(nil, context.Canceled)
+	if st := f.status(); st.Done != 3 {
+		t.Errorf("failed campaign reports done=%d, want the real 3", st.Done)
+	}
+}
+
+// TestFollowerClientGoneIs499 is the cancellation-misclassification
+// regression test: a single-flight follower whose client disconnects
+// while the leader computes must get a 4xx (it is the client's abort,
+// not a server failure) and must not count as a rejection. Before the
+// fix it was a 503, inflating server-error rates for client hangups.
+func TestFollowerClientGoneIs499(t *testing.T) {
+	svc := NewServer(Options{Workers: 1, QueueDepth: 4})
+	defer svc.Close()
+
+	// Hold the flight for key ourselves, playing the leader mid-compute:
+	// any request for the same key now joins as a follower.
+	const key = "deadbeef"
+	call, isLeader := svc.flights.join(key)
+	if !isLeader {
+		t.Fatal("test could not take flight leadership")
+	}
+	defer svc.flights.finish(key, call, nil, nil)
+
+	// Follower with an already-cancelled client.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, "/v1/schedule", nil).WithContext(ctx)
+	svc.respondMemoized(rec, req, key, func(wk *worker) (any, error) {
+		t.Error("follower must not compute")
+		return nil, nil
+	})
+	if rec.Code != statusClientClosedRequest {
+		t.Errorf("follower with dead client got %d, want %d", rec.Code, statusClientClosedRequest)
+	}
+	if rec.Code >= 500 {
+		t.Errorf("client abort answered with server error %d", rec.Code)
+	}
+	if got := svc.rejected.Load(); got != 0 {
+		t.Errorf("client abort counted as %d rejections", got)
 	}
 }

@@ -95,6 +95,10 @@ type Server struct {
 	cache     *scheduleCache
 	flights   *flightGroup
 	campaigns *campaignRegistry
+	// tables shares precomputed route tables daemon-wide: synchronous
+	// workers and campaign runners all draw from it, so the
+	// O(n^2*diameter) precompute happens once per topology per daemon.
+	tables *tableCache
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -115,18 +119,25 @@ const (
 
 var endpointNames = [4]string{"schedule", "simulate", "campaign", "campaign_status"}
 
+// statusClientClosedRequest is the non-standard but widely used (nginx)
+// status for a client that disconnected before its response was ready:
+// a 4xx, because the abort is the client's, not a server fault.
+const statusClientClosedRequest = 499
+
 // NewServer returns a ready-to-serve instance with its worker pool
 // started.
 func NewServer(opts Options) *Server {
 	opts = opts.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
+	tables := newTableCache()
 	s := &Server{
 		opts:      opts,
 		mux:       http.NewServeMux(),
-		pool:      newPool(opts.Workers, opts.QueueDepth),
+		pool:      newPool(opts.Workers, opts.QueueDepth, tables),
 		cache:     newScheduleCache(opts.CacheEntries),
 		flights:   newFlightGroup(),
 		campaigns: newCampaignRegistry(opts.MaxCampaignJobs, opts.MaxCampaigns),
+		tables:    tables,
 		ctx:       ctx,
 		cancel:    cancel,
 	}
@@ -210,7 +221,13 @@ func (s *Server) respondMemoized(w http.ResponseWriter, r *http.Request, key str
 		select {
 		case <-call.done:
 		case <-r.Context().Done():
-			writeError(w, &apiError{status: http.StatusServiceUnavailable, msg: "client cancelled request"})
+			// The follower's own client hung up while waiting for the
+			// leader's result. That is a client-side abort, not a server
+			// failure: answer with a 4xx (499, nginx's "client closed
+			// request" convention) and leave the rejection and
+			// server-error metrics alone — the leader's computation is
+			// unaffected and still lands in the cache.
+			writeError(w, &apiError{status: statusClientClosedRequest, msg: "client closed request"})
 			return
 		}
 		if call.err != nil {
@@ -496,7 +513,7 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	cfg, points, err := resolveCampaign(&req)
+	cfg, points, key, err := resolveCampaign(&req)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -507,7 +524,7 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 			msg: fmt.Sprintf("already running %d campaigns; retry later", s.opts.MaxCampaigns)})
 		return
 	}
-	job, err := s.campaigns.add(len(points) * cfg.Samples * len(expt.Algorithms))
+	job, err := s.campaigns.add(len(points)*cfg.Samples*len(expt.Algorithms), key, cfg.Topology.Name())
 	if err != nil {
 		s.campaigns.release()
 		s.rejected.Add(1) // registry full is shed load, same as the queue
@@ -527,10 +544,16 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 	go func() {
 		defer s.wg.Done()
 		defer s.campaigns.release()
+		// The daemon-shared route table for this topology serves every
+		// campaign and synchronous request alike; fetching it here (not
+		// on the HTTP goroutine) keeps a cold-start build off the
+		// request path.
+		cfg.Routes = s.tables.get(cfg.Topology)
 		runCampaign(s.ctx, job, cfg, points, parallelism)
 	}()
 	writeJSON(w, http.StatusAccepted, map[string]string{
 		"id":  job.id,
+		"key": key,
 		"url": "/v1/campaign/" + job.id,
 	})
 }

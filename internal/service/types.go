@@ -10,7 +10,6 @@ import (
 	"unsched/internal/comm"
 	"unsched/internal/costmodel"
 	"unsched/internal/hypercube"
-	"unsched/internal/mesh"
 	"unsched/internal/sched"
 	"unsched/internal/topo"
 )
@@ -28,6 +27,16 @@ const maxRequestBytes = 32 << 20
 // the file parser — is what keeps a worker's reusable machines at
 // ~20 MB each instead of ~300 MB.
 const maxServiceNodes = 1 << maxCampaignDim
+
+// maxRouteTableHops bounds the precomputed route-table footprint one
+// topology may demand, measured as NewRouteTable's presize estimate
+// n^2*(diameter+1)/2 int32 hop entries. Node count alone is not
+// enough: a 1024-node path graph passes maxServiceNodes yet needs a
+// ~2 GB table (diameter 1023), built under the shared table-cache
+// lock. This cap (~268 MB of hops) admits every cube/mesh/torus the
+// service served before graphs existed — the worst is the 32x32 mesh
+// at ~33M hops — and rejects the high-diameter degenerates.
+const maxRouteTableHops = 1 << 26
 
 // apiError is an error with an HTTP status. Handlers convert every
 // failure into one so clients always get a JSON error document.
@@ -51,13 +60,19 @@ type matrixJSON struct {
 	Messages [][3]int64 `json:"messages"`
 }
 
-// topologyJSON names the network a request targets. Kind "cube" uses
-// Dim (2^Dim nodes); "mesh" and "torus" use W x H.
+// topologyJSON names the network a request targets, in either of two
+// equivalent forms: the structured fields (kind "cube" uses Dim,
+// "mesh"/"torus" use W x H, "ring"/"graph" use N and Edges), or the
+// canonical spec string ("torus:8x8" — the same grammar the CLI's
+// -topo flag takes; see topo.ParseSpec). Setting both is an error.
 type topologyJSON struct {
-	Kind string `json:"kind"`
-	Dim  int    `json:"dim,omitempty"`
-	W    int    `json:"w,omitempty"`
-	H    int    `json:"h,omitempty"`
+	Kind  string   `json:"kind,omitempty"`
+	Dim   int      `json:"dim,omitempty"`
+	W     int      `json:"w,omitempty"`
+	H     int      `json:"h,omitempty"`
+	N     int      `json:"n,omitempty"`
+	Edges [][2]int `json:"edges,omitempty"`
+	Spec  string   `json:"spec,omitempty"`
 }
 
 // scheduleRequest is the body of POST /v1/schedule.
@@ -210,40 +225,111 @@ func matrixWire(m *comm.Matrix) *matrixJSON {
 	return out
 }
 
-// resolveTopology builds the requested network; nil defaults to the
-// hypercube sized for n nodes.
+// resolveTopology builds the network a schedule/simulate request
+// targets; nil defaults to the hypercube sized for the matrix's n
+// nodes, and an explicit topology must agree with n.
 func resolveTopology(tj *topologyJSON, n int) (topo.Topology, error) {
 	if tj == nil {
-		tj = &topologyJSON{Kind: "cube"}
-	}
-	switch tj.Kind {
-	case "", "cube":
-		if tj.Dim > 0 {
-			if nodes := 1 << tj.Dim; nodes != n {
-				return nil, badRequest("cube dim %d has %d nodes, matrix has %d", tj.Dim, nodes, n)
-			}
-		}
 		net, err := hypercube.ForNodes(n)
 		if err != nil {
 			return nil, badRequest("%v", err)
 		}
 		return net, nil
-	case "mesh", "torus":
-		w, h := tj.W, tj.H
-		if w <= 0 || h <= 0 {
-			return nil, badRequest("%s topology needs positive w and h", tj.Kind)
+	}
+	return buildTopology(tj, n)
+}
+
+// buildTopology converts the wire topology to a topo.Spec and builds
+// it. n > 0 means the caller knows the node count (from a matrix or
+// schedule): a cube may then omit dim, a ring may omit n, and the
+// built topology must have exactly n nodes. n == 0 (campaigns) means
+// the topology itself fixes the machine size, so every extent must be
+// explicit.
+func buildTopology(tj *topologyJSON, n int) (topo.Topology, error) {
+	var sp topo.Spec
+	switch {
+	case tj.Spec != "":
+		if tj.Kind != "" || tj.Dim != 0 || tj.W != 0 || tj.H != 0 || tj.N != 0 || len(tj.Edges) != 0 {
+			return nil, badRequest("topology spec %q excludes the structured fields", tj.Spec)
 		}
-		if w*h != n {
-			return nil, badRequest("%s %dx%d has %d nodes, matrix has %d", tj.Kind, w, h, w*h, n)
-		}
-		net, err := mesh.New(w, h, tj.Kind == "torus")
-		if err != nil {
+		var err error
+		if sp, err = topo.ParseSpec(tj.Spec); err != nil {
 			return nil, badRequest("%v", err)
 		}
-		return net, nil
 	default:
-		return nil, badRequest("unknown topology kind %q", tj.Kind)
+		switch tj.Kind {
+		case "", "cube":
+			switch {
+			case tj.Dim > 0:
+				sp = topo.CubeSpec(tj.Dim)
+			case n > 0:
+				net, err := hypercube.ForNodes(n)
+				if err != nil {
+					return nil, badRequest("%v", err)
+				}
+				sp = topo.CubeSpec(net.Dim())
+			default:
+				return nil, badRequest("cube topology needs dim")
+			}
+		case "mesh", "torus":
+			if tj.W <= 0 || tj.H <= 0 {
+				return nil, badRequest("%s topology needs positive w and h", tj.Kind)
+			}
+			if tj.Kind == "mesh" {
+				sp = topo.MeshSpec(tj.W, tj.H)
+			} else {
+				sp = topo.TorusSpec(tj.W, tj.H)
+			}
+		case "ring":
+			size := tj.N
+			if size == 0 {
+				size = n
+			}
+			if size <= 0 {
+				return nil, badRequest("ring topology needs n")
+			}
+			sp = topo.RingSpec(size)
+		case "graph":
+			if tj.N <= 0 {
+				return nil, badRequest("graph topology needs n")
+			}
+			if len(tj.Edges) == 0 {
+				return nil, badRequest("graph topology needs edges")
+			}
+			sp = topo.GraphSpec(tj.N, tj.Edges)
+		default:
+			return nil, badRequest("unknown topology kind %q (want cube, mesh, torus, ring, or graph)", tj.Kind)
+		}
 	}
+	if err := sp.Validate(); err != nil {
+		return nil, badRequest("%v", err)
+	}
+	// Reject size violations from the spec alone, BEFORE Build: a
+	// graph build allocates O(n^2) routing matrices and runs n BFS
+	// passes, far too much work to spend on a request that is about to
+	// be answered 400.
+	if n > 0 && sp.Nodes() != n {
+		return nil, badRequest("topology %s has %d nodes, request has %d", sp, sp.Nodes(), n)
+	}
+	if sp.Nodes() > maxServiceNodes {
+		return nil, badRequest("topology %s has %d nodes, limit %d", sp, sp.Nodes(), maxServiceNodes)
+	}
+	net, err := sp.Build()
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	// Gate the route-table footprint before any worker or campaign
+	// precomputes it. Every built-in topology hints its diameter (a
+	// graph's is known once its BFS ran in Build, which costs only
+	// O(n^2) memory — the table is the part that explodes).
+	if h, ok := net.(topo.DiameterHinter); ok {
+		nodes := int64(net.Nodes())
+		if est := nodes * nodes * int64(h.Diameter()+1) / 2; est > maxRouteTableHops {
+			return nil, badRequest("topology %s needs a ~%dM-hop route table (n^2 x diameter); limit %dM — use a lower-diameter machine",
+				net.Name(), est>>20, int64(maxRouteTableHops)>>20)
+		}
+	}
+	return net, nil
 }
 
 // resolveParams picks the timing model by name.

@@ -49,20 +49,28 @@ type worker struct {
 	tables   *tableCache
 }
 
-// tableCache shares precomputed route tables across all workers of a
-// pool. Tables are immutable after construction, so publishing one
-// pointer serves every goroutine; building under the lock serializes
-// cold-start misses on the same topology instead of duplicating the
-// n^2-route precompute per worker.
+// tableCache shares precomputed route tables daemon-wide: across all
+// workers of the pool and across campaign runners. Tables are
+// immutable after construction, so publishing one pointer serves
+// every goroutine; building under the lock serializes cold-start
+// misses on the same topology instead of duplicating the n^2-route
+// precompute per worker.
 type tableCache struct {
 	mu     sync.Mutex
 	tables map[string]*topo.RouteTable
 }
 
-// maxSharedTables bounds daemon-wide retained route tables. At the
-// service's 1024-node cap a table is ~20 MB, so the worst-case
-// adversarial topology mix retains well under 200 MB — and unlike the
-// per-worker caches, this bound does not multiply by worker count.
+func newTableCache() *tableCache {
+	return &tableCache{tables: make(map[string]*topo.RouteTable)}
+}
+
+// maxSharedTables bounds daemon-wide retained route tables. Each
+// table is capped by the maxRouteTableHops gate in buildTopology
+// (~268 MB worst case, reached only by extreme-but-legal shapes like
+// the 32x32 mesh; the dim-10 cube is ~20 MB), so eight retained
+// tables stay bounded even under an adversarial topology mix — and
+// unlike the per-worker caches, this bound does not multiply by
+// worker count.
 const maxSharedTables = 8
 
 func (tc *tableCache) get(net topo.Topology) *topo.RouteTable {
@@ -148,9 +156,10 @@ type pool struct {
 }
 
 // newPool starts workers goroutines behind a queue of queueLen slots.
-func newPool(workers, queueLen int) *pool {
+// The route-table cache is passed in because it outlives the pool's
+// concerns: the server shares it with campaign runners too.
+func newPool(workers, queueLen int, shared *tableCache) *pool {
 	p := &pool{queue: make(chan *task, queueLen)}
-	shared := &tableCache{tables: make(map[string]*topo.RouteTable)}
 	for i := 0; i < workers; i++ {
 		p.wg.Add(1)
 		go func() {

@@ -28,7 +28,49 @@ func tableTopologies(t *testing.T) []topo.Topology {
 	} {
 		nets = append(nets, mesh.MustNew(shape.w, shape.h, shape.torus))
 	}
+	// Graph-backed topologies: rings (odd, even, minimal) and random
+	// connected graphs, so every table property below also holds for
+	// the canonical-BFS routing backend.
+	for _, n := range []int{3, 8, 13} {
+		nets = append(nets, topo.MustNewRing(n))
+	}
+	for seed := int64(0); seed < 3; seed++ {
+		nets = append(nets, randomConnectedGraph(t, 10+int(seed)*7, seed))
+	}
 	return nets
+}
+
+// randomConnectedGraph builds a connected graph deterministically from
+// seed: a random spanning tree plus a sprinkling of extra edges.
+func randomConnectedGraph(t *testing.T, n int, seed int64) *topo.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var edges [][2]int
+	for v := 1; v < n; v++ {
+		edges = append(edges, [2]int{rng.Intn(v), v})
+	}
+	have := map[[2]int]bool{}
+	for _, e := range edges {
+		have[e] = true
+	}
+	for k := 0; k < n; k++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a == b {
+			continue
+		}
+		if a > b {
+			a, b = b, a
+		}
+		if !have[[2]int{a, b}] {
+			have[[2]int{a, b}] = true
+			edges = append(edges, [2]int{a, b})
+		}
+	}
+	g, err := topo.NewGraph(n, edges)
+	if err != nil {
+		t.Fatalf("random graph n=%d seed=%d: %v", n, seed, err)
+	}
+	return g
 }
 
 // TestRouteTableMatchesRouteIDs checks the defining property of the
