@@ -12,6 +12,7 @@ import (
 	"unsched/internal/sched"
 	"unsched/internal/service"
 	"unsched/internal/topo"
+	"unsched/internal/workload"
 )
 
 // Core types, re-exported so downstream code works entirely through
@@ -41,6 +42,17 @@ type (
 	// BFS shortest-path routing (lowest-id tie-breaking) — the fully
 	// general backend behind ring:N and graph:N:edges specs.
 	Graph = topo.Graph
+	// WorkloadSpec is the canonical description of a communication
+	// workload — the parse/format/validate layer behind the service's
+	// workload wire fields and the experiments CLI's -workload flag,
+	// mirroring TopologySpec. Specs round-trip through strings:
+	// "uniform:8:4096" (the paper's d-regular sweep; "dregular" is an
+	// accepted alias), "scatter:8:4096", "hotspot:8:4096:4",
+	// "halo:64x64:512", "spmv:12:8", "perm:2048", "transpose:4096",
+	// "shift:3:1024", "stencil3d:8x8x8:64", "bitcomp:1024",
+	// "alltoall:256". Build the Matrix for an n-node machine with
+	// Spec.Build(n, rng), or reuse a buffer with Spec.BuildInto.
+	WorkloadSpec = workload.Spec
 	// Schedule is an ordered list of contention-avoiding phases.
 	Schedule = sched.Schedule
 	// Phase is one partial permutation.
@@ -54,13 +66,16 @@ type (
 	// ExperimentConfig parameterizes the paper's measurement protocol.
 	ExperimentConfig = expt.Config
 	// ExperimentRunner is the parallel campaign engine: it fans the
-	// (density, size, sample, algorithm) units of a measurement
-	// campaign across a bounded worker pool with deterministic per-unit
-	// RNG streams, so results are bit-identical at any parallelism.
+	// (workload, sample, algorithm) units of a measurement campaign
+	// across a bounded worker pool with deterministic per-unit RNG
+	// streams, so results are bit-identical at any parallelism. Sweep
+	// arbitrary WorkloadSpec lists with MeasureWorkloads; the classic
+	// density x size grids are uniform:* sweeps of the same engine.
 	ExperimentRunner = expt.Runner
-	// ExperimentPoint is one (density, message size) cell of a grid.
+	// ExperimentPoint is one cell of a campaign grid: a WorkloadSpec,
+	// or the classic (Density, MsgBytes) uniform-workload shorthand.
 	ExperimentPoint = expt.Point
-	// ExperimentCell is one measured (algorithm, density, size) result.
+	// ExperimentCell is one measured (algorithm, workload) result.
 	ExperimentCell = expt.Cell
 	// ExperimentAlgorithm names one of the paper's four contenders.
 	ExperimentAlgorithm = expt.Algorithm
@@ -110,7 +125,15 @@ func NewGraph(n int, edges [][2]int) (*Graph, error) { return topo.NewGraph(n, e
 // TopologySpec for the grammar. Build the Topology with Spec.Build.
 func ParseTopologySpec(s string) (TopologySpec, error) { return topo.ParseSpec(s) }
 
-// Workload generators (see internal/comm for details).
+// ParseWorkloadSpec parses a canonical workload spec string; see
+// WorkloadSpec for the grammar. Build the pattern's Matrix for an
+// n-node machine with Spec.Build(n, rng).
+func ParseWorkloadSpec(s string) (WorkloadSpec, error) { return workload.ParseSpec(s) }
+
+// Workload generators (see internal/comm for details). Each also has
+// an XxxInto variant there that regenerates into a reused matrix; the
+// WorkloadSpec layer is the string-addressable face of the same
+// generators.
 var (
 	UniformRandom     = comm.UniformRandom
 	DRegular          = comm.DRegular
@@ -118,6 +141,10 @@ var (
 	BitComplement     = comm.BitComplement
 	Shift             = comm.Shift
 	AllToAll          = comm.AllToAll
+	Permutation       = comm.Permutation
+	Transpose         = comm.Transpose
+	Stencil3D         = comm.Stencil3D
+	SpMVPowerLaw      = comm.SpMVPowerLaw
 	HaloFromPartition = comm.HaloFromPartition
 	NewIrregularMesh  = comm.NewIrregularMesh
 	MixedSizes        = comm.MixedSizes

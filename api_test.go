@@ -335,3 +335,83 @@ func TestTopologySpecFacade(t *testing.T) {
 		t.Errorf("RSNL schedule contends on the graph: %v", err)
 	}
 }
+
+// TestWorkloadSpecFacade: the public workload-spec surface — parse,
+// build, and a workload-generic campaign through the exported runner
+// on a torus, bit-identical across parallelism (the public-API leg of
+// the halo-on-torus acceptance path).
+func TestWorkloadSpecFacade(t *testing.T) {
+	sp, err := ParseWorkloadSpec("halo:8x8:512")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.String() != "halo:8x8:512" {
+		t.Errorf("canonical form %q", sp)
+	}
+	m, err := sp.Build(64, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseWorkloadSpec("klein:4:64"); err == nil {
+		t.Error("bad workload spec accepted")
+	}
+
+	torus, err := ParseTopologySpec("torus:8x8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultExperimentConfig()
+	cfg.Topology = torus.MustBuild()
+	cfg.Samples = 2
+	measure := func(parallelism int) []map[ExperimentAlgorithm]ExperimentCell {
+		cells, err := NewExperimentRunner(cfg, parallelism).MeasureWorkloads(
+			context.Background(), []WorkloadSpec{sp, MustParseWorkload(t, "spmv:6:8")})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cells
+	}
+	seq := measure(1)
+	par := measure(4)
+	for i := range seq {
+		for alg, cell := range seq[i] {
+			if par[i][alg] != cell {
+				t.Errorf("cell %d %s: parallel %+v != sequential %+v", i, alg, par[i][alg], cell)
+			}
+		}
+	}
+	if seq[0][RSNLAlg()].Workload != "halo:8x8:512" {
+		t.Errorf("cell workload label %q", seq[0][RSNLAlg()].Workload)
+	}
+
+	// The new scenario generators are exported alongside the classic
+	// ones.
+	if _, err := Transpose(16, 1024); err != nil {
+		t.Error(err)
+	}
+	if _, err := Stencil3D(8, 4, 4, 4, 8); err != nil {
+		t.Error(err)
+	}
+	if _, err := Permutation(8, 64, rand.New(rand.NewSource(1))); err != nil {
+		t.Error(err)
+	}
+	if _, err := SpMVPowerLaw(8, 4, 8, rand.New(rand.NewSource(1))); err != nil {
+		t.Error(err)
+	}
+}
+
+// MustParseWorkload is a test helper over the exported parser.
+func MustParseWorkload(t *testing.T, s string) WorkloadSpec {
+	t.Helper()
+	sp, err := ParseWorkloadSpec(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sp
+}
+
+// RSNLAlg returns the RS_NL algorithm label through the exported type.
+func RSNLAlg() ExperimentAlgorithm { return ExperimentAlgorithm("RS_NL") }

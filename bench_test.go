@@ -23,6 +23,7 @@ import (
 	"unsched/internal/mesh"
 	"unsched/internal/sched"
 	"unsched/internal/topo"
+	"unsched/internal/workload"
 )
 
 func benchConfig() expt.Config {
@@ -722,4 +723,54 @@ func BenchmarkEcubeRouting(b *testing.B) {
 		buf = cube.Route(i%64, (i*31)%64, buf[:0])
 	}
 	_ = buf
+}
+
+// --- Workload generators: spec builds into reused matrices ----------
+
+// benchWorkloadGen measures one spec regenerating into a reused
+// 64-node matrix — the exact configuration of a campaign worker's
+// pattern stage. Tracked by the CI benchgate (the Workload regex), so
+// a generator that silently reverts to per-cell O(n^2) allocation or
+// super-linear drawing fails the gate.
+func benchWorkloadGen(b *testing.B, spec string) {
+	sp, err := workload.ParseSpec(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := comm.MustNew(64)
+	rng := rand.New(rand.NewSource(19))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sp.BuildInto(m, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWorkloadGenUniform(b *testing.B)   { benchWorkloadGen(b, "uniform:16:1024") }
+func BenchmarkWorkloadGenScatter(b *testing.B)   { benchWorkloadGen(b, "scatter:16:1024") }
+func BenchmarkWorkloadGenHotspot(b *testing.B)   { benchWorkloadGen(b, "hotspot:16:1024:4") }
+func BenchmarkWorkloadGenHalo(b *testing.B)      { benchWorkloadGen(b, "halo:32x32:512") }
+func BenchmarkWorkloadGenSpMV(b *testing.B)      { benchWorkloadGen(b, "spmv:8:8") }
+func BenchmarkWorkloadGenStencil3D(b *testing.B) { benchWorkloadGen(b, "stencil3d:8x8x8:64") }
+
+// BenchmarkCampaignWorkloadMix prices a full non-uniform campaign —
+// the workload axis end to end through the parallel runner on a torus.
+func BenchmarkCampaignWorkloadMix(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Topology = mesh.MustNew(8, 8, true)
+	specs := []workload.Spec{
+		workload.MustParseSpec("halo:32x32:512"),
+		workload.MustParseSpec("hotspot:8:4096:4"),
+		workload.MustParseSpec("stencil3d:8x8x8:256"),
+		workload.MustParseSpec("spmv:8:8"),
+	}
+	r := &expt.Runner{Config: cfg, Parallelism: runtime.GOMAXPROCS(0)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.MeasureWorkloads(context.Background(), specs); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

@@ -5,19 +5,28 @@
 //
 // Usage:
 //
-//	experiments [flags] <table1|fig5|fig6|fig7|fig8|fig9|fig10|fig11|all>
+//	experiments [flags] <table1|fig5|fig6|fig7|fig8|fig9|fig10|fig11|workloads|all>
 //
 // Flags:
 //
-//	-samples N   random samples per (d, M) cell (default 10; paper: 50)
-//	-seed S      master seed (default 1994)
-//	-csv         emit figures as CSV instead of ASCII charts
-//	-dim D       hypercube dimension (default 6, the 64-node machine)
-//	-topo SPEC   run on any topology instead: cube:D, mesh:WxH,
-//	             torus:WxH, ring:N, or graph:N:a-b,c-d,... (exclusive
-//	             with -dim)
-//	-parallel P  worker goroutines (default 0 = GOMAXPROCS)
-//	-progress    report campaign progress on stderr
+//	-samples N      random samples per grid cell (default 10; paper: 50)
+//	-seed S         master seed (default 1994)
+//	-csv            emit figures as CSV instead of ASCII charts
+//	-dim D          hypercube dimension (default 6, the 64-node machine)
+//	-topo SPEC      run on any topology instead: cube:D, mesh:WxH,
+//	                torus:WxH, ring:N, or graph:N:a-b,c-d,... (exclusive
+//	                with -dim)
+//	-workload SPECS comma-separated workload specs for the workloads
+//	                target (uniform:D:BYTES, hotspot:D:BYTES:HOT,
+//	                halo:WxH:BYTES, spmv:NNZ:BYTES, perm:BYTES,
+//	                transpose:BYTES, shift:K:BYTES, stencil3d:XxYxZ:BYTES,
+//	                bitcomp:BYTES, alltoall:BYTES)
+//	-parallel P     worker goroutines (default 0 = GOMAXPROCS)
+//	-progress       report campaign progress on stderr
+//
+// The classic targets sweep the paper's uniform workload; the
+// `workloads` target measures each -workload spec as one cell of a
+// workload-generic campaign on the same machine.
 //
 // Output is bit-identical at every -parallel value on every topology:
 // each simulated run derives its randomness from (seed, density,
@@ -36,11 +45,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"unsched/internal/expt"
 	"unsched/internal/hypercube"
 	"unsched/internal/plot"
 	"unsched/internal/topo"
+	"unsched/internal/workload"
 )
 
 // allTargets is the canonical target order of the `all` run — the
@@ -68,6 +79,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	csv := fs.Bool("csv", false, "emit figure data as CSV instead of ASCII charts")
 	dim := fs.Int("dim", 6, "hypercube dimension (6 = the paper's 64-node machine)")
 	topoSpec := fs.String("topo", "", "topology spec (cube:D, mesh:WxH, torus:WxH, ring:N, graph:N:a-b,...); exclusive with -dim")
+	workloads := fs.String("workload", "", "comma-separated workload specs for the workloads target (uniform:D:BYTES, halo:WxH:BYTES, ...)")
 	parallel := fs.Int("parallel", 0, "worker goroutines; 0 means GOMAXPROCS")
 	progress := fs.Bool("progress", false, "report campaign progress on stderr")
 	if err := fs.Parse(args); err != nil {
@@ -77,9 +89,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	if fs.NArg() != 1 {
-		fmt.Fprintln(stderr, "usage: experiments [flags] <table1|fig5|fig6|fig7|fig8|fig9|fig10|fig11|all>")
+		fmt.Fprintln(stderr, "usage: experiments [flags] <table1|fig5|fig6|fig7|fig8|fig9|fig10|fig11|workloads|all>")
 		fs.PrintDefaults()
 		return fmt.Errorf("expected exactly one target, got %d", fs.NArg())
+	}
+	if *workloads != "" && fs.Arg(0) != "workloads" {
+		return fmt.Errorf("-workload applies only to the workloads target (the classic grids sweep the paper's uniform workload)")
 	}
 
 	net, err := resolveNet(fs, *topoSpec, *dim)
@@ -110,6 +125,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		"fig9":   figComm(32),
 		"fig10":  figOverhead(expt.RSN, "Figure 10: computation overhead of RS_N (comp/comm)"),
 		"fig11":  figOverhead(expt.RSNL, "Figure 11: computation overhead of RS_NL (comp/comm)"),
+		"workloads": func(r *expt.Runner, stdout io.Writer, _ bool) error {
+			return runWorkloads(r, stdout, *workloads)
+		},
 	}
 
 	name := fs.Arg(0)
@@ -194,6 +212,35 @@ func isTerminal(w io.Writer) bool {
 	}
 	info, err := f.Stat()
 	return err == nil && info.Mode()&os.ModeCharDevice != 0
+}
+
+// runWorkloads measures each comma-separated workload spec as one
+// cell of a workload-generic campaign and renders the comparison
+// table. Every spec is parsed and checked against the machine before
+// any measurement starts.
+func runWorkloads(r *expt.Runner, stdout io.Writer, specList string) error {
+	if specList == "" {
+		return fmt.Errorf("the workloads target needs -workload SPEC[,SPEC...] (e.g. -workload halo:8x8:512,hotspot:8:4096:4)")
+	}
+	var specs []workload.Spec
+	for _, s := range strings.Split(specList, ",") {
+		sp, err := workload.ParseSpec(strings.TrimSpace(s))
+		if err != nil {
+			return err
+		}
+		if err := sp.ValidateFor(r.Config.Topology.Nodes()); err != nil {
+			return err
+		}
+		specs = append(specs, sp)
+	}
+	cfg := r.Config
+	fmt.Fprintf(stdout, "Workload campaign: %d-node machine (%s), %d samples per cell, seed %d (timings in ms)\n",
+		cfg.Topology.Nodes(), cfg.Topology.Name(), cfg.Samples, cfg.Seed)
+	cells, err := r.MeasureWorkloads(context.Background(), specs)
+	if err != nil {
+		return err
+	}
+	return expt.WriteWorkloadTable(stdout, cells)
 }
 
 func runTable1(r *expt.Runner, stdout io.Writer, _ bool) error {

@@ -147,3 +147,49 @@ func TestTopoFlag(t *testing.T) {
 		t.Error("bad spec accepted")
 	}
 }
+
+// TestGoldenWorkloads pins the workload-generic campaign output: a
+// mixed non-uniform grid on a torus, byte-identical across runs and —
+// via the parallel variant below — across worker counts.
+func TestGoldenWorkloads(t *testing.T) {
+	got := goldenRun(t, "-samples", "2", "-seed", "1994", "-topo", "torus:4x4",
+		"-workload", "halo:6x6:512,shift:3:2048,hotspot:4:1024:2,stencil3d:4x4x4:64", "workloads")
+	checkGolden(t, "workloads_torus4x4_s2.golden", got)
+}
+
+func TestGoldenWorkloadsParallelInvariant(t *testing.T) {
+	got := goldenRun(t, "-samples", "2", "-seed", "1994", "-topo", "torus:4x4",
+		"-workload", "halo:6x6:512,shift:3:2048,hotspot:4:1024:2,stencil3d:4x4x4:64", "-parallel", "1", "workloads")
+	checkGolden(t, "workloads_torus4x4_s2.golden", got)
+}
+
+// TestWorkloadFlag covers the flag plumbing: the dregular alias
+// reproduces the uniform row, misuse is rejected up front, and
+// unbuildable specs fail with a clear error.
+func TestWorkloadFlag(t *testing.T) {
+	uni := goldenRun(t, "-samples", "1", "-seed", "7", "-dim", "4", "-workload", "uniform:4:1024", "workloads")
+	ali := goldenRun(t, "-samples", "1", "-seed", "7", "-dim", "4", "-workload", "dregular:4:1024", "workloads")
+	// The alias is the same generator under the same stream key; only
+	// the canonical label is printed.
+	if ali != uni {
+		t.Errorf("-workload dregular:4:1024 differs from uniform:4:1024:\n--- uniform\n%s--- dregular\n%s", uni, ali)
+	}
+	if !strings.Contains(uni, "uniform:4:1024") {
+		t.Errorf("workload table missing the canonical spec label:\n%s", uni)
+	}
+
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-dim", "4", "-workload", "perm:64", "table1"}, &stdout, &stderr); err == nil {
+		t.Error("-workload with a classic target accepted")
+	}
+	if err := run([]string{"-dim", "4", "workloads"}, &stdout, &stderr); err == nil {
+		t.Error("workloads target without -workload accepted")
+	}
+	if err := run([]string{"-dim", "4", "-workload", "klein:4", "workloads"}, &stdout, &stderr); err == nil {
+		t.Error("bad workload spec accepted")
+	}
+	if err := run([]string{"-dim", "3", "-workload", "transpose:64", "workloads"}, &stdout, &stderr); err == nil ||
+		!strings.Contains(err.Error(), "square") {
+		t.Errorf("transpose on a non-square machine: err = %v, want a square-machine explanation", err)
+	}
+}

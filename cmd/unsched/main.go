@@ -8,6 +8,7 @@
 //	unsched -n 64 -d 8 -bytes 4096                 # compare all algorithms
 //	unsched -n 64 -d 8 -bytes 4096 -alg RS_NL -trace
 //	unsched -pattern hotspot -n 64 -d 8 -bytes 1024
+//	unsched -pattern halo:16x16:512 -n 64            # any workload spec
 //	unsched -load pattern.txt -alg LP -gantt
 package main
 
@@ -26,13 +27,14 @@ import (
 	"unsched/internal/sched"
 	"unsched/internal/topo"
 	"unsched/internal/trace"
+	"unsched/internal/workload"
 )
 
 func main() {
 	n := flag.Int("n", 64, "processor count (power of two)")
 	d := flag.Int("d", 8, "density: messages sent/received per processor")
 	bytes := flag.Int64("bytes", 4096, "uniform message size")
-	pattern := flag.String("pattern", "dregular", "workload: dregular|random|hotspot|bitcomp|alltoall|mixed")
+	pattern := flag.String("pattern", "dregular", "workload: dregular|random|hotspot|bitcomp|alltoall|mixed, or any workload spec (halo:WxH:BYTES, spmv:NNZ:BYTES, perm:BYTES, ...)")
 	topoName := flag.String("topo", "cube", "topology: cube|mesh|torus (mesh/torus need a square node count)")
 	load := flag.String("load", "", "load a communication matrix from file instead of generating")
 	alg := flag.String("alg", "", "run one algorithm (AC|LP|RS_N|RS_NL|GREEDY|GREEDY_LF); default: compare all")
@@ -108,7 +110,18 @@ func buildMatrix(load, pattern string, n, d int, bytes, seed int64) (*comm.Matri
 	case "mixed":
 		return comm.MixedSizes(n, d, bytes/8+1, bytes, rng)
 	default:
-		return nil, fmt.Errorf("unknown pattern %q", pattern)
+		// Anything else is a workload spec: the same canonical grammar
+		// the campaign engine and the unschedd service speak, sized here
+		// by -n and ignoring -d/-bytes (the spec carries its own
+		// parameters).
+		sp, err := workload.ParseSpec(pattern)
+		if err != nil {
+			return nil, fmt.Errorf("pattern %q is neither a named pattern nor a workload spec: %w", pattern, err)
+		}
+		if err := sp.ValidateFor(n); err != nil {
+			return nil, err
+		}
+		return sp.Build(n, rng)
 	}
 }
 

@@ -49,27 +49,47 @@
 // ParseTopologySpec and Build the machine; the unschedd topology wire
 // field and the experiments -topo flag accept the same grammar.
 //
+// # Workloads
+//
+// The other campaign axis gets the same treatment: WorkloadSpec is
+// the canonical description of a communication pattern, parsed from
+// strings like "uniform:8:4096" (the paper's d-regular sweep),
+// "hotspot:8:4096:4", "halo:64x64:512", "spmv:12:8", "perm:2048",
+// "transpose:4096", "shift:3:1024", "stencil3d:8x8x8:64",
+// "bitcomp:1024", and "alltoall:256" with ParseWorkloadSpec. Specs
+// are machine-sized at build time (Spec.Build(n, rng)), so one spec
+// sweeps unchanged across topologies; the unschedd workload wire
+// fields, the experiments -workload flag, and unsched -pattern all
+// accept the same grammar. Each generator also has an Into form that
+// regenerates into a reused matrix, which is how campaign workers
+// avoid allocating n^2 storage per cell.
+//
 // # Parallel campaigns
 //
 // Measurement campaigns run on a worker-pool engine
-// (ExperimentRunner): every (density, message size, sample)
-// combination is one independent unit, fanned across up to GOMAXPROCS
-// workers, each owning a reusable simulator machine (SimMachine); a
-// unit generates its random matrix once and measures all four
-// algorithms on it. The campaign machine is ExperimentConfig.Topology
-// — any Topology with a power-of-two node count (LP's XOR pairing
-// needs one) runs the paper's full §6 protocol; all workers share one
-// precomputed RouteTable per campaign.
+// (ExperimentRunner): every (workload, sample) combination is one
+// independent unit, fanned across up to GOMAXPROCS workers, each
+// owning a reusable simulator machine (SimMachine), scheduler core,
+// and workload matrix; a unit regenerates its matrix once and
+// measures all four algorithms on it. The campaign grid is
+// (topology x workload x sample): the machine is
+// ExperimentConfig.Topology — any Topology with a power-of-two node
+// count (LP's XOR pairing needs one) runs the paper's full §6
+// protocol, all workers sharing one precomputed RouteTable per
+// campaign — and the cells are workload specs (MeasureWorkloads, or
+// the classic uniform sweeps behind Table1 and the figures).
 // Randomness is organized so parallelism can never change a result:
-// the master seed plus a unit's own coordinates name its RNG streams
-// via a SplitMix64-keyed source (internal/stats), so a unit draws the
-// same numbers whether it runs first, last, or concurrently with the
+// the master seed plus a unit's own coordinates (its workload's
+// stream key, its sample, its algorithm) name its RNG streams via a
+// SplitMix64-keyed source (internal/stats), so a unit draws the same
+// numbers whether it runs first, last, or concurrently with the
 // rest. Campaign output is therefore bit-identical at every worker
 // count — a tested invariant, not an accident:
 //
 //	runner := unsched.NewExperimentRunner(cfg, 0) // 0 = GOMAXPROCS
 //	runner.Progress = func(done, total int) { fmt.Printf("\r%d/%d", done, total) }
-//	cells, err := runner.MeasureCells(ctx, []unsched.ExperimentPoint{{Density: 8, MsgBytes: 4096}})
+//	halo, _ := unsched.ParseWorkloadSpec("halo:64x64:512")
+//	cells, err := runner.MeasureWorkloads(ctx, []unsched.WorkloadSpec{halo})
 //
 // To reproduce the paper's exact protocol, set Samples to 50 in the
 // config and run any campaign; the default seed 1994 pins the full
@@ -110,11 +130,15 @@
 // The same machinery runs as a long-lived daemon: NewServer returns an
 // http.Handler (served standalone by cmd/unschedd) exposing
 // POST /v1/schedule, POST /v1/simulate, and async POST /v1/campaign
-// jobs. Requests execute on a bounded worker pool where each worker
-// owns reusable SimMachines, responses are memoized in a sharded LRU
-// keyed by a canonical content hash of (matrix, algorithm, topology,
-// params, seed), and randomized schedulers derive their RNG seed from
-// that same hash — so identical requests return bit-identical
-// schedules whether they hit the cache or recompute. A full queue
-// sheds load with 429; Close drains gracefully.
+// jobs — campaigns sweep either the classic density grid or a
+// workloads spec list, and schedule requests may name a workload
+// instead of shipping a matrix. Requests execute on a bounded worker
+// pool where each worker owns reusable SimMachines, responses are
+// memoized in a sharded LRU keyed by a canonical content hash of
+// (matrix or workload, algorithm, topology, params, seed), and
+// randomized schedulers — and server-generated workloads — derive
+// their RNG seed from that same hash, so identical requests return
+// bit-identical patterns and schedules whether they hit the cache or
+// recompute. A full queue sheds load with 429; Close drains
+// gracefully.
 package unsched

@@ -1,0 +1,63 @@
+// Workloads: the workload-generic campaign grid in one sweep. One
+// campaign measures the paper's four contenders over a mixed workload
+// list — the classic uniform d-regular sweep next to halo exchange,
+// sparse mat-vec, hot-spot, transpose, and 3D-stencil traffic — on the
+// same 64-node machine, using canonical workload specs end to end
+// (the same strings the unschedd service's "workloads" field and the
+// experiments CLI's -workload flag accept).
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"unsched"
+)
+
+func main() {
+	specs := []string{
+		"uniform:8:4096",
+		"scatter:8:4096",
+		"hotspot:8:4096:4",
+		"halo:32x32:512",
+		"spmv:12:8",
+		"transpose:16384",
+		"stencil3d:8x8x8:256",
+		"alltoall:1024",
+	}
+	parsed := make([]unsched.WorkloadSpec, len(specs))
+	for i, s := range specs {
+		sp, err := unsched.ParseWorkloadSpec(s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		parsed[i] = sp
+	}
+
+	cfg := unsched.DefaultExperimentConfig()
+	cfg.Samples = 3
+	fmt.Printf("Workload sweep on the %d-node cube, %d samples per cell (comm ms; winner per row)\n\n",
+		cfg.Topology.Nodes(), cfg.Samples)
+
+	cells, err := unsched.NewExperimentRunner(cfg, 0).MeasureWorkloads(context.Background(), parsed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	algs := []unsched.ExperimentAlgorithm{"AC", "LP", "RS_N", "RS_NL"}
+	fmt.Printf("%-22s %8s %8s %8s %8s   winner\n", "workload", "AC", "LP", "RS_N", "RS_NL")
+	for i, cm := range cells {
+		best := algs[0]
+		for _, alg := range algs[1:] {
+			if cm[alg].CommMS < cm[best].CommMS {
+				best = alg
+			}
+		}
+		fmt.Printf("%-22s %8.2f %8.2f %8.2f %8.2f   %s\n",
+			parsed[i], cm["AC"].CommMS, cm["LP"].CommMS, cm["RS_N"].CommMS, cm["RS_NL"].CommMS, best)
+	}
+
+	fmt.Println("\nThe same specs drive the service (POST /v1/campaign {\"workloads\": [...]})")
+	fmt.Println("and the CLI (experiments -workload halo:32x32:512,... workloads).")
+}

@@ -68,6 +68,16 @@ func (m *Matrix) Add(i, j int, bytes int64) {
 	m.data[i*m.n+j] += bytes
 }
 
+// Zero clears every entry in place, keeping the storage. It is the
+// reuse primitive behind the XxxInto pattern generators: a campaign
+// worker holds one matrix per machine size and regenerates workloads
+// into it instead of allocating a fresh n^2 buffer per cell.
+func (m *Matrix) Zero() {
+	for i := range m.data {
+		m.data[i] = 0
+	}
+}
+
 // Clone returns a deep copy.
 func (m *Matrix) Clone() *Matrix {
 	c := MustNew(m.n)

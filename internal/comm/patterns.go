@@ -5,33 +5,65 @@ import (
 	"math/rand"
 )
 
-// UniformRandom returns the paper's experimental workload: each of the
-// n processors sends messages of the given size to d distinct random
+// Every pattern generator in this file comes in two forms: Xxx
+// allocates a fresh matrix, and XxxInto regenerates the pattern into a
+// caller-supplied matrix (zeroing it first), so campaign workers can
+// reuse one n x n buffer across an arbitrary number of cells instead
+// of allocating O(n^2) per sample. The Into form is the primitive; the
+// allocating form is a thin wrapper. Both consume the identical RNG
+// stream, so reuse can never change a generated pattern.
+
+// UniformRandom returns the send-side uniform workload: each of the n
+// processors sends messages of the given size to d distinct random
 // destinations (never itself). Send degrees are exactly d; receive
 // degrees are approximately d (binomially distributed), matching the
 // paper's "all nodes send and receive an approximately equal number of
 // messages" assumption.
 func UniformRandom(n, d int, bytes int64, rng *rand.Rand) (*Matrix, error) {
+	return intoFresh(n, func(m *Matrix) error { return UniformRandomInto(m, d, bytes, rng) })
+}
+
+// UniformRandomInto is UniformRandom regenerating into m (m.N()
+// processors). Destinations are drawn by a sparse partial
+// Fisher-Yates shuffle over the virtual candidate array [0,n-1)\{i}:
+// only the d displaced positions are materialized (in a small map), so
+// the cost is O(d) per node instead of the O(n) candidate-slice
+// shuffle the original implementation paid. The draw consumes exactly
+// d rng.Intn calls per node, a different stream consumption than the
+// historical full shuffle — output for a given seed changed once when
+// this landed and is pinned by TestUniformRandomPinned.
+func UniformRandomInto(m *Matrix, d int, bytes int64, rng *rand.Rand) error {
+	n := m.N()
 	if err := checkPatternArgs(n, d, bytes); err != nil {
-		return nil, err
+		return err
 	}
-	m := MustNew(n)
-	perm := make([]int, n-1)
+	m.Zero()
+	// disp holds the displaced entries of the virtual candidate array:
+	// position p represents candidate p unless disp says otherwise.
+	disp := make(map[int]int, 2*d)
 	for i := 0; i < n; i++ {
-		// Sample d distinct destinations from [0,n) \ {i}.
-		k := 0
-		for j := 0; j < n; j++ {
-			if j != i {
-				perm[k] = j
-				k++
+		for t := 0; t < d; t++ {
+			j := t + rng.Intn(n-1-t)
+			vj, ok := disp[j]
+			if !ok {
+				vj = j
 			}
-		}
-		rng.Shuffle(len(perm), func(a, b int) { perm[a], perm[b] = perm[b], perm[a] })
-		for _, dst := range perm[:d] {
+			vt, ok := disp[t]
+			if !ok {
+				vt = t
+			}
+			disp[j] = vt
+			disp[t] = vj
+			// Candidate c stands for destination c, skipping i.
+			dst := vj
+			if dst >= i {
+				dst++
+			}
 			m.Set(i, dst, bytes)
 		}
+		clear(disp)
 	}
-	return m, nil
+	return nil
 }
 
 // DRegular returns a pattern where every processor sends exactly d and
@@ -49,10 +81,18 @@ func UniformRandom(n, d int, bytes int64, rng *rand.Rand) (*Matrix, error) {
 // dense for rejection to converge, the remaining rounds fall back to
 // relabeled-circulant shifts, which are always feasible.
 func DRegular(n, d int, bytes int64, rng *rand.Rand) (*Matrix, error) {
+	return intoFresh(n, func(m *Matrix) error { return DRegularInto(m, d, bytes, rng) })
+}
+
+// DRegularInto is DRegular regenerating into m. It consumes the
+// identical RNG stream as DRegular always has, so reused-matrix
+// campaigns reproduce historical outputs bit for bit.
+func DRegularInto(m *Matrix, d int, bytes int64, rng *rand.Rand) error {
+	n := m.N()
 	if err := checkPatternArgs(n, d, bytes); err != nil {
-		return nil, err
+		return err
 	}
-	m := MustNew(n)
+	m.Zero()
 	perm := make([]int, n)
 	round := 0
 nextRound:
@@ -89,20 +129,20 @@ nextRound:
 		round++
 	}
 	if round == d {
-		return m, nil
+		return nil
 	}
 	// Fallback for densities where rejection stalls: rebuild from
 	// scratch as a randomly relabeled circulant — σ(x) sends to
 	// σ((x+k) mod n) for k = 1..d — which is d-regular, fixed-point
 	// free, and duplicate free for every d < n.
-	m = MustNew(n)
+	m.Zero()
 	sigma := rng.Perm(n)
 	for k := 1; k <= d; k++ {
 		for x := 0; x < n; x++ {
 			m.Set(sigma[x], sigma[(x+k)%n], bytes)
 		}
 	}
-	return m, nil
+	return nil
 }
 
 // HotSpot returns a skewed pattern: each processor sends d messages,
@@ -110,16 +150,22 @@ nextRound:
 // hotCount processors. It exercises the node-contention behaviour that
 // AC suffers from and the randomized schedulers are designed to avoid.
 func HotSpot(n, d int, bytes int64, hotCount int, hotProb float64, rng *rand.Rand) (*Matrix, error) {
+	return intoFresh(n, func(m *Matrix) error { return HotSpotInto(m, d, bytes, hotCount, hotProb, rng) })
+}
+
+// HotSpotInto is HotSpot regenerating into m.
+func HotSpotInto(m *Matrix, d int, bytes int64, hotCount int, hotProb float64, rng *rand.Rand) error {
+	n := m.N()
 	if err := checkPatternArgs(n, d, bytes); err != nil {
-		return nil, err
+		return err
 	}
 	if hotCount <= 0 || hotCount > n {
-		return nil, fmt.Errorf("comm: hotCount %d out of range (0,%d]", hotCount, n)
+		return fmt.Errorf("comm: hotCount %d out of range (0,%d]", hotCount, n)
 	}
 	if hotProb < 0 || hotProb > 1 {
-		return nil, fmt.Errorf("comm: hotProb %v out of [0,1]", hotProb)
+		return fmt.Errorf("comm: hotProb %v out of [0,1]", hotProb)
 	}
-	m := MustNew(n)
+	m.Zero()
 	for i := 0; i < n; i++ {
 		for placed := 0; placed < d; {
 			var dst int
@@ -135,7 +181,7 @@ func HotSpot(n, d int, bytes int64, hotCount int, hotProb float64, rng *rand.Ran
 			placed++
 		}
 	}
-	return m, nil
+	return nil
 }
 
 // BitComplement returns the classic bit-complement permutation on a
@@ -143,47 +189,65 @@ func HotSpot(n, d int, bytes int64, hotCount int, hotProb float64, rng *rand.Ran
 // link-contention-free permutations the paper cites (§1, referencing
 // hypercube algorithm texts). Density 1.
 func BitComplement(n int, bytes int64) (*Matrix, error) {
+	return intoFresh(n, func(m *Matrix) error { return BitComplementInto(m, bytes) })
+}
+
+// BitComplementInto is BitComplement regenerating into m.
+func BitComplementInto(m *Matrix, bytes int64) error {
+	n := m.N()
 	if err := checkPatternArgs(n, 1, bytes); err != nil {
-		return nil, err
+		return err
 	}
 	if n&(n-1) != 0 {
-		return nil, fmt.Errorf("comm: BitComplement needs power-of-two n, got %d", n)
+		return fmt.Errorf("comm: BitComplement needs power-of-two n, got %d", n)
 	}
-	m := MustNew(n)
+	m.Zero()
 	for i := 0; i < n; i++ {
 		m.Set(i, ^i&(n-1), bytes)
 	}
-	return m, nil
+	return nil
 }
 
 // Shift returns the cyclic-shift permutation i -> (i+k) mod n.
 // Density 1 for k not a multiple of n.
 func Shift(n, k int, bytes int64) (*Matrix, error) {
+	return intoFresh(n, func(m *Matrix) error { return ShiftInto(m, k, bytes) })
+}
+
+// ShiftInto is Shift regenerating into m.
+func ShiftInto(m *Matrix, k int, bytes int64) error {
+	n := m.N()
 	if err := checkPatternArgs(n, 1, bytes); err != nil {
-		return nil, err
+		return err
 	}
 	k %= n
 	if k < 0 {
 		k += n
 	}
 	if k == 0 {
-		return nil, fmt.Errorf("comm: Shift by 0 produces self messages")
+		return fmt.Errorf("comm: Shift by 0 produces self messages")
 	}
-	m := MustNew(n)
+	m.Zero()
 	for i := 0; i < n; i++ {
 		m.Set(i, (i+k)%n, bytes)
 	}
-	return m, nil
+	return nil
 }
 
 // AllToAll returns the complete exchange: every processor sends to
 // every other processor. Density n-1; the worst case for every
 // scheduler and the pattern LP was originally designed for.
 func AllToAll(n int, bytes int64) (*Matrix, error) {
+	return intoFresh(n, func(m *Matrix) error { return AllToAllInto(m, bytes) })
+}
+
+// AllToAllInto is AllToAll regenerating into m.
+func AllToAllInto(m *Matrix, bytes int64) error {
+	n := m.N()
 	if err := checkPatternArgs(n, n-1, bytes); err != nil {
-		return nil, err
+		return err
 	}
-	m := MustNew(n)
+	m.Zero()
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
 			if i != j {
@@ -191,7 +255,7 @@ func AllToAll(n int, bytes int64) (*Matrix, error) {
 			}
 		}
 	}
-	return m, nil
+	return nil
 }
 
 // MixedSizes returns a d-regular pattern with non-uniform message
@@ -200,21 +264,30 @@ func AllToAll(n int, bytes int64) (*Matrix, error) {
 // the paper defers to [15] ("non-uniform message size problems") and
 // the one the size-aware schedulers target.
 func MixedSizes(n, d int, minBytes, maxBytes int64, rng *rand.Rand) (*Matrix, error) {
+	return intoFresh(n, func(m *Matrix) error { return MixedSizesInto(m, d, minBytes, maxBytes, rng) })
+}
+
+// MixedSizesInto is MixedSizes regenerating into m.
+func MixedSizesInto(m *Matrix, d int, minBytes, maxBytes int64, rng *rand.Rand) error {
 	if minBytes <= 0 || maxBytes < minBytes {
-		return nil, fmt.Errorf("comm: bad size range [%d, %d]", minBytes, maxBytes)
+		return fmt.Errorf("comm: bad size range [%d, %d]", minBytes, maxBytes)
 	}
-	m, err := DRegular(n, d, minBytes, rng)
-	if err != nil {
-		return nil, err
+	if err := DRegularInto(m, d, minBytes, rng); err != nil {
+		return err
 	}
 	steps := 0
 	for b := minBytes; b*2 <= maxBytes; b *= 2 {
 		steps++
 	}
-	for _, msg := range m.Messages() {
-		m.Set(msg.Src, msg.Dst, minBytes<<uint(rng.Intn(steps+1)))
+	n := m.N()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if m.At(i, j) > 0 {
+				m.Set(i, j, minBytes<<uint(rng.Intn(steps+1)))
+			}
+		}
 	}
-	return m, nil
+	return nil
 }
 
 // HaloFromPartition aggregates an element-level dependency graph into
@@ -225,27 +298,46 @@ func MixedSizes(n, d int, minBytes, maxBytes int64, rng *rand.Rand) (*Matrix, er
 // computations require. adj[u] lists the elements u's value is needed
 // by. part values must lie in [0, n).
 func HaloFromPartition(n int, part []int, adj [][]int, bytesPerElem int64) (*Matrix, error) {
-	if n <= 0 {
-		return nil, fmt.Errorf("comm: processor count %d must be positive", n)
-	}
+	return intoFresh(n, func(m *Matrix) error { return HaloFromPartitionInto(m, part, adj, bytesPerElem) })
+}
+
+// HaloFromPartitionInto is HaloFromPartition regenerating into m.
+func HaloFromPartitionInto(m *Matrix, part []int, adj [][]int, bytesPerElem int64) error {
+	n := m.N()
 	if bytesPerElem <= 0 {
-		return nil, fmt.Errorf("comm: bytesPerElem %d must be positive", bytesPerElem)
+		return fmt.Errorf("comm: bytesPerElem %d must be positive", bytesPerElem)
 	}
 	for u, owner := range part {
 		if owner < 0 || owner >= n {
-			return nil, fmt.Errorf("comm: element %d assigned to processor %d outside [0,%d)", u, owner, n)
+			return fmt.Errorf("comm: element %d assigned to processor %d outside [0,%d)", u, owner, n)
 		}
 	}
-	m := MustNew(n)
+	m.Zero()
 	for u, owner := range part {
 		for _, v := range adj[u] {
 			if v < 0 || v >= len(part) {
-				return nil, fmt.Errorf("comm: element %d has neighbor %d outside [0,%d)", u, v, len(part))
+				return fmt.Errorf("comm: element %d has neighbor %d outside [0,%d)", u, v, len(part))
 			}
 			if other := part[v]; other != owner {
 				m.Add(owner, other, bytesPerElem)
 			}
 		}
+	}
+	return nil
+}
+
+// intoFresh allocates an n x n matrix and fills it with gen, the shared
+// shape of every allocating generator wrapper.
+func intoFresh(n int, gen func(*Matrix) error) (*Matrix, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("comm: processor count %d must be positive", n)
+	}
+	m, err := New(n)
+	if err != nil {
+		return nil, err
+	}
+	if err := gen(m); err != nil {
+		return nil, err
 	}
 	return m, nil
 }

@@ -258,6 +258,37 @@ func TestMixedSizesValidation(t *testing.T) {
 	}
 }
 
+// TestUniformRandomPinned pins the exact output of the O(d) partial
+// Fisher-Yates draw. UniformRandom's stream consumption changed when
+// the O(n)-shuffle implementation was replaced (the campaign engine
+// keys the uniform workload through comm.DRegular, so campaign goldens
+// were unaffected); this pin makes any future drift in the draw — a
+// changed swap order, an extra rng call — a loud test failure instead
+// of a silent workload change.
+func TestUniformRandomPinned(t *testing.T) {
+	m, err := UniformRandom(8, 3, 64, rand.New(rand.NewSource(42)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = "73f7b7af5234c22e8692fab9507610c087f1f209d95f7d4b82799e3c670ed5a2"
+	if got := m.ContentHash(); got != want {
+		t.Errorf("UniformRandom(8,3,64,seed 42) content hash %s, want %s", got, want)
+	}
+}
+
+func TestMatrixZero(t *testing.T) {
+	m := MustNew(4)
+	m.Set(0, 1, 10)
+	m.Set(3, 2, 20)
+	m.Zero()
+	if m.MessageCount() != 0 || m.TotalBytes() != 0 {
+		t.Errorf("Zero left %d messages, %d bytes", m.MessageCount(), m.TotalBytes())
+	}
+	if m.N() != 4 {
+		t.Errorf("Zero changed n to %d", m.N())
+	}
+}
+
 func TestPatternsDeterministicGivenSeed(t *testing.T) {
 	a, err := UniformRandom(64, 8, 256, rand.New(rand.NewSource(99)))
 	if err != nil {

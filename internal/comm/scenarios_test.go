@@ -1,0 +1,212 @@
+package comm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPermutationProperties(t *testing.T) {
+	for _, n := range []int{2, 3, 8, 64} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		m, err := Permutation(n, 256, rng)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for i := 0; i < n; i++ {
+			if m.SendDegree(i) != 1 || m.RecvDegree(i) != 1 {
+				t.Fatalf("n=%d: node %d degrees %d/%d, want 1/1", n, i, m.SendDegree(i), m.RecvDegree(i))
+			}
+		}
+	}
+	if _, err := Permutation(1, 256, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("n=1 should fail")
+	}
+}
+
+func TestTransposeProperties(t *testing.T) {
+	m, err := Transpose(16, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (r,c) -> (c,r) on the 4x4 grid; diagonal silent.
+	if m.At(1, 4) != 1024 || m.At(4, 1) != 1024 {
+		t.Error("transpose edges missing")
+	}
+	if !m.Symmetric() {
+		t.Error("transpose pattern should be symmetric")
+	}
+	if m.Density() != 1 {
+		t.Errorf("density %d, want 1", m.Density())
+	}
+	for i := 0; i < 4; i++ {
+		if m.SendDegree(i*4+i) != 0 {
+			t.Errorf("diagonal processor %d sends", i*4+i)
+		}
+	}
+	if _, err := Transpose(8, 1024); err == nil {
+		t.Error("non-square n should fail")
+	}
+	if _, err := Transpose(1, 1024); err == nil {
+		t.Error("n=1 should fail")
+	}
+}
+
+func TestStencil3DProperties(t *testing.T) {
+	// 4x4x4 elements on 8 processors: 8 elements per processor, strip
+	// partition. Every processor exchanges with its strip neighbors.
+	m, err := Stencil3D(8, 4, 4, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Symmetric() {
+		t.Error("periodic stencil halo should be pattern-symmetric")
+	}
+	for i := 0; i < 8; i++ {
+		if m.SendDegree(i) == 0 || m.RecvDegree(i) == 0 {
+			t.Errorf("processor %d silent in a periodic stencil", i)
+		}
+	}
+	// Deterministic: two builds agree.
+	m2, err := Stencil3D(8, 4, 4, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Equal(m2) {
+		t.Error("Stencil3D not deterministic")
+	}
+	if _, err := Stencil3D(8, 1, 2, 3, 8); err == nil {
+		t.Error("fewer elements than processors should fail")
+	}
+	if _, err := Stencil3D(8, 0, 4, 4, 8); err == nil {
+		t.Error("zero extent should fail")
+	}
+	if _, err := Stencil3D(8, 4, 4, 4, 0); err == nil {
+		t.Error("zero bytes should fail")
+	}
+}
+
+func TestSpMVPowerLawProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	m, err := SpMVPowerLaw(16, 8, 8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.MessageCount() == 0 {
+		t.Fatal("spmv exchange produced no messages")
+	}
+	// Power-law column popularity makes the low-id owners hot on the
+	// send side (they own the popular vector entries): processor 0 ships
+	// strictly more bytes than the owner of the unpopular tail.
+	rowBytes := func(i int) int64 {
+		var total int64
+		for j := 0; j < 16; j++ {
+			total += m.At(i, j)
+		}
+		return total
+	}
+	if rowBytes(0) <= rowBytes(15) {
+		t.Errorf("power-law skew missing: owner 0 sends %d bytes, owner 15 sends %d",
+			rowBytes(0), rowBytes(15))
+	}
+	if _, err := SpMVPowerLaw(16, 0, 8, rng); err == nil {
+		t.Error("zero nnz should fail")
+	}
+	if _, err := SpMVPowerLaw(1, 8, 8, rng); err == nil {
+		t.Error("n=1 should fail")
+	}
+}
+
+// TestIntoMatchesFresh: every Into generator regenerating into a dirty
+// reused matrix must produce exactly the matrix its allocating form
+// builds from the same RNG stream — the reuse contract of campaign
+// workers. The reused matrix is pre-soiled with an AllToAll pattern so
+// stale entries would be caught.
+func TestIntoMatchesFresh(t *testing.T) {
+	const n = 16
+	cases := []struct {
+		name  string
+		fresh func(rng *rand.Rand) (*Matrix, error)
+		into  func(m *Matrix, rng *rand.Rand) error
+	}{
+		{"UniformRandom",
+			func(rng *rand.Rand) (*Matrix, error) { return UniformRandom(n, 4, 256, rng) },
+			func(m *Matrix, rng *rand.Rand) error { return UniformRandomInto(m, 4, 256, rng) }},
+		{"DRegular",
+			func(rng *rand.Rand) (*Matrix, error) { return DRegular(n, 4, 256, rng) },
+			func(m *Matrix, rng *rand.Rand) error { return DRegularInto(m, 4, 256, rng) }},
+		{"DRegularDense", // exercises the circulant fallback path
+			func(rng *rand.Rand) (*Matrix, error) { return DRegular(n, n-1, 256, rng) },
+			func(m *Matrix, rng *rand.Rand) error { return DRegularInto(m, n-1, 256, rng) }},
+		{"HotSpot",
+			func(rng *rand.Rand) (*Matrix, error) { return HotSpot(n, 4, 256, 2, 0.7, rng) },
+			func(m *Matrix, rng *rand.Rand) error { return HotSpotInto(m, 4, 256, 2, 0.7, rng) }},
+		{"BitComplement",
+			func(rng *rand.Rand) (*Matrix, error) { return BitComplement(n, 256) },
+			func(m *Matrix, rng *rand.Rand) error { return BitComplementInto(m, 256) }},
+		{"Shift",
+			func(rng *rand.Rand) (*Matrix, error) { return Shift(n, 3, 256) },
+			func(m *Matrix, rng *rand.Rand) error { return ShiftInto(m, 3, 256) }},
+		{"AllToAll",
+			func(rng *rand.Rand) (*Matrix, error) { return AllToAll(n, 256) },
+			func(m *Matrix, rng *rand.Rand) error { return AllToAllInto(m, 256) }},
+		{"MixedSizes",
+			func(rng *rand.Rand) (*Matrix, error) { return MixedSizes(n, 4, 64, 4096, rng) },
+			func(m *Matrix, rng *rand.Rand) error { return MixedSizesInto(m, 4, 64, 4096, rng) }},
+		{"Permutation",
+			func(rng *rand.Rand) (*Matrix, error) { return Permutation(n, 256, rng) },
+			func(m *Matrix, rng *rand.Rand) error { return PermutationInto(m, 256, rng) }},
+		{"Transpose",
+			func(rng *rand.Rand) (*Matrix, error) { return Transpose(n, 256) },
+			func(m *Matrix, rng *rand.Rand) error { return TransposeInto(m, 256) }},
+		{"Stencil3D",
+			func(rng *rand.Rand) (*Matrix, error) { return Stencil3D(n, 4, 4, 4, 8) },
+			func(m *Matrix, rng *rand.Rand) error { return Stencil3DInto(m, 4, 4, 4, 8) }},
+		{"SpMVPowerLaw",
+			func(rng *rand.Rand) (*Matrix, error) { return SpMVPowerLaw(n, 6, 8, rng) },
+			func(m *Matrix, rng *rand.Rand) error { return SpMVPowerLawInto(m, 6, 8, rng) }},
+	}
+	reused := MustNew(n)
+	for _, tc := range cases {
+		want, err := tc.fresh(rand.New(rand.NewSource(7)))
+		if err != nil {
+			t.Fatalf("%s fresh: %v", tc.name, err)
+		}
+		if err := AllToAllInto(reused, 1); err != nil { // soil the buffer
+			t.Fatal(err)
+		}
+		if err := tc.into(reused, rand.New(rand.NewSource(7))); err != nil {
+			t.Fatalf("%s into: %v", tc.name, err)
+		}
+		if !reused.Equal(want) {
+			t.Errorf("%s: Into over a dirty matrix differs from the fresh build", tc.name)
+		}
+	}
+}
+
+// TestHaloFromPartitionIntoMatchesFresh covers the one generator whose
+// signature does not fit the shared table above.
+func TestHaloFromPartitionIntoMatchesFresh(t *testing.T) {
+	adj := [][]int{{1}, {0, 2}, {1, 3}, {2}}
+	part := []int{0, 0, 1, 1}
+	want, err := HaloFromPartition(2, part, adj, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reused := MustNew(2)
+	reused.Set(0, 1, 999)
+	if err := HaloFromPartitionInto(reused, part, adj, 8); err != nil {
+		t.Fatal(err)
+	}
+	if !reused.Equal(want) {
+		t.Error("HaloFromPartitionInto differs from fresh build")
+	}
+}

@@ -11,18 +11,32 @@
 // processor, and cells report the average over samples. All
 // randomness is derived from a single master seed.
 //
-// The engine is topology-generic: Config carries any topo.Topology —
-// the paper's hypercube (the default), a mesh or torus, a ring, an
-// arbitrary graph — because the §6 protocol needs nothing from the
-// machine beyond deterministic routing (§5's observation). All
-// scheduling and simulation inside a campaign runs over one shared
-// precomputed route table, built per campaign or supplied via
-// Config.Routes by callers that run many campaigns on one machine.
+// The engine is generic along both campaign axes:
+//
+// Topology: Config carries any topo.Topology — the paper's hypercube
+// (the default), a mesh or torus, a ring, an arbitrary graph — because
+// the §6 protocol needs nothing from the machine beyond deterministic
+// routing (§5's observation). All scheduling and simulation inside a
+// campaign runs over one shared precomputed route table, built per
+// campaign or supplied via Config.Routes by callers that run many
+// campaigns on one machine.
+//
+// Workload: every grid cell is a workload.Spec — the paper's uniform
+// d-regular sweep ("uniform:D:BYTES", the default every table and
+// figure uses), or any other spec the workload grammar speaks
+// (hot-spot, halo exchange, sparse mat-vec, permutations, 3D
+// stencils, ...). The classic density x size grids are just lists of
+// uniform:* specs (UniformSpecs); MeasureWorkloads sweeps arbitrary
+// spec lists. The campaign grid is therefore (topology x workload x
+// sample).
 //
 // Campaigns execute on the Runner, a worker pool that fans every
-// (density, size, sample, algorithm) unit out concurrently. Each
-// unit's RNG streams are keyed by the master seed and the unit's own
-// coordinates — never by worker scheduling or topology internals — so
+// (workload, sample, algorithm) unit out concurrently. Workers
+// regenerate each cell's matrix into a per-worker reused buffer
+// (workload.Spec.BuildInto) instead of allocating n^2 storage per
+// cell. Each unit's RNG streams are keyed by the master seed and the
+// unit's own coordinates (the workload's stream key, the sample, the
+// algorithm) — never by worker scheduling or topology internals — so
 // results are bit-identical at any parallelism on every topology; see
 // runner.go.
 package expt
@@ -103,15 +117,21 @@ func (c Config) Validate() error {
 	return c.Params.Validate()
 }
 
-// Cell is one measured table cell: an algorithm at one (d, M) point.
+// Cell is one measured table cell: an algorithm at one workload point.
 type Cell struct {
 	Algorithm Algorithm
-	Density   int
-	MsgBytes  int64
-	CommMS    float64 // mean over samples of per-run makespan, ms
-	CompMS    float64 // mean modeled scheduling cost, ms (0 for AC)
-	Iters     float64 // mean phase count (0 for AC)
-	CommStd   float64 // std-dev of makespan across samples, ms
+	// Workload is the canonical spec of the cell's workload
+	// ("uniform:8:1024", "halo:64x64:512", ...).
+	Workload string
+	// Density is the workload's nominal density: the D parameter of the
+	// degree-parameterized kinds, 0 for data-dependent patterns (halo,
+	// spmv, stencil3d).
+	Density  int
+	MsgBytes int64
+	CommMS   float64 // mean over samples of per-run makespan, ms
+	CompMS   float64 // mean modeled scheduling cost, ms (0 for AC)
+	Iters    float64 // mean phase count (0 for AC)
+	CommStd  float64 // std-dev of makespan across samples, ms
 }
 
 // MeasureCell runs the full sample set for one (d, M) point and
@@ -231,6 +251,22 @@ func WriteTable1(w io.Writer, rows []Table1Row) error {
 			row.Iters[LP], row.Iters[RSN], row.Iters[RSNL])
 		fmt.Fprintf(tw, "\tcomp\t-\t%.2f\t%.2f\t%.2f\n",
 			row.Comp[LP], row.Comp[RSN], row.Comp[RSNL])
+	}
+	return tw.Flush()
+}
+
+// WriteWorkloadTable renders one row per measured workload cell in
+// the layout of Table 1's comm block: the four contenders'
+// communication cost, plus the phase count and scheduling cost of the
+// randomized schedulers. cells is what MeasureWorkloads returned.
+func WriteWorkloadTable(w io.Writer, cells []map[Algorithm]Cell) error {
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "workload\tAC\tLP\tRS_N\tRS_NL\titers(RS_NL)\tcomp(RS_NL)")
+	for _, cm := range cells {
+		fmt.Fprintf(tw, "%s\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\n",
+			cm[AC].Workload,
+			cm[AC].CommMS, cm[LP].CommMS, cm[RSN].CommMS, cm[RSNL].CommMS,
+			cm[RSNL].Iters, cm[RSNL].CompMS)
 	}
 	return tw.Flush()
 }

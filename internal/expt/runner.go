@@ -13,23 +13,64 @@ import (
 	"unsched/internal/sched"
 	"unsched/internal/stats"
 	"unsched/internal/topo"
+	"unsched/internal/workload"
 )
 
-// Point is one (density, message size) cell of a campaign grid.
+// Point is one cell of a campaign grid: a workload measured on the
+// campaign's machine. The canonical form carries a workload.Spec; the
+// historical (Density, MsgBytes) pair remains as shorthand for the
+// paper's uniform workload — a Point with a zero Workload resolves to
+// workload.UniformSpec(Density, MsgBytes). Setting both forms is
+// ambiguous and rejected.
 type Point struct {
+	// Density and MsgBytes are the classic uniform-workload shorthand.
 	Density  int
 	MsgBytes int64
+	// Workload, when set (Kind != ""), names the cell's workload
+	// directly; Density and MsgBytes must then be zero.
+	Workload workload.Spec
+}
+
+// UniformPoint is the classic density-sweep cell.
+func UniformPoint(d int, msgBytes int64) Point {
+	return Point{Workload: workload.UniformSpec(d, msgBytes)}
+}
+
+// WorkloadPoint wraps a workload spec as a grid cell.
+func WorkloadPoint(sp workload.Spec) Point { return Point{Workload: sp} }
+
+// WorkloadPoints wraps a spec list as a campaign grid.
+func WorkloadPoints(specs []workload.Spec) []Point {
+	points := make([]Point, len(specs))
+	for i, sp := range specs {
+		points[i] = Point{Workload: sp}
+	}
+	return points
+}
+
+// spec resolves the point to its workload spec.
+func (p Point) spec() (workload.Spec, error) {
+	if p.Workload.Kind != "" {
+		if p.Density != 0 || p.MsgBytes != 0 {
+			return workload.Spec{}, fmt.Errorf("expt: point sets both Workload %q and the (Density, MsgBytes) shorthand", p.Workload)
+		}
+		return p.Workload, nil
+	}
+	return workload.UniformSpec(p.Density, p.MsgBytes), nil
 }
 
 // Runner executes measurement campaigns over a bounded worker pool.
-// Every (density, msgBytes, sample) combination is one independent
-// work unit; units fan out across workers, and within a unit the four
-// algorithms are measured back to back on the one matrix the unit
-// generates. Every RNG stream is derived from the master seed keyed
-// by the (density, msgBytes, sample, algorithm) tuple it serves —
-// never by execution order — so the measured numbers are bit-identical
-// at any parallelism, including 1, which reproduces the sequential
-// harness.
+// Every (workload, sample) combination is one independent work unit;
+// units fan out across workers, and within a unit the four algorithms
+// are measured back to back on the one matrix the unit generates —
+// regenerated into the worker's reused buffer, never allocated per
+// cell. Every RNG stream is derived from the master seed keyed by the
+// (workload key, sample, algorithm) tuple it serves — never by
+// execution order — so the measured numbers are bit-identical at any
+// parallelism, including 1, which reproduces the sequential harness.
+// The classic uniform workload's key is its historical (density,
+// msgBytes) pair, so density-sweep campaigns reproduce pre-workload
+// outputs exactly.
 //
 // The zero value of Parallelism and Progress is valid: the runner then
 // uses GOMAXPROCS workers and reports no progress. A Runner is safe
@@ -38,8 +79,8 @@ type Runner struct {
 	Config Config
 	// Parallelism is the number of worker goroutines; values <= 0 mean
 	// runtime.GOMAXPROCS(0). Each worker owns one reusable simulator
-	// machine, so memory scales with Parallelism, not with campaign
-	// size.
+	// machine, one scheduler core, and one workload matrix, so memory
+	// scales with Parallelism, not with campaign size.
 	Parallelism int
 	// Progress, when non-nil, is called after each completed algorithm
 	// run with the running count of completed runs and the campaign
@@ -67,6 +108,14 @@ type unitResult struct {
 	iters  float64
 }
 
+// unitScratch is the per-worker reusable state of runSample beyond the
+// machine and core: the workload matrix every cell regenerates into,
+// and the stream-key buffer.
+type unitScratch struct {
+	m   *comm.Matrix
+	key []int64
+}
+
 // MeasureCells measures every point of the grid and returns one
 // map[Algorithm]Cell per point, in point order. It is the campaign
 // primitive every table and figure builds on: all units of all points
@@ -77,6 +126,25 @@ func (r *Runner) MeasureCells(ctx context.Context, points []Point) ([]map[Algori
 	cfg := r.Config
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	nodes := cfg.Topology.Nodes()
+	// Resolve and validate every cell's workload up front: a spec that
+	// cannot build on this machine fails the campaign before any work
+	// is scheduled, with an error naming the spec instead of a
+	// mid-campaign worker abort.
+	specs := make([]workload.Spec, len(points))
+	for i, pt := range points {
+		sp, err := pt.spec()
+		if err != nil {
+			return nil, err
+		}
+		if err := sp.Validate(); err != nil {
+			return nil, err
+		}
+		if err := sp.ValidateFor(nodes); err != nil {
+			return nil, fmt.Errorf("%w (campaign topology %s)", err, cfg.Topology.Name())
+		}
+		specs[i] = sp
 	}
 	samples := cfg.Samples
 	nAlg := len(Algorithms)
@@ -123,10 +191,11 @@ func (r *Runner) MeasureCells(ctx context.Context, points []Point) ([]map[Algori
 		go func() {
 			defer wg.Done()
 			// Each worker owns one reusable simulator machine, one
-			// reusable scheduler core over the shared route table, and
-			// one stream source; all are confined to this goroutine, so
-			// the steady-state schedule→simulate pipeline allocates
-			// (near) nothing per unit.
+			// reusable scheduler core over the shared route table, one
+			// reused workload matrix, and one stream source; all are
+			// confined to this goroutine, so the steady-state
+			// generate→schedule→simulate pipeline allocates (near)
+			// nothing per unit.
 			mach, err := ipsc.NewMachine(cfg.Topology, cfg.Params)
 			if err != nil {
 				fail(err)
@@ -134,14 +203,15 @@ func (r *Runner) MeasureCells(ctx context.Context, points []Point) ([]map[Algori
 			}
 			core := sched.NewCoreForTable(routes)
 			src := stats.NewSource(cfg.Seed)
+			scratch := &unitScratch{m: comm.MustNew(nodes)}
 			for idx := range unitCh {
-				pt := points[idx/samples]
+				sp := specs[idx/samples]
 				sample := idx % samples
 				var tickFn func()
 				if r.Progress != nil {
 					tickFn = tick
 				}
-				if err := cfg.runSample(mach, core, src, pt, sample, results[idx*nAlg:(idx+1)*nAlg], tickFn); err != nil {
+				if err := cfg.runSample(mach, core, src, scratch, sp, sample, results[idx*nAlg:(idx+1)*nAlg], tickFn); err != nil {
 					fail(err)
 					return
 				}
@@ -169,7 +239,7 @@ feed:
 	comms := make([]float64, samples)
 	comps := make([]float64, samples)
 	iters := make([]float64, samples)
-	for ci, pt := range points {
+	for ci, sp := range specs {
 		cells := map[Algorithm]Cell{}
 		for ai, alg := range Algorithms {
 			for sample := 0; sample < samples; sample++ {
@@ -181,8 +251,9 @@ feed:
 			s := stats.Summarize(comms)
 			cells[alg] = Cell{
 				Algorithm: alg,
-				Density:   pt.Density,
-				MsgBytes:  pt.MsgBytes,
+				Workload:  sp.String(),
+				Density:   sp.DensityHint(nodes),
+				MsgBytes:  sp.MsgBytes(),
 				CommMS:    s.Mean,
 				CommStd:   s.Std,
 				CompMS:    stats.Mean(comps),
@@ -196,57 +267,78 @@ feed:
 
 // MeasureCell measures one (d, M) point through the pool.
 func (r *Runner) MeasureCell(ctx context.Context, d int, msgBytes int64) (map[Algorithm]Cell, error) {
-	cells, err := r.MeasureCells(ctx, []Point{{Density: d, MsgBytes: msgBytes}})
+	cells, err := r.MeasureCells(ctx, []Point{UniformPoint(d, msgBytes)})
 	if err != nil {
 		return nil, err
 	}
 	return cells[0], nil
 }
 
-// runSample executes one (d, M, sample) unit: generate the sample's
-// communication matrix from its pattern stream, then schedule and
-// simulate all four algorithms on it, each under its own scheduling
-// stream keyed by (d, M, sample, algorithm). Results land in out (one
-// slot per algorithm); tick, when non-nil, is called after each
-// algorithm completes.
-func (c Config) runSample(mach *ipsc.Machine, core *sched.Core, src *stats.Source, pt Point, sample int, out []unitResult, tick func()) error {
-	d, msgBytes := pt.Density, pt.MsgBytes
+// MeasureWorkloads measures every workload spec as one grid cell, in
+// spec order — the workload-generic campaign primitive behind the
+// service's workloads field and the CLI's -workload flag.
+func (r *Runner) MeasureWorkloads(ctx context.Context, specs []workload.Spec) ([]map[Algorithm]Cell, error) {
+	return r.MeasureCells(ctx, WorkloadPoints(specs))
+}
+
+// runSample executes one (workload, sample) unit: regenerate the
+// sample's communication matrix from its pattern stream into the
+// worker's reused buffer, then schedule and simulate all four
+// algorithms on it, each under its own scheduling stream keyed by
+// (workload key, sample, algorithm). Results land in out (one slot per
+// algorithm); tick, when non-nil, is called after each algorithm
+// completes.
+func (c Config) runSample(mach *ipsc.Machine, core *sched.Core, src *stats.Source, scratch *unitScratch, sp workload.Spec, sample int, out []unitResult, tick func()) error {
 	// Streams are keyed by the full coordinate tuple (tagged 0 for the
 	// pattern stream, 1 for scheduling streams) through composed
-	// SplitMix64 mixing — a linear packing like d*1e6 + M*1000 + s is
-	// not injective over user-chosen grids (the campaign API accepts
-	// arbitrary densities and sizes), which would hand "independent"
-	// cells identical generators.
-	patRNG := src.StreamKeyed(0, int64(d), msgBytes, int64(sample))
-	m, err := comm.DRegular(c.Topology.Nodes(), d, msgBytes, patRNG)
-	if err != nil {
+	// SplitMix64 mixing — a linear packing is not injective over
+	// user-chosen grids, which would hand "independent" cells identical
+	// generators. The workload key of the classic uniform spec is its
+	// historical (d, msgBytes) pair, so pattern stream (0, d, M, sample)
+	// and scheduling streams (1, d, M, sample, alg) — and therefore all
+	// density-sweep campaign outputs — are unchanged from the
+	// pre-workload harness.
+	key := sp.AppendKey(append(scratch.key[:0], 0))
+	patRNG := src.StreamKeyed(append(key, int64(sample))...)
+	key[0] = 1 // same workload coordinates, scheduling tag
+	schedKey := append(key, int64(sample), 0)
+	if err := sp.BuildInto(scratch.m, patRNG); err != nil {
 		return err
 	}
 	for algIdx, alg := range Algorithms {
-		schedRNG := src.StreamKeyed(1, int64(d), msgBytes, int64(sample), int64(algIdx))
-		commUS, compMS, nPhases, err := c.runOne(mach, core, alg, m, schedRNG)
+		schedKey[len(schedKey)-1] = int64(algIdx)
+		schedRNG := src.StreamKeyed(schedKey...)
+		commUS, compMS, nPhases, err := c.runOne(mach, core, alg, scratch.m, schedRNG)
 		if err != nil {
-			return fmt.Errorf("expt: %s d=%d M=%d sample %d: %w", alg, d, msgBytes, sample, err)
+			return fmt.Errorf("expt: %s %s sample %d: %w", alg, sp, sample, err)
 		}
 		out[algIdx] = unitResult{commMS: commUS / 1000, compMS: compMS, iters: nPhases}
 		if tick != nil {
 			tick()
 		}
 	}
+	scratch.key = key[:0]
 	return nil
 }
 
-// grid returns the densities x sizes point grid, sizes varying
-// fastest — the one ordering every campaign method shares, so cell
-// results always align with their (density, size) labels.
+// grid returns the densities x sizes point grid re-expressed as
+// uniform:* workload specs, sizes varying fastest — the one ordering
+// every classic campaign method shares, so cell results always align
+// with their (density, size) labels.
 func grid(densities []int, sizes []int64) []Point {
-	points := make([]Point, 0, len(densities)*len(sizes))
+	return WorkloadPoints(UniformSpecs(densities, sizes))
+}
+
+// UniformSpecs re-expresses the paper's (density x size) sweep as the
+// equivalent list of uniform:* workload specs, sizes varying fastest.
+func UniformSpecs(densities []int, sizes []int64) []workload.Spec {
+	specs := make([]workload.Spec, 0, len(densities)*len(sizes))
 	for _, d := range densities {
 		for _, size := range sizes {
-			points = append(points, Point{Density: d, MsgBytes: size})
+			specs = append(specs, workload.UniformSpec(d, size))
 		}
 	}
-	return points
+	return specs
 }
 
 // Table1 measures the Table 1 grid through the pool. On machines
@@ -338,7 +430,7 @@ func (r *Runner) RegionMap(ctx context.Context, densities []int, sizes []int64) 
 		return nil, err
 	}
 	var regions []Region
-	for i, pt := range points {
+	for i := range points {
 		cells := cellMaps[i]
 		type cand struct {
 			alg Algorithm
@@ -354,8 +446,8 @@ func (r *Runner) RegionMap(ctx context.Context, densities []int, sizes []int64) 
 			margin = (cands[1].ms - cands[0].ms) / cands[1].ms
 		}
 		regions = append(regions, Region{
-			Density:  pt.Density,
-			MsgBytes: pt.MsgBytes,
+			Density:  cells[Algorithms[0]].Density,
+			MsgBytes: cells[Algorithms[0]].MsgBytes,
 			Winner:   cands[0].alg,
 			Margin:   margin,
 		})

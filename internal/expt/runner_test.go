@@ -3,10 +3,12 @@ package expt
 import (
 	"bytes"
 	"context"
+	"strings"
 	"testing"
 
 	"unsched/internal/hypercube"
 	"unsched/internal/topo"
+	"unsched/internal/workload"
 )
 
 // renderTable1 runs Table1 at the given parallelism and renders it to
@@ -159,7 +161,7 @@ func TestRunnerCancelMidway(t *testing.T) {
 			cancel()
 		}
 	}
-	if _, err := r.MeasureCells(ctx, []Point{{4, 1024}, {8, 1024}, {16, 1024}}); err != context.Canceled {
+	if _, err := r.MeasureCells(ctx, []Point{UniformPoint(4, 1024), UniformPoint(8, 1024), UniformPoint(12, 1024)}); err != context.Canceled {
 		t.Errorf("mid-campaign cancel returned %v, want context.Canceled", err)
 	}
 }
@@ -175,7 +177,7 @@ func TestRunnerProgress(t *testing.T) {
 		dones = append(dones, done)
 		totals = append(totals, total)
 	}
-	points := []Point{{2, 256}, {4, 256}}
+	points := []Point{UniformPoint(2, 256), UniformPoint(4, 256)}
 	if _, err := r.MeasureCells(context.Background(), points); err != nil {
 		t.Fatal(err)
 	}
@@ -197,7 +199,110 @@ func TestRunnerRejectsInvalidConfig(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Samples = 0
 	r := NewRunner(cfg)
-	if _, err := r.MeasureCells(context.Background(), []Point{{4, 64}}); err == nil {
+	if _, err := r.MeasureCells(context.Background(), []Point{UniformPoint(4, 64)}); err == nil {
 		t.Error("invalid config accepted")
+	}
+}
+
+// TestRunnerWorkloadDeterministicAcrossParallelism extends the
+// tentpole invariant across the workload axis: a mixed grid of
+// non-uniform workloads (halo, hot-spot, stencil, spmv, permutation
+// traffic) on a torus measures bit-identically at every worker count.
+func TestRunnerWorkloadDeterministicAcrossParallelism(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Topology = topo.MustParseSpec("torus:4x4").MustBuild()
+	cfg.Samples = 2
+	specs := []workload.Spec{
+		workload.MustParseSpec("halo:8x8:512"),
+		workload.MustParseSpec("hotspot:4:1024:2"),
+		workload.MustParseSpec("stencil3d:4x4x4:64"),
+		workload.MustParseSpec("spmv:6:8"),
+		workload.MustParseSpec("perm:2048"),
+		workload.MustParseSpec("scatter:4:1024"),
+	}
+	render := func(parallelism int) string {
+		r := &Runner{Config: cfg, Parallelism: parallelism}
+		cells, err := r.MeasureWorkloads(context.Background(), specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WriteWorkloadTable(&buf, cells); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	seq := render(1)
+	for _, p := range []int{3, 8} {
+		if got := render(p); got != seq {
+			t.Errorf("workload grid at parallelism %d differs from sequential:\n--- p=1\n%s--- p=%d\n%s", p, seq, p, got)
+		}
+	}
+	for _, sp := range specs {
+		if !strings.Contains(seq, sp.String()) {
+			t.Errorf("workload table missing row for %s:\n%s", sp, seq)
+		}
+	}
+}
+
+// TestRunnerUniformSpecMatchesClassicGrid: the uniform:* re-expression
+// of the density sweep is not merely equivalent — it is the same
+// cells, stream for stream. A classic (Density, MsgBytes) point and
+// its workload.UniformSpec form must measure identically.
+func TestRunnerUniformSpecMatchesClassicGrid(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Topology = hypercube.MustNew(4)
+	cfg.Samples = 2
+	r := &Runner{Config: cfg, Parallelism: 4}
+	classic, err := r.MeasureCells(context.Background(), []Point{{Density: 4, MsgBytes: 1024}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaSpec, err := r.MeasureWorkloads(context.Background(), []workload.Spec{workload.UniformSpec(4, 1024)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range Algorithms {
+		if classic[0][alg] != viaSpec[0][alg] {
+			t.Errorf("%s: classic %+v != spec form %+v", alg, classic[0][alg], viaSpec[0][alg])
+		}
+	}
+}
+
+// TestRunnerScatterDistinctFromUniform: the scatter workload (the
+// O(d) send-side generator) must draw from its own stream key — a
+// scatter cell and a uniform cell with identical (d, bytes) must not
+// measure as the same numbers.
+func TestRunnerScatterDistinctFromUniform(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Topology = hypercube.MustNew(4)
+	cfg.Samples = 2
+	r := &Runner{Config: cfg, Parallelism: 2}
+	cells, err := r.MeasureWorkloads(context.Background(), []workload.Spec{
+		workload.UniformSpec(4, 1024),
+		workload.ScatterSpec(4, 1024),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cells[0][RSNL].CommMS == cells[1][RSNL].CommMS {
+		t.Error("scatter cell measured identically to the uniform cell; stream keys must differ")
+	}
+}
+
+// TestRunnerRejectsUnbuildableWorkload: a spec that cannot build on
+// the campaign machine fails fast with an error naming it.
+func TestRunnerRejectsUnbuildableWorkload(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Topology = hypercube.MustNew(3) // 8 nodes: not square
+	cfg.Samples = 1
+	r := &Runner{Config: cfg}
+	_, err := r.MeasureWorkloads(context.Background(), []workload.Spec{workload.TransposeSpec(64)})
+	if err == nil || !strings.Contains(err.Error(), "transpose") {
+		t.Errorf("unbuildable workload error = %v, want one naming transpose", err)
+	}
+	_, err = r.MeasureCells(context.Background(), []Point{{Density: 4, MsgBytes: 64, Workload: workload.PermSpec(64)}})
+	if err == nil {
+		t.Error("ambiguous point (both shorthand and Workload) accepted")
 	}
 }

@@ -10,15 +10,24 @@ import (
 	"unsched/internal/expt"
 	"unsched/internal/hypercube"
 	"unsched/internal/topo"
+	"unsched/internal/workload"
 )
 
 // campaignRequest is the body of POST /v1/campaign: a measurement grid
 // in the shape of the paper's §6 protocol, run asynchronously on any
-// topology the service knows.
+// topology and workload the service knows. The grid axis comes in two
+// mutually exclusive forms: the classic densities x sizes sweep of the
+// paper's uniform workload, or an explicit list of workload specs
+// (uniform:D:BYTES, hotspot:D:BYTES:HOT, halo:WxH:BYTES, ... — the
+// same grammar the CLI's -workload flag takes; see workload.ParseSpec).
 type campaignRequest struct {
-	Densities []int   `json:"densities"`
-	Sizes     []int64 `json:"sizes"`
-	// Samples per (density, size) cell; the paper uses 50.
+	Densities []int   `json:"densities,omitempty"`
+	Sizes     []int64 `json:"sizes,omitempty"`
+	// Workloads lists the grid's cells as canonical workload specs.
+	// Mutually exclusive with Densities/Sizes. Each spec participates
+	// in the campaign's content hash.
+	Workloads []string `json:"workloads,omitempty"`
+	// Samples per grid cell; the paper uses 50.
 	Samples int   `json:"samples"`
 	Seed    int64 `json:"seed,omitempty"`
 	// Dim is the hypercube dimension (default 6, the 64-node machine).
@@ -33,9 +42,12 @@ type campaignRequest struct {
 	Params string `json:"params,omitempty"`
 }
 
-// campaignCell is one measured (algorithm, density, size) result.
+// campaignCell is one measured (algorithm, workload) result. Density
+// and MsgBytes carry the workload's nominal parameters (density 0 for
+// the data-dependent kinds).
 type campaignCell struct {
 	Algorithm string  `json:"algorithm"`
+	Workload  string  `json:"workload"`
 	Density   int     `json:"density"`
 	MsgBytes  int64   `json:"msg_bytes"`
 	CommMS    float64 `json:"comm_ms"`
@@ -199,7 +211,9 @@ const (
 // resolveCampaign validates the request and builds the runner config,
 // point grid, and content-hash key. The topology comes from the
 // request's topology field (any kind the service speaks), or from Dim
-// as a hypercube — the two are mutually exclusive.
+// as a hypercube; the grid comes from an explicit workload-spec list
+// or from the classic densities x sizes sweep — each pair mutually
+// exclusive.
 func resolveCampaign(req *campaignRequest) (expt.Config, []expt.Point, string, error) {
 	fail := func(err error) (expt.Config, []expt.Point, string, error) {
 		return expt.Config{}, nil, "", err
@@ -235,21 +249,39 @@ func resolveCampaign(req *campaignRequest) (expt.Config, []expt.Point, string, e
 	if req.Samples < 1 || req.Samples > maxCampaignSamples {
 		return fail(badRequest("samples %d out of range [1,%d]", req.Samples, maxCampaignSamples))
 	}
-	if len(req.Densities) == 0 || len(req.Sizes) == 0 {
-		return fail(badRequest("need at least one density and one size"))
-	}
-	if cells := len(req.Densities) * len(req.Sizes); cells > maxCampaignCells {
-		return fail(badRequest("grid has %d cells, limit %d", cells, maxCampaignCells))
-	}
-	for _, d := range req.Densities {
-		if d <= 0 || d >= nodes {
-			return fail(badRequest("density %d out of range (0,%d) for the %d-node %s", d, nodes, nodes, net.Name()))
+	var specs []workload.Spec
+	if len(req.Workloads) > 0 {
+		if len(req.Densities) != 0 || len(req.Sizes) != 0 {
+			return fail(badRequest("workloads and densities/sizes are mutually exclusive; express the sweep as uniform:D:BYTES specs"))
 		}
-	}
-	for _, size := range req.Sizes {
-		if size <= 0 || size > maxCampaignBytes {
-			return fail(badRequest("size %d out of range (0,%d]", size, maxCampaignBytes))
+		if len(req.Workloads) > maxCampaignCells {
+			return fail(badRequest("grid has %d cells, limit %d", len(req.Workloads), maxCampaignCells))
 		}
+		for _, s := range req.Workloads {
+			sp, err := resolveWorkloadSpec(s, nodes)
+			if err != nil {
+				return fail(err)
+			}
+			specs = append(specs, sp)
+		}
+	} else {
+		if len(req.Densities) == 0 || len(req.Sizes) == 0 {
+			return fail(badRequest("need at least one density and one size (or a workloads list)"))
+		}
+		if cells := len(req.Densities) * len(req.Sizes); cells > maxCampaignCells {
+			return fail(badRequest("grid has %d cells, limit %d", cells, maxCampaignCells))
+		}
+		for _, d := range req.Densities {
+			if d <= 0 || d >= nodes {
+				return fail(badRequest("density %d out of range (0,%d) for the %d-node %s", d, nodes, nodes, net.Name()))
+			}
+		}
+		for _, size := range req.Sizes {
+			if size <= 0 || size > maxCampaignBytes {
+				return fail(badRequest("size %d out of range (0,%d]", size, maxCampaignBytes))
+			}
+		}
+		specs = expt.UniformSpecs(req.Densities, req.Sizes)
 	}
 	paramsName, params, err := resolveParams(req.Params)
 	if err != nil {
@@ -265,28 +297,60 @@ func resolveCampaign(req *campaignRequest) (expt.Config, []expt.Point, string, e
 		Samples:  req.Samples,
 		Seed:     seed,
 	}
-	var points []expt.Point
-	for _, d := range req.Densities {
-		for _, size := range req.Sizes {
-			points = append(points, expt.Point{Density: d, MsgBytes: size})
-		}
+	key := campaignKey(req, specs, net, paramsName, seed).Hex()
+	return cfg, expt.WorkloadPoints(specs), key, nil
+}
+
+// resolveWorkloadSpec parses and gates one workload spec against an
+// n-node machine: grammar, structural caps (element grids, degrees),
+// machine fit, and the service's own size cap — all enforced from the
+// spec string BEFORE any O(n^2) matrix or O(elements) mesh build,
+// matching the topo.Spec gate.
+func resolveWorkloadSpec(s string, nodes int) (workload.Spec, error) {
+	sp, err := workload.ParseSpec(s)
+	if err != nil {
+		return workload.Spec{}, badRequest("%v", err)
 	}
-	return cfg, points, campaignKey(req, net, paramsName, seed).Hex(), nil
+	if err := sp.ValidateFor(nodes); err != nil {
+		return workload.Spec{}, badRequest("%v", err)
+	}
+	// Gate the worst-case single message, not the bare per-element
+	// size: an aggregating kind (halo, spmv, stencil3d) multiplies its
+	// Bytes parameter by the partition-boundary cross section, and the
+	// classic densities x sizes path enforces this same cap per
+	// message.
+	if mb := sp.MaxMessageBytes(); mb > maxCampaignBytes {
+		return workload.Spec{}, badRequest("workload %s: worst-case message size %d exceeds the %d-byte limit", sp, mb, int64(maxCampaignBytes))
+	}
+	return sp, nil
 }
 
 // campaignKey hashes everything that determines a campaign's measured
 // cells: the grid, samples, seed, timing model, and — like the
-// schedule/simulate keys — the topology identity.
-func campaignKey(req *campaignRequest, net topo.Topology, paramsName string, seed int64) *comm.Digest {
+// schedule/simulate keys — the topology identity. Classic
+// densities x sizes requests hash exactly as they did before the
+// workload axis existed, so their keys are stable across versions; a
+// workloads request hashes its canonical spec strings instead.
+func campaignKey(req *campaignRequest, specs []workload.Spec, net topo.Topology, paramsName string, seed int64) *comm.Digest {
 	d := comm.NewDigest()
 	d.String("campaign/v1")
-	d.Int64(int64(len(req.Densities)))
-	for _, v := range req.Densities {
-		d.Int64(int64(v))
-	}
-	d.Int64(int64(len(req.Sizes)))
-	for _, v := range req.Sizes {
-		d.Int64(v)
+	if len(req.Workloads) > 0 {
+		d.String("workloads")
+		d.Int64(int64(len(specs)))
+		for _, sp := range specs {
+			// Hash the canonical form, so "dregular:8:64" and
+			// "uniform:8:64" share a key as they share results.
+			d.String(sp.String())
+		}
+	} else {
+		d.Int64(int64(len(req.Densities)))
+		for _, v := range req.Densities {
+			d.Int64(int64(v))
+		}
+		d.Int64(int64(len(req.Sizes)))
+		for _, v := range req.Sizes {
+			d.Int64(v)
+		}
 	}
 	d.Int64(int64(req.Samples))
 	d.Int64(seed)
@@ -311,13 +375,14 @@ func runCampaign(ctx context.Context, j *campaignJob, cfg expt.Config, points []
 		return
 	}
 	var cells []campaignCell
-	for i, pt := range points {
+	for i := range points {
 		for _, alg := range expt.Algorithms {
 			c := cellMaps[i][alg]
 			cells = append(cells, campaignCell{
 				Algorithm: string(alg),
-				Density:   pt.Density,
-				MsgBytes:  pt.MsgBytes,
+				Workload:  c.Workload,
+				Density:   c.Density,
+				MsgBytes:  c.MsgBytes,
 				CommMS:    c.CommMS,
 				CommStd:   c.CommStd,
 				CompMS:    c.CompMS,

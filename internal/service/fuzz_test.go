@@ -35,6 +35,12 @@ func FuzzScheduleRequest(f *testing.F) {
 	f.Add(`{"algorithm":"LP"}`)
 	f.Add(`{"matrix":{"n":4,"messages":[[0,1,10]]},"seed":-9223372036854775808}`)
 	f.Add(`{"matrix":{"n":4,"messages":[[0,1,10]]},"topology":{"kind":"torus","w":2,"h":2}}`)
+	f.Add(`{"workload":"uniform:2:64","topology":{"spec":"cube:3"},"algorithm":"RS_NL"}`)
+	f.Add(`{"workload":"halo:8x8:512","topology":{"spec":"torus:4x4"}}`)
+	f.Add(`{"workload":"dregular:2:64","topology":{"spec":"cube:3"},"seed":-1}`)
+	f.Add(`{"workload":"klein:::","topology":{"spec":"cube:3"}}`)
+	f.Add(`{"workload":"transpose:64"}`)
+	f.Add(`{"workload":"perm:64","matrix":{"n":4,"messages":[]}}`)
 	f.Add(`nonsense`)
 	f.Add(``)
 	f.Add(`[]`)
@@ -68,6 +74,11 @@ func FuzzCampaignRequest(f *testing.F) {
 	f.Add(`{"densities":[2],"sizes":[64],"samples":1,"topology":{"kind":"graph","n":-1,"edges":[[0,1]]}}`)
 	f.Add(`{"densities":[2],"sizes":[64],"samples":1,"topology":{"kind":"ring","n":999999999}}`)
 	f.Add(`{"densities":[1000000],"sizes":[-5],"samples":0}`)
+	f.Add(`{"workloads":["uniform:2:64","halo:8x8:512"],"samples":1,"dim":3}`)
+	f.Add(`{"workloads":["hotspot:2:64:1","stencil3d:2x2x2:8","spmv:4:8"],"samples":1,"topology":{"spec":"torus:4x4"}}`)
+	f.Add(`{"workloads":["nope"],"samples":1,"dim":3}`)
+	f.Add(`{"workloads":[""],"samples":1}`)
+	f.Add(`{"workloads":["uniform:2:64"],"densities":[2],"sizes":[64],"samples":1}`)
 	f.Add(`{"topology":{}}`)
 	f.Add(`{`)
 	f.Add(``)

@@ -19,6 +19,8 @@ import (
 	"unsched/internal/expt"
 	"unsched/internal/hypercube"
 	"unsched/internal/mesh"
+	"unsched/internal/topo"
+	"unsched/internal/workload"
 )
 
 func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
@@ -863,5 +865,235 @@ func TestFollowerClientGoneIs499(t *testing.T) {
 	}
 	if got := svc.rejected.Load(); got != 0 {
 		t.Errorf("client abort counted as %d rejections", got)
+	}
+}
+
+// TestCampaignWorkloadsEndToEnd is the acceptance path of the
+// workload axis: a non-uniform workload grid (halo exchange plus a
+// hot-spot) on a torus runs through POST /v1/campaign and must agree
+// cell-exactly with a direct in-process run of the campaign engine —
+// same seed, same streams, same numbers.
+func TestCampaignWorkloadsEndToEnd(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2})
+	req := campaignRequest{
+		Workloads: []string{"halo:8x8:512", "uniform:4:1024"},
+		Samples:   2, Seed: 11,
+		Topology: &topologyJSON{Spec: "torus:8x8"},
+	}
+	var accepted map[string]string
+	status, raw := postJSON(t, ts.URL+"/v1/campaign", req, &accepted)
+	if status != http.StatusAccepted {
+		t.Fatalf("campaign: status %d: %s", status, raw)
+	}
+	if accepted["key"] == "" {
+		t.Fatalf("campaign response missing content key: %s", raw)
+	}
+
+	var st campaignStatus
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		status, raw = getJSON(t, ts.URL+accepted["url"], &st)
+		if status != http.StatusOK {
+			t.Fatalf("poll: status %d: %s", status, raw)
+		}
+		if st.State != campaignRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign still running after 30s: %+v", st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if st.State != campaignDone {
+		t.Fatalf("campaign finished as %q (%s)", st.State, st.Error)
+	}
+	if len(st.Cells) != 2*len(expt.Algorithms) {
+		t.Fatalf("got %d cells, want %d", len(st.Cells), 2*len(expt.Algorithms))
+	}
+
+	cfg := expt.Config{
+		Topology: topo.MustParseSpec("torus:8x8").MustBuild(),
+		Params:   mustParams(t, "ipsc860"), Samples: 2, Seed: 11,
+	}
+	want, err := expt.NewRunner(cfg).MeasureWorkloads(context.Background(), []workload.Spec{
+		workload.MustParseSpec("halo:8x8:512"),
+		workload.UniformSpec(4, 1024),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cell := range st.Cells {
+		ref := want[i/len(expt.Algorithms)][expt.Algorithm(cell.Algorithm)]
+		if cell.Workload != ref.Workload || cell.CommMS != ref.CommMS || cell.Iters != ref.Iters {
+			t.Errorf("cell %d (%s %s): service says comm=%v iters=%v, direct run (%s) %v/%v",
+				i, cell.Workload, cell.Algorithm, cell.CommMS, cell.Iters, ref.Workload, ref.CommMS, ref.Iters)
+		}
+	}
+
+	// Key canonicalization: the dregular alias spelling must hash to
+	// the same campaign key as its canonical uniform form — the keys
+	// are over canonical spec strings, not the raw request bytes.
+	alias := req
+	alias.Workloads = []string{"halo:8x8:512", "dregular:4:1024"}
+	aliasKey := campaignKeyFor(t, &alias)
+	if aliasKey != accepted["key"] {
+		t.Errorf("dregular-alias campaign hashed to %s, canonical run said %s", aliasKey, accepted["key"])
+	}
+	alias.Workloads = []string{"halo:8x8:512", "uniform:4:2048"}
+	if campaignKeyFor(t, &alias) == accepted["key"] {
+		t.Error("different workload grid shares the campaign key")
+	}
+}
+
+// campaignKeyFor resolves a campaign request to its content-hash key.
+func campaignKeyFor(t *testing.T, req *campaignRequest) string {
+	t.Helper()
+	_, _, key, err := resolveCampaign(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return key
+}
+
+// TestCampaignWorkloadBadRequests is the bad-request table of the
+// workload field: malformed and oversized specs must be rejected with
+// 400 from the spec string alone — before any O(n^2) matrix or
+// O(elements) mesh build.
+func TestCampaignWorkloadBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	cases := []struct {
+		name string
+		req  campaignRequest
+	}{
+		{"malformed spec", campaignRequest{Workloads: []string{"uniform:4"}, Samples: 1, Dim: 3}},
+		{"unknown kind", campaignRequest{Workloads: []string{"klein:4:64"}, Samples: 1, Dim: 3}},
+		{"both grid forms", campaignRequest{Workloads: []string{"uniform:2:64"}, Densities: []int{2}, Sizes: []int64{64}, Samples: 1, Dim: 3}},
+		{"density too high", campaignRequest{Workloads: []string{"uniform:8:64"}, Samples: 1, Dim: 3}},
+		{"oversized halo grid", campaignRequest{Workloads: []string{"halo:4096x4096:8"}, Samples: 1, Dim: 3}},
+		{"halo extent over cap", campaignRequest{Workloads: []string{"halo:100000x2:8"}, Samples: 1, Dim: 3}},
+		{"bytes over service cap", campaignRequest{Workloads: []string{"uniform:2:33554433"}, Samples: 1, Dim: 3}},
+		{"aggregated message over cap", campaignRequest{Workloads: []string{"halo:2048x1024:16777216"}, Samples: 1, Dim: 3}},
+		{"spmv nnz over cap", campaignRequest{Workloads: []string{"spmv:100000:8"}, Samples: 1, Dim: 3}},
+		{"transpose on non-square", campaignRequest{Workloads: []string{"transpose:64"}, Samples: 1, Dim: 3}},
+		{"shift multiple of n", campaignRequest{Workloads: []string{"shift:8:64"}, Samples: 1, Dim: 3}},
+		{"stencil smaller than machine", campaignRequest{Workloads: []string{"stencil3d:1x1x2:64"}, Samples: 1, Dim: 3}},
+		{"negative bytes", campaignRequest{Workloads: []string{"perm:-4"}, Samples: 1, Dim: 3}},
+		{"empty workload", campaignRequest{Workloads: []string{""}, Samples: 1, Dim: 3}},
+	}
+	for _, c := range cases {
+		if status, raw := postJSON(t, ts.URL+"/v1/campaign", c.req, nil); status != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", c.name, status, raw)
+		}
+	}
+}
+
+// TestScheduleWorkloadEndpoint drives /v1/schedule with a generated
+// workload: the spec replaces the matrix, the pattern derives from the
+// content hash (deterministic across servers), and the alias spelling
+// shares the canonical cache key.
+func TestScheduleWorkloadEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2})
+	req := scheduleRequest{
+		Workload:  "halo:8x8:512",
+		Algorithm: "RS_NL",
+		Topology:  &topologyJSON{Spec: "torus:8x8"},
+	}
+	var env envelope
+	status, raw := postJSON(t, ts.URL+"/v1/schedule", req, &env)
+	if status != http.StatusOK {
+		t.Fatalf("schedule workload: status %d: %s", status, raw)
+	}
+	var res scheduleResult
+	if err := json.Unmarshal(env.Result, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Workload != "halo:8x8:512" {
+		t.Errorf("result workload %q", res.Workload)
+	}
+	if res.Matrix == nil || res.Matrix.N != 64 || len(res.Matrix.Messages) == 0 {
+		t.Fatalf("result does not echo the generated matrix: %+v", res.Matrix)
+	}
+	if res.Schedule == nil || len(res.Schedule.Phases) == 0 {
+		t.Fatal("no schedule produced")
+	}
+	if !res.LinkFree {
+		t.Error("RS_NL schedule not link-free on its torus")
+	}
+
+	// Same request on a fresh server: identical key and identical bytes
+	// (the pattern derives from the content hash, not server state).
+	_, ts2 := newTestServer(t, Options{Workers: 1})
+	var env2 envelope
+	if status, raw := postJSON(t, ts2.URL+"/v1/schedule", req, &env2); status != http.StatusOK {
+		t.Fatalf("second server: status %d: %s", status, raw)
+	}
+	if env2.Key != env.Key {
+		t.Errorf("fresh server computed key %s, first said %s", env2.Key, env.Key)
+	}
+	if string(env2.Result) != string(env.Result) {
+		t.Error("fresh server produced different result bytes for the identical workload request")
+	}
+
+	// The dregular alias shares the canonical uniform cache slot.
+	uni := scheduleRequest{Workload: "uniform:4:1024", Algorithm: "RS_N", Topology: &topologyJSON{Spec: "cube:4"}}
+	ali := scheduleRequest{Workload: "dregular:4:1024", Algorithm: "RS_N", Topology: &topologyJSON{Spec: "cube:4"}}
+	var uniEnv, aliEnv envelope
+	postJSON(t, ts.URL+"/v1/schedule", uni, &uniEnv)
+	postJSON(t, ts.URL+"/v1/schedule", ali, &aliEnv)
+	if uniEnv.Key != aliEnv.Key {
+		t.Errorf("dregular alias keyed %s, uniform %s", aliEnv.Key, uniEnv.Key)
+	}
+	if !aliEnv.Cached {
+		t.Error("alias request missed the canonical cache slot")
+	}
+}
+
+// TestScheduleWorkloadBadRequests: the schedule endpoint's workload
+// gates — exclusivity with matrix, the explicit-topology requirement,
+// and the spec caps — all answer 400.
+func TestScheduleWorkloadBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	mj := testMatrix(t, 8, 2, 64, 5)
+	cases := []struct {
+		name string
+		req  scheduleRequest
+	}{
+		{"workload plus matrix", scheduleRequest{Workload: "uniform:2:64", Matrix: mj, Topology: &topologyJSON{Spec: "cube:3"}}},
+		{"workload without topology", scheduleRequest{Workload: "uniform:2:64"}},
+		{"malformed spec", scheduleRequest{Workload: "uniform:64", Topology: &topologyJSON{Spec: "cube:3"}}},
+		{"density over machine", scheduleRequest{Workload: "uniform:8:64", Topology: &topologyJSON{Spec: "cube:3"}}},
+		{"oversized grid", scheduleRequest{Workload: "halo:4096x4096:8", Topology: &topologyJSON{Spec: "cube:3"}}},
+		{"bytes over cap", scheduleRequest{Workload: "perm:33554433", Topology: &topologyJSON{Spec: "cube:3"}}},
+		{"bitcomp on odd machine", scheduleRequest{Workload: "bitcomp:64", Topology: &topologyJSON{Spec: "ring:6"}}},
+	}
+	for _, c := range cases {
+		if status, raw := postJSON(t, ts.URL+"/v1/schedule", c.req, nil); status != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", c.name, status, raw)
+		}
+	}
+}
+
+// TestCampaignClassicKeysUnchangedByWorkloadAxis: a classic
+// densities x sizes request must hash exactly as it did before the
+// workloads field existed — the cache/identity contract across
+// versions. The pinned key was computed from the pre-workload hashing
+// scheme (grid lengths and values, samples, seed, params, topology).
+func TestCampaignClassicKeysUnchangedByWorkloadAxis(t *testing.T) {
+	req := campaignRequest{Densities: []int{2, 4}, Sizes: []int64{64, 1024}, Samples: 2, Seed: 7, Dim: 3}
+	d := comm.NewDigest()
+	d.String("campaign/v1")
+	d.Int64(2)
+	d.Int64(2)
+	d.Int64(4)
+	d.Int64(2)
+	d.Int64(64)
+	d.Int64(1024)
+	d.Int64(2)
+	d.Int64(7)
+	d.String("ipsc860")
+	d.String("topology")
+	d.String(hypercube.MustNew(3).Name())
+	if got := campaignKeyFor(t, &req); got != d.Hex() {
+		t.Errorf("classic campaign key %s, want the historical %s", got, d.Hex())
 	}
 }

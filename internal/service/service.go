@@ -4,9 +4,11 @@
 //
 // Endpoints:
 //
-//	POST /v1/schedule       communication matrix in, schedule out
+//	POST /v1/schedule       communication matrix (or workload spec) in,
+//	                        schedule out
 //	POST /v1/simulate       schedule (or AC matrix) in, predicted Result out
-//	POST /v1/campaign       async measurement grid; returns a job id
+//	POST /v1/campaign       async measurement grid (density sweep or
+//	                        workload-spec list); returns a job id
 //	GET  /v1/campaign/{id}  progress and, when done, the measured cells
 //	GET  /healthz           liveness
 //	GET  /metrics           Prometheus-style text counters
@@ -39,6 +41,7 @@ import (
 	"unsched/internal/expt"
 	"unsched/internal/ipsc"
 	"unsched/internal/sched"
+	"unsched/internal/stats"
 	"unsched/internal/topo"
 )
 
@@ -285,6 +288,10 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		writeError(w, badRequest("unknown algorithm %q", req.Algorithm))
 		return
 	}
+	if req.Workload != "" {
+		s.handleScheduleWorkload(w, r, &req)
+		return
+	}
 	m, err := resolveMatrix(req.Matrix)
 	if err != nil {
 		writeError(w, err)
@@ -300,6 +307,51 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	key := digest.Hex()
 	s.respondMemoized(w, r, key, func(wk *worker) (any, error) {
 		return buildSchedule(wk.schedCore(net), m, req.Algorithm, net, seed)
+	})
+}
+
+// handleScheduleWorkload serves /v1/schedule requests that name a
+// generated workload instead of shipping a matrix. Every gate — spec
+// grammar, structural caps, machine fit, size cap — is enforced from
+// the spec string before the O(n^2) build, which itself runs on the
+// worker pool, off the HTTP goroutine. The pattern RNG derives from
+// the request's content hash, so the same request generates the same
+// matrix on any server at any time.
+func (s *Server) handleScheduleWorkload(w http.ResponseWriter, r *http.Request, req *scheduleRequest) {
+	if req.Matrix != nil {
+		writeError(w, badRequest("matrix and workload are mutually exclusive"))
+		return
+	}
+	if req.Topology == nil {
+		writeError(w, badRequest("a workload request needs an explicit topology (the workload is sized by the machine)"))
+		return
+	}
+	net, err := buildTopology(req.Topology, 0)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	sp, err := resolveWorkloadSpec(req.Workload, net.Nodes())
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	digest := scheduleWorkloadKey(sp, req.Algorithm, net, req.Seed)
+	seed := effectiveSeed(digest)
+	key := digest.Hex()
+	s.respondMemoized(w, r, key, func(wk *worker) (any, error) {
+		patRNG := stats.NewSource(seed).StreamKeyed(sp.Key()...)
+		m, err := sp.Build(net.Nodes(), patRNG)
+		if err != nil {
+			return nil, badRequest("workload %s: %v", sp, err)
+		}
+		res, err := buildSchedule(wk.schedCore(net), m, req.Algorithm, net, seed)
+		if err != nil {
+			return nil, err
+		}
+		res.Workload = sp.String()
+		res.Matrix = matrixWire(m)
+		return res, nil
 	})
 }
 

@@ -12,6 +12,7 @@ import (
 	"unsched/internal/hypercube"
 	"unsched/internal/sched"
 	"unsched/internal/topo"
+	"unsched/internal/workload"
 )
 
 // maxRequestBytes bounds a request body. Bodies are decoded on the
@@ -75,17 +76,29 @@ type topologyJSON struct {
 	Spec  string   `json:"spec,omitempty"`
 }
 
-// scheduleRequest is the body of POST /v1/schedule.
+// scheduleRequest is the body of POST /v1/schedule. The pattern to
+// schedule comes in one of two mutually exclusive forms: an explicit
+// matrix, or a workload spec the service generates server-side
+// (deterministically, from the request's content hash) against an
+// explicitly sized topology.
 type scheduleRequest struct {
-	Matrix *matrixJSON `json:"matrix"`
+	Matrix *matrixJSON `json:"matrix,omitempty"`
+	// Workload names a generated pattern by its canonical spec
+	// ("uniform:8:4096", "halo:64x64:512", ... — see
+	// workload.ParseSpec). Requires an explicit topology (the spec is
+	// machine-sized at build time) and excludes Matrix. The spec
+	// participates in the cache key, and the generated matrix is
+	// returned in the result so the client can feed /v1/simulate.
+	Workload string `json:"workload,omitempty"`
 	// Algorithm is AC, LP, RS_N, RS_NL, RS_NL_SZ, GREEDY, GREEDY_LF,
 	// or "auto" (the default) for the paper's Figure-5 policy.
 	Algorithm string        `json:"algorithm,omitempty"`
 	Topology  *topologyJSON `json:"topology,omitempty"`
-	// Seed perturbs the randomized schedulers. It is part of the cache
-	// key; the effective RNG seed is derived from the full request
-	// content, so identical requests always produce identical
-	// schedules, seed field present or not.
+	// Seed perturbs the randomized schedulers and the generated
+	// workload. It is part of the cache key; the effective RNG seed is
+	// derived from the full request content, so identical requests
+	// always produce identical patterns and schedules, seed field
+	// present or not.
 	Seed int64 `json:"seed,omitempty"`
 }
 
@@ -106,6 +119,13 @@ type scheduleResult struct {
 	// Chosen is the concrete algorithm that ran ("auto" resolves here).
 	Chosen   string `json:"chosen"`
 	Topology string `json:"topology"`
+	// Workload is the canonical spec of a server-generated pattern
+	// (requests that sent an explicit matrix omit it).
+	Workload string `json:"workload,omitempty"`
+	// Matrix echoes the server-generated pattern for workload requests,
+	// so the client can hand it to /v1/simulate (AC runs need it) or
+	// inspect what was scheduled.
+	Matrix *matrixJSON `json:"matrix,omitempty"`
 	// Seed is the effective RNG seed, derived from the request content.
 	Seed     int64         `json:"seed"`
 	LinkFree bool          `json:"link_free"`
@@ -427,6 +447,23 @@ func scheduleKey(m *comm.Matrix, algorithm string, net topo.Topology, seed int64
 	d := comm.NewDigest()
 	d.String("schedule/v1")
 	m.Fingerprint(d)
+	d.String(algorithm)
+	fingerprintTopology(d, net)
+	d.Int64(seed)
+	return d
+}
+
+// scheduleWorkloadKey hashes everything that determines a /v1/schedule
+// response for a server-generated workload: the canonical spec (so an
+// alias spelling shares the cache slot of its canonical form),
+// algorithm, topology, and the client seed. The generated pattern
+// itself derives from this hash, so it needs no fingerprint of its
+// own.
+func scheduleWorkloadKey(sp workload.Spec, algorithm string, net topo.Topology, seed int64) *comm.Digest {
+	d := comm.NewDigest()
+	d.String("schedule/v1")
+	d.String("workload")
+	d.String(sp.String())
 	d.String(algorithm)
 	fingerprintTopology(d, net)
 	d.Int64(seed)

@@ -1,0 +1,50 @@
+// Allocation-regression test for the matrix-reuse path campaign
+// workers run on: regenerating a workload into a per-worker matrix
+// must not silently grow back toward the O(n^2) fresh-build cost.
+// Excluded under the race detector: its instrumentation changes
+// allocation counts.
+//
+//go:build !race
+
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"unsched/internal/comm"
+)
+
+// Budgets for BuildInto on a warm 64-node matrix. The dominant cost of
+// the fresh path — the n^2 matrix itself — is gone; what remains is
+// the generator's own scratch (a permutation slice and shuffle
+// closures for uniform, the d-slot displacement map for scatter). A
+// reintroduced per-cell matrix allocation blows past either budget.
+const (
+	allocBudgetUniformInto = 12
+	allocBudgetScatterInto = 12
+)
+
+func TestBuildIntoAllocs(t *testing.T) {
+	cases := []struct {
+		spec   string
+		budget float64
+	}{
+		{"uniform:16:1024", allocBudgetUniformInto},
+		{"scatter:16:1024", allocBudgetScatterInto},
+	}
+	for _, c := range cases {
+		sp := MustParseSpec(c.spec)
+		m := comm.MustNew(64)
+		rng := rand.New(rand.NewSource(9))
+		build := func() {
+			if err := sp.BuildInto(m, rng); err != nil {
+				t.Fatal(err)
+			}
+		}
+		build() // warm
+		if got := testing.AllocsPerRun(20, build); got > c.budget {
+			t.Errorf("%s: BuildInto on a reused matrix: %.1f allocs/run, budget %.0f", c.spec, got, c.budget)
+		}
+	}
+}

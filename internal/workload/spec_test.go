@@ -1,0 +1,329 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"unsched/internal/comm"
+)
+
+// allSpecs is one representative of every kind, all buildable on a
+// 16-node machine.
+var allSpecs = []string{
+	"uniform:4:1024",
+	"scatter:4:1024",
+	"hotspot:4:1024:2",
+	"halo:8x8:512",
+	"spmv:6:8",
+	"perm:2048",
+	"transpose:4096",
+	"shift:3:1024",
+	"stencil3d:4x4x4:64",
+	"bitcomp:1024",
+	"alltoall:256",
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	for _, s := range allSpecs {
+		sp, err := ParseSpec(s)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if got := sp.String(); got != s {
+			t.Errorf("%s: canonical form %q", s, got)
+		}
+		again, err := ParseSpec(sp.String())
+		if err != nil {
+			t.Fatalf("%s: reparse: %v", s, err)
+		}
+		if again != sp {
+			t.Errorf("%s: reparse %+v != %+v", s, again, sp)
+		}
+	}
+}
+
+func TestSpecAliases(t *testing.T) {
+	sp, err := ParseSpec("dregular:8:4096")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Kind != "uniform" || sp.String() != "uniform:8:4096" {
+		t.Errorf("dregular alias parsed to %q", sp.String())
+	}
+	if sp != UniformSpec(8, 4096) {
+		t.Errorf("alias %+v != UniformSpec", sp)
+	}
+}
+
+func TestSpecParseRejects(t *testing.T) {
+	bad := []string{
+		"",
+		"uniform",
+		"uniform:",
+		"uniform:4",
+		"uniform:4:1024:9",
+		"uniform:x:1024",
+		"uniform:0:1024",
+		"uniform:4:0",
+		"uniform:4:-5",
+		"uniform:4:9999999999999999999",
+		"scatter:4",
+		"hotspot:4:1024",
+		"hotspot:4:1024:0",
+		"halo:8:512",
+		"halo:1x8:512",
+		"halo:8x8x8:512",
+		"halo:99999x99999:512",
+		"spmv:0:8",
+		"spmv:6:8:1",
+		"spmv:65:8",
+		"perm:0",
+		"perm:1:2",
+		"transpose:-1",
+		"shift:0:1024",
+		"shift:3",
+		"stencil3d:4x4:64",
+		"stencil3d:0x4x4:64",
+		"stencil3d:2000x2000x2000:64",
+		"bitcomp:",
+		"alltoall:0",
+		"klein:4:1024",
+		"uniform:2000000:1024",
+	}
+	for _, s := range bad {
+		if sp, err := ParseSpec(s); err == nil {
+			t.Errorf("ParseSpec(%q) accepted as %+v", s, sp)
+		}
+	}
+}
+
+// TestSpecRoundTripRandomized: random structured specs that pass
+// Validate must survive String -> ParseSpec unchanged.
+func TestSpecRoundTripRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	make := []func() Spec{
+		func() Spec { return UniformSpec(1+rng.Intn(100), 1+rng.Int63n(1<<20)) },
+		func() Spec { return ScatterSpec(1+rng.Intn(100), 1+rng.Int63n(1<<20)) },
+		func() Spec { return HotSpotSpec(1+rng.Intn(100), 1+rng.Int63n(1<<20), 1+rng.Intn(32)) },
+		func() Spec { return HaloSpec(2+rng.Intn(100), 2+rng.Intn(100), 1+rng.Int63n(1<<20)) },
+		func() Spec { return SpMVSpec(1+rng.Intn(64), 1+rng.Int63n(1<<16)) },
+		func() Spec { return PermSpec(1 + rng.Int63n(1<<20)) },
+		func() Spec { return TransposeSpec(1 + rng.Int63n(1<<20)) },
+		func() Spec { return ShiftSpec(1+rng.Intn(1000), 1+rng.Int63n(1<<20)) },
+		func() Spec {
+			return Stencil3DSpec(1+rng.Intn(32), 1+rng.Intn(32), 1+rng.Intn(32), 1+rng.Int63n(1<<16))
+		},
+		func() Spec { return BitCompSpec(1 + rng.Int63n(1<<20)) },
+		func() Spec { return AllToAllSpec(1 + rng.Int63n(1<<20)) },
+	}
+	for i := 0; i < 200; i++ {
+		sp := make[rng.Intn(len(make))]()
+		if err := sp.Validate(); err != nil {
+			t.Fatalf("%+v: %v", sp, err)
+		}
+		back, err := ParseSpec(sp.String())
+		if err != nil {
+			t.Fatalf("%s: %v", sp, err)
+		}
+		if back != sp {
+			t.Errorf("round trip %+v -> %q -> %+v", sp, sp.String(), back)
+		}
+	}
+}
+
+// TestSpecBuildsValidMatrix: every spec builds a structurally valid
+// matrix on every machine size it admits — no self sends, no negative
+// sizes, and the degree/density bounds its kind promises.
+func TestSpecBuildsValidMatrix(t *testing.T) {
+	for _, n := range []int{4, 16, 64} {
+		for _, s := range allSpecs {
+			sp := MustParseSpec(s)
+			if err := sp.ValidateFor(n); err != nil {
+				continue // e.g. transpose on a non-square n
+			}
+			m, err := sp.Build(n, rand.New(rand.NewSource(11)))
+			if err != nil {
+				t.Fatalf("n=%d %s: %v", n, s, err)
+			}
+			if err := m.Validate(); err != nil {
+				t.Errorf("n=%d %s: invalid matrix: %v", n, s, err)
+			}
+			switch sp.Kind {
+			case "uniform":
+				for i := 0; i < n; i++ {
+					if m.SendDegree(i) != sp.D || m.RecvDegree(i) != sp.D {
+						t.Errorf("n=%d %s: node %d degrees %d/%d, want %d", n, s, i, m.SendDegree(i), m.RecvDegree(i), sp.D)
+					}
+				}
+			case "scatter", "hotspot":
+				for i := 0; i < n; i++ {
+					if m.SendDegree(i) != sp.D {
+						t.Errorf("n=%d %s: node %d send degree %d, want %d", n, s, i, m.SendDegree(i), sp.D)
+					}
+				}
+			case "perm", "shift", "bitcomp":
+				if m.Density() != 1 {
+					t.Errorf("n=%d %s: density %d, want 1", n, s, m.Density())
+				}
+			case "transpose":
+				if m.Density() != 1 {
+					t.Errorf("n=%d %s: density %d, want 1", n, s, m.Density())
+				}
+			case "alltoall":
+				if m.Density() != n-1 {
+					t.Errorf("n=%d %s: density %d, want %d", n, s, m.Density(), n-1)
+				}
+			case "spmv":
+				// Receive side bounded by nnz per row times rows per proc.
+				for i := 0; i < n; i++ {
+					if m.RecvDegree(i) > n-1 {
+						t.Errorf("n=%d %s: impossible recv degree", n, s)
+					}
+				}
+			}
+			if hint := sp.DensityHint(n); hint > 0 {
+				if got := m.Density(); sp.Kind != "scatter" && sp.Kind != "hotspot" && got != hint {
+					// scatter/hotspot receive degrees may exceed D.
+					if sp.Kind == "uniform" || got < hint {
+						t.Errorf("n=%d %s: density %d, hint %d", n, s, got, hint)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSpecBuildDeterministic: identical seed, identical matrix — also
+// when regenerated into a dirty reused buffer, the reuse contract the
+// campaign workers rely on.
+func TestSpecBuildDeterministic(t *testing.T) {
+	const n = 16
+	reused := comm.MustNew(n)
+	for _, s := range allSpecs {
+		sp := MustParseSpec(s)
+		a, err := sp.Build(n, rand.New(rand.NewSource(3)))
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		b, err := sp.Build(n, rand.New(rand.NewSource(3)))
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if !a.Equal(b) {
+			t.Errorf("%s: same seed, different matrices", s)
+		}
+		if err := comm.AllToAllInto(reused, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := sp.BuildInto(reused, rand.New(rand.NewSource(3))); err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if !reused.Equal(a) {
+			t.Errorf("%s: BuildInto over a dirty matrix differs from fresh build", s)
+		}
+	}
+}
+
+// TestSpecKeysDistinct: no two distinct specs may share a stream key,
+// and no non-uniform key may collide with any plausible uniform
+// (D, BYTES) key — uniform keys are all-positive, every other kind
+// leads with a negative tag.
+func TestSpecKeysDistinct(t *testing.T) {
+	seen := map[string]string{}
+	specs := append([]string{}, allSpecs...)
+	specs = append(specs, "uniform:8:1024", "scatter:8:1024", "shift:8:1024", "spmv:8:1024", "hotspot:8:1024:8")
+	for _, s := range specs {
+		sp := MustParseSpec(s)
+		key := fmt.Sprint(sp.Key())
+		if prev, dup := seen[key]; dup {
+			t.Errorf("specs %s and %s share stream key %s", prev, s, key)
+		}
+		seen[key] = s
+		if sp.Kind != "uniform" && sp.Key()[0] >= 0 {
+			t.Errorf("%s: non-uniform key must lead with a negative tag, got %v", s, sp.Key())
+		}
+	}
+	// The uniform key is the bare historical (D, BYTES) tuple.
+	if got := fmt.Sprint(UniformSpec(4, 1024).Key()); got != "[4 1024]" {
+		t.Errorf("uniform key = %s, want [4 1024]", got)
+	}
+}
+
+func TestSpecValidateFor(t *testing.T) {
+	cases := []struct {
+		spec string
+		n    int
+		ok   bool
+	}{
+		{"uniform:4:1024", 4, false}, // d >= n
+		{"uniform:4:1024", 5, true},
+		{"hotspot:2:64:9", 8, false}, // hot > n
+		{"halo:8x8:64", 128, false},  // fewer elements than nodes
+		{"halo:8x8:64", 64, true},
+		{"transpose:64", 8, false}, // non-square
+		{"transpose:64", 16, true},
+		{"shift:8:64", 8, false}, // k % n == 0
+		{"shift:8:64", 6, true},
+		{"stencil3d:2x2x2:64", 16, false},
+		{"stencil3d:2x2x2:64", 8, true},
+		{"bitcomp:64", 12, false}, // not a power of two
+		{"bitcomp:64", 16, true},
+		{"alltoall:64", 2, true},
+		{"perm:64", 1, false},
+	}
+	for _, c := range cases {
+		sp := MustParseSpec(c.spec)
+		err := sp.ValidateFor(c.n)
+		if (err == nil) != c.ok {
+			t.Errorf("%s on n=%d: err=%v, want ok=%v", c.spec, c.n, err, c.ok)
+		}
+	}
+}
+
+// TestSpecMaxMessageBytes: the per-message bound services gate on is
+// the bare size for fixed-size kinds and the boundary-cross-section
+// multiple for the aggregating kinds.
+func TestSpecMaxMessageBytes(t *testing.T) {
+	if got := MustParseSpec("uniform:8:4096").MaxMessageBytes(); got != 4096 {
+		t.Errorf("uniform bound %d", got)
+	}
+	if got := MustParseSpec("halo:64x64:512").MaxMessageBytes(); got != 512*16*64 {
+		t.Errorf("halo bound %d", got)
+	}
+	if got := MustParseSpec("stencil3d:8x4x2:64").MaxMessageBytes(); got != 64*12*4*2 {
+		t.Errorf("stencil bound %d", got)
+	}
+	if got := MustParseSpec("spmv:8:8").MaxMessageBytes(); got != 8*2*spmvRowsPerProc {
+		t.Errorf("spmv bound %d", got)
+	}
+}
+
+func TestSpecDensityHintAndBytes(t *testing.T) {
+	if got := MustParseSpec("uniform:8:4096").DensityHint(64); got != 8 {
+		t.Errorf("uniform hint %d", got)
+	}
+	if got := MustParseSpec("alltoall:64").DensityHint(16); got != 15 {
+		t.Errorf("alltoall hint %d", got)
+	}
+	if got := MustParseSpec("halo:8x8:64").DensityHint(16); got != 0 {
+		t.Errorf("halo hint %d, want 0 (data-dependent)", got)
+	}
+	if got := MustParseSpec("perm:512").MsgBytes(); got != 512 {
+		t.Errorf("perm bytes %d", got)
+	}
+}
+
+func TestSpecInvalidZeroValue(t *testing.T) {
+	var sp Spec
+	if err := sp.Validate(); err == nil {
+		t.Error("zero Spec validated")
+	}
+	if !strings.HasPrefix(sp.String(), "invalid:") {
+		t.Errorf("zero Spec renders %q", sp.String())
+	}
+	if _, err := sp.Build(8, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("zero Spec built")
+	}
+}
