@@ -255,8 +255,12 @@ func NewExperimentRunner(cfg ExperimentConfig, parallelism int) *ExperimentRunne
 // of reusable SimMachines and are memoized by a canonical content hash
 // of (matrix, algorithm, topology, params), POST /v1/campaign runs
 // measurement grids asynchronously, and a full queue answers 429.
-// Close the server to drain workers and cancel campaigns.
-func NewServer(opts ServerOptions) *Server { return service.NewServer(opts) }
+// Setting ServerOptions.CacheDir persists the memoization cache to
+// disk and warm-restarts from it, so a rebooted daemon serves
+// previously computed responses without recomputing; the only error is
+// an unusable cache directory. Close the server to drain workers,
+// cancel campaigns, and flush queued cache records.
+func NewServer(opts ServerOptions) (*Server, error) { return service.NewServer(opts) }
 
 // NewSimMachine returns a reusable simulator for the topology and
 // timing model. One machine drives many runs through its RunS1/RunS2/

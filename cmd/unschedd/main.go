@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	unschedd [-addr :8080] [-workers 0] [-queue 0] [-cache 4096] [-campaigns 2]
+//	unschedd [-addr :8080] [-workers 0] [-queue 0] [-cache 4096]
+//	         [-cache-dir DIR] [-campaigns 2]
 //
 // Endpoints (see internal/service for the wire formats):
 //
@@ -18,6 +19,13 @@
 // The daemon sheds load with 429 when its bounded queue is full and
 // shuts down gracefully on SIGINT/SIGTERM: in-flight requests finish,
 // running campaigns are cancelled, then the process exits.
+//
+// With -cache-dir, the content-addressed schedule cache is persisted
+// to disk (asynchronously; the request path never waits on fsync) and
+// warm-restarted on boot: a restarted daemon serves previously
+// computed responses byte-identically as cache hits instead of
+// re-paying every O(n^2) schedule. Corrupt or truncated records are
+// skipped and counted on /metrics, never fatal.
 package main
 
 import (
@@ -39,16 +47,22 @@ func main() {
 	workers := flag.Int("workers", 0, "worker goroutines; 0 means GOMAXPROCS")
 	queue := flag.Int("queue", 0, "request queue depth before 429; 0 means 4x workers")
 	cache := flag.Int("cache", 4096, "schedule cache entries; negative disables caching")
+	cacheDir := flag.String("cache-dir", "", "directory for disk-backed cache persistence; empty keeps the cache in memory only")
 	campaigns := flag.Int("campaigns", 2, "maximum concurrently running campaigns")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown deadline")
 	flag.Parse()
 
-	svc := service.NewServer(service.Options{
+	svc, err := service.NewServer(service.Options{
 		Workers:      *workers,
 		QueueDepth:   *queue,
 		CacheEntries: *cache,
+		CacheDir:     *cacheDir,
 		MaxCampaigns: *campaigns,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "unschedd:", err)
+		os.Exit(1)
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           svc,

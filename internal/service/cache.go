@@ -3,7 +3,6 @@ package service
 import (
 	"container/list"
 	"sync"
-	"sync/atomic"
 )
 
 // scheduleCache is a sharded, size-bounded LRU keyed by the hex
@@ -11,11 +10,12 @@ import (
 // the handlers memoize, so a hit is served byte-identically to the
 // response that populated it. Sharding by the first byte of the key
 // (hashes are uniform, so shards balance) keeps lock hold times short
-// under concurrent load.
+// under concurrent load. Hit/miss accounting lives on the Server, not
+// here: only the caller knows whether a lookup was a real miss (a
+// computation) or a single-flight follower probe, and warm-restart
+// loads must not count at all.
 type scheduleCache struct {
 	shards [cacheShards]cacheShard
-	hits   atomic.Int64
-	misses atomic.Int64
 }
 
 const cacheShards = 16
@@ -88,11 +88,9 @@ func (c *scheduleCache) get(key string) ([]byte, bool) {
 	defer s.mu.Unlock()
 	el, ok := s.items[key]
 	if !ok {
-		c.misses.Add(1)
 		return nil, false
 	}
 	s.order.MoveToFront(el)
-	c.hits.Add(1)
 	return el.Value.(*cacheEntry).value, true
 }
 

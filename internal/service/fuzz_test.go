@@ -1,6 +1,7 @@
 package service
 
 import (
+	"bytes"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -18,7 +19,10 @@ var (
 
 func fuzzServer() *Server {
 	fuzzOnce.Do(func() {
-		fuzzSrv = NewServer(Options{Workers: 2, QueueDepth: 16, CacheEntries: 64})
+		var err error
+		if fuzzSrv, err = NewServer(Options{Workers: 2, QueueDepth: 16, CacheEntries: 64}); err != nil {
+			panic(err)
+		}
 	})
 	return fuzzSrv
 }
@@ -89,6 +93,40 @@ func FuzzCampaignRequest(f *testing.F) {
 		srv.ServeHTTP(rec, req) // must not panic
 		if rec.Code == 0 {
 			t.Fatalf("no status written for input %q", body)
+		}
+	})
+}
+
+// FuzzCacheRecord drives the on-disk cache-record decoder with
+// arbitrary bytes: a vandalized cache directory must cost at most a
+// skipped record, never a panicking daemon. When an input does decode,
+// it must round-trip — re-encoding the (key, value) reproduces the
+// exact input bytes, so every accepted record is one encodeRecord
+// could have written.
+func FuzzCacheRecord(f *testing.F) {
+	if rec, err := encodeRecord(strings.Repeat("ab", 32), []byte(`{"result":1}`)); err == nil {
+		f.Add(rec)
+		f.Add(rec[:len(rec)-3])   // truncated
+		f.Add(append(rec, 0x00))  // trailing garbage
+		f.Add(bytes.ToUpper(rec)) // flipped magic/body bytes
+	}
+	if rec, err := encodeRecord("aa", nil); err == nil {
+		f.Add(rec)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("USCR"))
+	f.Add([]byte{'U', 'S', 'C', 'R', 1, 255, 255, 255, 255, 255})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		key, value, err := decodeRecord(b) // must not panic
+		if err != nil {
+			return
+		}
+		re, err := encodeRecord(key, value)
+		if err != nil {
+			t.Fatalf("decoded record re-encodes with error: %v", err)
+		}
+		if !bytes.Equal(re, b) {
+			t.Fatalf("decode/encode round trip changed the record:\n in: %x\nout: %x", b, re)
 		}
 	})
 }

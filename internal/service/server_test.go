@@ -25,7 +25,10 @@ import (
 
 func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
 	t.Helper()
-	svc := NewServer(opts)
+	svc, err := NewServer(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(svc)
 	t.Cleanup(func() {
 		ts.Close()
@@ -150,7 +153,7 @@ func TestScheduleCacheHitIsByteIdentical(t *testing.T) {
 	if !bytes.Equal(first.Result, second.Result) {
 		t.Fatal("cache hit returned different result bytes")
 	}
-	if hits := svc.cache.hits.Load(); hits != 1 {
+	if hits := svc.cacheHits[epSchedule].Load(); hits != 1 {
 		t.Fatalf("cache hits = %d, want 1", hits)
 	}
 
@@ -465,9 +468,14 @@ func TestMetricsEndpoint(t *testing.T) {
 	text := string(raw)
 	for _, want := range []string{
 		`unschedd_requests_total{endpoint="schedule"} 2`,
-		"unschedd_cache_hits_total 1",
-		"unschedd_cache_misses_total 1",
+		`unschedd_cache_hits_total{endpoint="schedule"} 1`,
+		`unschedd_cache_misses_total{endpoint="schedule"} 1`,
+		`unschedd_cache_hits_total{endpoint="simulate"} 0`,
+		"unschedd_flight_dedup_total 0",
 		"unschedd_cache_entries 1",
+		"unschedd_cache_warm_loaded_entries 0",
+		"unschedd_disk_load_errors_total 0",
+		"unschedd_disk_write_errors_total 0",
 		"unschedd_workers 1",
 		"unschedd_queue_capacity 4",
 	} {
@@ -651,7 +659,10 @@ func TestScheduleRejectsPhaseFlood(t *testing.T) {
 }
 
 func TestOversizedBodyIs413(t *testing.T) {
-	svc := NewServer(Options{Workers: 1})
+	svc, err := NewServer(Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer svc.Close()
 	req := httptest.NewRequest(http.MethodPost, "/v1/schedule", strings.NewReader("{}"))
 	req.ContentLength = maxRequestBytes + 1
@@ -663,7 +674,10 @@ func TestOversizedBodyIs413(t *testing.T) {
 }
 
 func TestCloseRefusesNewWork(t *testing.T) {
-	svc := NewServer(Options{Workers: 1})
+	svc, err := NewServer(Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(svc)
 	defer ts.Close()
 	svc.Close()
@@ -836,7 +850,10 @@ func TestCampaignDonePinnedAtCompletion(t *testing.T) {
 // not a server failure) and must not count as a rejection. Before the
 // fix it was a 503, inflating server-error rates for client hangups.
 func TestFollowerClientGoneIs499(t *testing.T) {
-	svc := NewServer(Options{Workers: 1, QueueDepth: 4})
+	svc, err := NewServer(Options{Workers: 1, QueueDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer svc.Close()
 
 	// Hold the flight for key ourselves, playing the leader mid-compute:
@@ -853,7 +870,7 @@ func TestFollowerClientGoneIs499(t *testing.T) {
 	cancel()
 	rec := httptest.NewRecorder()
 	req := httptest.NewRequest(http.MethodPost, "/v1/schedule", nil).WithContext(ctx)
-	svc.respondMemoized(rec, req, key, func(wk *worker) (any, error) {
+	svc.respondMemoized(rec, req, epSchedule, key, func(wk *worker) (any, error) {
 		t.Error("follower must not compute")
 		return nil, nil
 	})

@@ -24,6 +24,17 @@
 // comm.Digest. Randomized schedulers draw their RNG seed from that
 // same hash, so a repeated identical request is not just a cache hit:
 // even after eviction it recomputes the bit-identical schedule.
+//
+// With Options.CacheDir set, the cache is also persisted to disk and
+// warm-restarted: every computed response is written through
+// asynchronously (the request path never waits on fsync) as a
+// checksummed, self-describing record file, and NewServer reloads the
+// newest records — up to the entry and byte bounds — before serving,
+// so a restarted daemon answers previously computed requests
+// byte-identically from the cache. Corrupt or truncated records are
+// skipped, deleted, and counted on /metrics, never fatal; Close
+// flushes the pending write batch. See persist.go for the record
+// format.
 package service
 
 import (
@@ -64,6 +75,17 @@ type Options struct {
 	// MaxCampaignJobs bounds retained campaign jobs (running or
 	// finished); <= 0 means 64.
 	MaxCampaignJobs int
+	// CacheDir enables disk persistence of the memoization cache: every
+	// computed response is written through (asynchronously, batched) as
+	// a checksummed record file, and NewServer warm-starts the cache
+	// from the newest records already there. Empty keeps today's
+	// memory-only behavior. Ignored when caching is disabled
+	// (CacheEntries < 0) — there is nothing to persist.
+	CacheDir string
+	// CacheDiskBytes bounds the total bytes retained under CacheDir;
+	// the oldest records are garbage-collected past it. <= 0 means
+	// 256 MB.
+	CacheDiskBytes int64
 }
 
 func (o Options) withDefaults() Options {
@@ -85,6 +107,9 @@ func (o Options) withDefaults() Options {
 	if o.MaxCampaignJobs <= 0 {
 		o.MaxCampaignJobs = 64
 	}
+	if o.CacheDiskBytes <= 0 {
+		o.CacheDiskBytes = 256 << 20
+	}
 	return o
 }
 
@@ -98,6 +123,10 @@ type Server struct {
 	cache     *scheduleCache
 	flights   *flightGroup
 	campaigns *campaignRegistry
+	// disk is the persistence layer under cache; nil when CacheDir is
+	// unset (memory-only). Writes go through asynchronously; reads
+	// happen once, at startup, to warm the memory cache.
+	disk *diskStore
 	// tables shares precomputed route tables daemon-wide: synchronous
 	// workers and campaign runners all draw from it, so the
 	// O(n^2*diameter) precompute happens once per topology per daemon.
@@ -110,6 +139,16 @@ type Server struct {
 	requests  [4]atomic.Int64 // by endpoint index below
 	rejected  atomic.Int64
 	totalJobs atomic.Int64
+
+	// Cache observability. Hits and misses are per memoizing endpoint
+	// (epSchedule, epSimulate) and count what actually happened: a hit
+	// is a response served from the cache, a miss is a computation —
+	// single-flight followers count in flightDedup and nowhere else, so
+	// hits/(hits+misses) is the true cache ratio.
+	cacheHits   [2]atomic.Int64
+	cacheMisses [2]atomic.Int64
+	flightDedup atomic.Int64
+	warmLoaded  atomic.Int64 // entries restored from disk at startup
 }
 
 // endpoint indices for the requests counter.
@@ -128,8 +167,14 @@ var endpointNames = [4]string{"schedule", "simulate", "campaign", "campaign_stat
 const statusClientClosedRequest = 499
 
 // NewServer returns a ready-to-serve instance with its worker pool
-// started.
-func NewServer(opts Options) *Server {
+// started. When opts.CacheDir is set it also opens the disk store and
+// warm-restarts the cache from it: the newest persisted records (up to
+// the entry bound) are loaded back, corrupt or truncated ones skipped
+// and counted, so a rebooted daemon serves previously computed
+// responses byte-identically without recomputing. The only error path
+// is an unusable cache directory — a misconfigured daemon must fail
+// loudly, not silently run memory-only.
+func NewServer(opts Options) (*Server, error) {
 	opts = opts.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
 	tables := newTableCache()
@@ -144,13 +189,26 @@ func NewServer(opts Options) *Server {
 		ctx:       ctx,
 		cancel:    cancel,
 	}
+	if opts.CacheDir != "" && opts.CacheEntries > 0 {
+		disk, err := newDiskStore(opts.CacheDir, opts.CacheEntries, opts.CacheDiskBytes)
+		if err != nil {
+			cancel()
+			s.pool.close()
+			return nil, fmt.Errorf("service: cache dir %s: %w", opts.CacheDir, err)
+		}
+		// Load before starting the writer so warm restart never races a
+		// GC pass; loaded entries skip the hit/miss counters entirely.
+		s.warmLoaded.Store(int64(disk.load(s.cache.put)))
+		disk.start()
+		s.disk = disk
+	}
 	s.mux.HandleFunc("POST /v1/schedule", s.handleSchedule)
 	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
 	s.mux.HandleFunc("POST /v1/campaign", s.handleCampaign)
 	s.mux.HandleFunc("GET /v1/campaign/{id}", s.handleCampaignStatus)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return s
+	return s, nil
 }
 
 // ServeHTTP implements http.Handler.
@@ -160,11 +218,15 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 // Close shuts the service down: new work is refused, queued tasks
 // drain, and running campaigns are cancelled. It blocks until every
-// worker and campaign goroutine has exited.
+// worker and campaign goroutine has exited, then flushes every queued
+// cache record to disk — the durability point of a clean shutdown.
 func (s *Server) Close() {
 	s.cancel()
 	s.pool.close()
 	s.wg.Wait()
+	if s.disk != nil {
+		s.disk.close()
+	}
 }
 
 // --- response plumbing ----------------------------------------------
@@ -213,14 +275,23 @@ func (s *Server) runTask(fn func(w *worker)) error {
 // worker pool). Concurrent misses on the same key are single-flighted:
 // one leader computes, the rest wait for its bytes instead of occupying
 // workers with identical recomputation.
-func (s *Server) respondMemoized(w http.ResponseWriter, r *http.Request, key string,
+//
+// ep is the endpoint index (epSchedule/epSimulate) the hit/miss
+// counters are kept under. The accounting reflects what actually
+// happened: a hit is a response served from the cache, a miss is a
+// computation the leader performed, and a flight-served follower
+// counts only in flightDedup — its probe of the cache is not a second
+// miss, because nothing was computed for it.
+func (s *Server) respondMemoized(w http.ResponseWriter, r *http.Request, ep int, key string,
 	compute func(w *worker) (any, error)) {
 	if raw, ok := s.cache.get(key); ok {
+		s.cacheHits[ep].Add(1)
 		writeJSON(w, http.StatusOK, envelope{Key: key, Cached: true, Result: raw})
 		return
 	}
 	call, leader := s.flights.join(key)
 	if !leader {
+		s.flightDedup.Add(1)
 		select {
 		case <-call.done:
 		case <-r.Context().Done():
@@ -240,6 +311,7 @@ func (s *Server) respondMemoized(w http.ResponseWriter, r *http.Request, key str
 		writeJSON(w, http.StatusOK, envelope{Key: key, Cached: true, Result: call.raw})
 		return
 	}
+	s.cacheMisses[ep].Add(1)
 	raw, err := func() ([]byte, error) {
 		var (
 			result any
@@ -256,7 +328,7 @@ func (s *Server) respondMemoized(w http.ResponseWriter, r *http.Request, key str
 	// Populate the cache before retiring the flight so no request can
 	// slip between the two and recompute.
 	if err == nil {
-		s.cache.put(key, raw)
+		s.cachePut(key, raw)
 	}
 	s.flights.finish(key, call, raw, err)
 	if err != nil {
@@ -266,12 +338,23 @@ func (s *Server) respondMemoized(w http.ResponseWriter, r *http.Request, key str
 	writeJSON(w, http.StatusOK, envelope{Key: key, Cached: false, Result: raw})
 }
 
+// cachePut memoizes a computed response in memory and, when
+// persistence is on, queues the asynchronous write-through — the hot
+// path never waits on disk.
+func (s *Server) cachePut(key string, raw []byte) {
+	s.cache.put(key, raw)
+	if s.disk != nil {
+		s.disk.enqueue(key, raw)
+	}
+}
+
 // --- /v1/schedule ---------------------------------------------------
 
-// scheduleAlgorithms are the names POST /v1/schedule accepts.
+// scheduleAlgorithms are the names POST /v1/schedule accepts: every
+// algorithm the core implements, plus "auto".
 var scheduleAlgorithms = map[string]bool{
 	"auto": true, "AC": true, "LP": true, "RS_N": true, "RS_NL": true,
-	"RS_NL_SZ": true, "GREEDY": true, "GREEDY_LF": true,
+	"RS_NL_SZ": true, "GREEDY": true, "GREEDY_LF": true, "GREEDY_LF_LINK": true,
 }
 
 func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
@@ -305,7 +388,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	digest := scheduleKey(m, req.Algorithm, net, req.Seed)
 	seed := effectiveSeed(digest)
 	key := digest.Hex()
-	s.respondMemoized(w, r, key, func(wk *worker) (any, error) {
+	s.respondMemoized(w, r, epSchedule, key, func(wk *worker) (any, error) {
 		return buildSchedule(wk.schedCore(net), m, req.Algorithm, net, seed)
 	})
 }
@@ -339,7 +422,7 @@ func (s *Server) handleScheduleWorkload(w http.ResponseWriter, r *http.Request, 
 	digest := scheduleWorkloadKey(sp, req.Algorithm, net, req.Seed)
 	seed := effectiveSeed(digest)
 	key := digest.Hex()
-	s.respondMemoized(w, r, key, func(wk *worker) (any, error) {
+	s.respondMemoized(w, r, epSchedule, key, func(wk *worker) (any, error) {
 		patRNG := stats.NewSource(seed).StreamKeyed(sp.Key()...)
 		m, err := sp.Build(net.Nodes(), patRNG)
 		if err != nil {
@@ -412,6 +495,8 @@ func buildSchedule(core *sched.Core, m *comm.Matrix, algorithm string, net topo.
 		sc, err = core.Greedy(m)
 	case "GREEDY_LF":
 		sc, err = core.GreedyLargestFirst(m)
+	case "GREEDY_LF_LINK":
+		sc, err = core.GreedyLargestFirstLinkFree(m)
 	default:
 		return nil, badRequest("unknown algorithm %q", chosen)
 	}
@@ -489,7 +574,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 
 	digest := simulateKey(sc, m, net, paramsName, protocol)
 	key := digest.Hex()
-	s.respondMemoized(w, r, key, func(wk *worker) (any, error) {
+	s.respondMemoized(w, r, epSimulate, key, func(wk *worker) (any, error) {
 		mach, err := wk.machine(net, paramsName, params)
 		if err != nil {
 			return nil, err
@@ -639,11 +724,36 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# TYPE unschedd_rejected_total counter\n")
 	fmt.Fprintf(w, "unschedd_rejected_total %d\n", s.rejected.Load())
 	fmt.Fprintf(w, "# TYPE unschedd_cache_hits_total counter\n")
-	fmt.Fprintf(w, "unschedd_cache_hits_total %d\n", s.cache.hits.Load())
+	for ep, name := range endpointNames[:2] {
+		fmt.Fprintf(w, "unschedd_cache_hits_total{endpoint=%q} %d\n", name, s.cacheHits[ep].Load())
+	}
 	fmt.Fprintf(w, "# TYPE unschedd_cache_misses_total counter\n")
-	fmt.Fprintf(w, "unschedd_cache_misses_total %d\n", s.cache.misses.Load())
+	for ep, name := range endpointNames[:2] {
+		fmt.Fprintf(w, "unschedd_cache_misses_total{endpoint=%q} %d\n", name, s.cacheMisses[ep].Load())
+	}
+	fmt.Fprintf(w, "# TYPE unschedd_flight_dedup_total counter\n")
+	fmt.Fprintf(w, "unschedd_flight_dedup_total %d\n", s.flightDedup.Load())
 	fmt.Fprintf(w, "# TYPE unschedd_cache_entries gauge\n")
 	fmt.Fprintf(w, "unschedd_cache_entries %d\n", s.cache.len())
+	fmt.Fprintf(w, "# TYPE unschedd_cache_warm_loaded_entries gauge\n")
+	fmt.Fprintf(w, "unschedd_cache_warm_loaded_entries %d\n", s.warmLoaded.Load())
+	// Disk persistence series are emitted even when persistence is off
+	// (all zero): scrapers should not need per-deployment series sets.
+	var loadErrs, writeErrs, diskRecords, diskBytes int64
+	if s.disk != nil {
+		loadErrs = s.disk.loadErrors.Load()
+		writeErrs = s.disk.writeErrors.Load()
+		diskRecords = s.disk.records.Load()
+		diskBytes = s.disk.bytes.Load()
+	}
+	fmt.Fprintf(w, "# TYPE unschedd_disk_load_errors_total counter\n")
+	fmt.Fprintf(w, "unschedd_disk_load_errors_total %d\n", loadErrs)
+	fmt.Fprintf(w, "# TYPE unschedd_disk_write_errors_total counter\n")
+	fmt.Fprintf(w, "unschedd_disk_write_errors_total %d\n", writeErrs)
+	fmt.Fprintf(w, "# TYPE unschedd_disk_records gauge\n")
+	fmt.Fprintf(w, "unschedd_disk_records %d\n", diskRecords)
+	fmt.Fprintf(w, "# TYPE unschedd_disk_bytes gauge\n")
+	fmt.Fprintf(w, "unschedd_disk_bytes %d\n", diskBytes)
 	fmt.Fprintf(w, "# TYPE unschedd_queue_depth gauge\n")
 	fmt.Fprintf(w, "unschedd_queue_depth %d\n", s.pool.depth.Load())
 	fmt.Fprintf(w, "# TYPE unschedd_queue_capacity gauge\n")

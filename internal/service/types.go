@@ -384,11 +384,31 @@ func scheduleWire(s *sched.Schedule) *scheduleJSON {
 	return out
 }
 
+// knownScheduleAlgorithms are the algorithm tags a wire schedule may
+// carry into /v1/simulate: everything the system can produce. The tag
+// picks the execution protocol under "auto" (resolveProtocol), so an
+// unknown tag must be a 400, not a silent fall-through: before this
+// set existed, the typo "RS-NL" ran under S2 — the RS_N pairing — and
+// changed the measured number instead of erroring.
+var knownScheduleAlgorithms = map[string]bool{
+	"AC": true, "LP": true, "RS_N": true, "RS_NL": true, "RS_NL_SZ": true,
+	"GREEDY": true, "GREEDY_LF": true, "GREEDY_LF_LINK": true,
+}
+
 // resolveSchedule validates the wire schedule and builds the phase
-// form, rejecting node contention and out-of-range entries.
+// form, rejecting unknown algorithm tags, node contention, and
+// out-of-range entries.
 func resolveSchedule(sj *scheduleJSON) (*sched.Schedule, error) {
 	if sj == nil {
 		return nil, badRequest("missing schedule")
+	}
+	if !knownScheduleAlgorithms[sj.Algorithm] {
+		return nil, badRequest("unknown schedule algorithm %q (want LP, RS_N, RS_NL, RS_NL_SZ, GREEDY, GREEDY_LF, or GREEDY_LF_LINK)", sj.Algorithm)
+	}
+	if sj.Algorithm == "AC" {
+		// resolveSchedule is only reached for schedules with phases; an
+		// AC run is driven by the matrix and has none.
+		return nil, badRequest("an AC schedule carries no phases; send the matrix instead")
 	}
 	n := sj.N
 	if n < 2 || n > maxServiceNodes {
