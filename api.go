@@ -99,7 +99,59 @@ type (
 	Server = service.Server
 	// ServerOptions configures a Server; the zero value is usable.
 	ServerOptions = service.Options
+	// ScheduleRequest is the body of the service's POST /v1/schedule.
+	ScheduleRequest = service.ScheduleRequest
+	// ScheduleResult is the memoized payload of a /v1/schedule response.
+	ScheduleResult = service.ScheduleResult
+	// SimulateRequest is the body of the service's POST /v1/simulate.
+	SimulateRequest = service.SimulateRequest
+	// SimulateResult is the memoized payload of a /v1/simulate response.
+	SimulateResult = service.SimulateResult
+	// ResponseEnvelope is the outer JSON document of every synchronous
+	// service response: content-hash key, cached flag, raw result.
+	ResponseEnvelope = service.Envelope
+	// ErrorEnvelope is the body of every non-2xx service response: the
+	// legacy bare message plus the versioned {code, message} detail.
+	ErrorEnvelope = service.ErrorEnvelope
+	// ErrorDetail is the structured half of an error response; branch
+	// on its stable Code, never on message text.
+	ErrorDetail = service.ErrorDetail
+	// WireMatrix is the service wire form of a communication matrix.
+	WireMatrix = service.WireMatrix
+	// WireTopology is the service wire form of a topology.
+	WireTopology = service.WireTopology
+	// WireSchedule is the service wire form of a computed schedule.
+	WireSchedule = service.WireSchedule
+	// CampaignAccepted is the 202 body of POST /v1/campaign.
+	CampaignAccepted = service.CampaignAccepted
+	// CampaignStatus is the body of GET /v1/campaign/{id}.
+	CampaignStatus = service.CampaignStatus
+	// BatchScheduleRequest is the body of POST /v1/schedule/batch.
+	BatchScheduleRequest = service.BatchScheduleRequest
+	// BatchItem is one NDJSON line of a batch response stream.
+	BatchItem = service.BatchItem
+	// BinaryResponse is a decoded binary service response envelope.
+	BinaryResponse = service.BinaryResponse
 )
+
+// Content types the service negotiates; see the README's wire-format
+// section. JSON is the default; request the compact binary envelope
+// with an Accept header; batch streams are NDJSON.
+const (
+	ContentTypeJSON   = service.ContentTypeJSON
+	ContentTypeBinary = service.ContentTypeBinary
+	ContentTypeNDJSON = service.ContentTypeNDJSON
+)
+
+// DecodeBinaryResponse parses a binary (application/x-unsched-binary)
+// service response body. The decoder is total: malformed input yields
+// an error, never a panic.
+var DecodeBinaryResponse = service.DecodeBinaryResponse
+
+// DecodeMatrixBinary parses the canonical binary wire encoding of a
+// communication matrix (the "USWM" block; Matrix.EncodeBinary writes
+// it). Total and strict: accepted payloads re-encode byte-identically.
+var DecodeMatrixBinary = comm.DecodeMatrixBinary
 
 // NewMatrix returns an empty n x n communication matrix.
 func NewMatrix(n int) (*Matrix, error) { return comm.New(n) }

@@ -1,0 +1,265 @@
+// Remote mode: with -server the CLI stops computing locally and
+// becomes a client of a running unschedd daemon, exercising the same
+// public wire surface any other client would use — JSON by default,
+// the compact binary envelope with -binary, and the NDJSON batch
+// stream with -batch. The pattern travels as a workload spec when it
+// was generated (the daemon rebuilds it deterministically from the
+// request's content hash) and as explicit triples when -load gave us
+// a concrete matrix.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"unsched"
+	"unsched/internal/comm"
+)
+
+// remoteWorkload maps the CLI's named patterns onto the canonical
+// workload spec grammar the daemon speaks. Specs (anything with a
+// colon) pass through untouched.
+func remoteWorkload(pattern string, d int, bytes int64) (string, error) {
+	if strings.Contains(pattern, ":") {
+		return pattern, nil
+	}
+	switch pattern {
+	case "dregular", "random":
+		name := pattern
+		if name == "random" {
+			name = "uniform"
+		}
+		return fmt.Sprintf("%s:%d:%d", name, d, bytes), nil
+	case "bitcomp", "alltoall":
+		return fmt.Sprintf("%s:%d", pattern, bytes), nil
+	default:
+		return "", fmt.Errorf("pattern %q has no remote form; pass a workload spec (e.g. hotspot:8:4096:4)", pattern)
+	}
+}
+
+// remoteTopology renders the -topo/-n flags as a topology spec string.
+func remoteTopology(name string, n int) (string, error) {
+	switch name {
+	case "cube":
+		dim := 0
+		for 1<<dim < n {
+			dim++
+		}
+		if 1<<dim != n {
+			return "", fmt.Errorf("cube needs a power-of-two node count, got %d", n)
+		}
+		return fmt.Sprintf("cube:%d", dim), nil
+	case "mesh", "torus":
+		side := 1
+		for side*side < n {
+			side++
+		}
+		if side*side != n {
+			return "", fmt.Errorf("mesh/torus need a square node count, got %d", n)
+		}
+		return fmt.Sprintf("%s:%dx%d", name, side, side), nil
+	default:
+		return "", fmt.Errorf("unknown topology %q", name)
+	}
+}
+
+// remoteRequest assembles the ScheduleRequest shared by every
+// algorithm this invocation runs. m is non-nil when -load supplied an
+// explicit matrix; otherwise the generated pattern travels by spec.
+func remoteRequest(m *comm.Matrix, pattern string, n, d int, bytes int64,
+	topoName string, seed int64) (unsched.ScheduleRequest, error) {
+	req := unsched.ScheduleRequest{Seed: seed}
+	if m != nil {
+		msgs := m.Messages()
+		wm := &unsched.WireMatrix{N: m.N(), Messages: make([][3]int64, len(msgs))}
+		for i, msg := range msgs {
+			wm.Messages[i] = [3]int64{int64(msg.Src), int64(msg.Dst), msg.Bytes}
+		}
+		req.Matrix = wm
+		spec, err := remoteTopology(topoName, m.N())
+		if err != nil {
+			return req, err
+		}
+		req.Topology = &unsched.WireTopology{Spec: spec}
+		return req, nil
+	}
+	wl, err := remoteWorkload(pattern, d, bytes)
+	if err != nil {
+		return req, err
+	}
+	spec, err := remoteTopology(topoName, n)
+	if err != nil {
+		return req, err
+	}
+	req.Workload = wl
+	req.Topology = &unsched.WireTopology{Spec: spec}
+	return req, nil
+}
+
+// runRemote drives the daemon at base once per algorithm (or once for
+// all of them with -batch) and prints the same comparison table the
+// local mode does, minus simulated times: the daemon's schedule
+// endpoint reports structure, not the iPSC model run.
+func runRemote(base string, algs []string, req unsched.ScheduleRequest, binary, batch bool) error {
+	base = strings.TrimRight(base, "/")
+	tw := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "algorithm\tchosen\tphases\tops\tlink-free\tcached\tkey")
+	var err error
+	if batch {
+		err = remoteBatch(tw, base, algs, req)
+	} else {
+		for _, alg := range algs {
+			one := req
+			one.Algorithm = alg
+			if err = remoteOne(tw, base, one, binary); err != nil {
+				break
+			}
+		}
+	}
+	if err != nil {
+		return err
+	}
+	return tw.Flush()
+}
+
+func printResultRow(tw io.Writer, alg string, key string, cached bool, res *unsched.ScheduleResult) {
+	phases, ops := 0, int64(0)
+	if res.Schedule != nil {
+		phases = len(res.Schedule.Phases)
+		ops = res.Schedule.Ops
+	}
+	linkFree := "no"
+	if res.LinkFree {
+		linkFree = "yes"
+	}
+	fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%s\t%v\t%.12s\n",
+		alg, res.Chosen, phases, ops, linkFree, cached, key)
+}
+
+// remoteOne runs one algorithm through POST /v1/schedule, negotiating
+// the binary envelope when asked and decoding whichever form came
+// back.
+func remoteOne(tw io.Writer, base string, req unsched.ScheduleRequest, binary bool) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	hreq, err := http.NewRequest(http.MethodPost, base+"/v1/schedule", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	hreq.Header.Set("Content-Type", unsched.ContentTypeJSON)
+	if binary {
+		hreq.Header.Set("Accept", unsched.ContentTypeBinary)
+	}
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return remoteError(resp.StatusCode, raw)
+	}
+	if binary && resp.Header.Get("Content-Type") == unsched.ContentTypeBinary {
+		dec, err := unsched.DecodeBinaryResponse(raw)
+		if err != nil {
+			return fmt.Errorf("bad binary response: %w", err)
+		}
+		if dec.Schedule == nil {
+			return fmt.Errorf("binary response carries no schedule")
+		}
+		printResultRow(tw, req.Algorithm, dec.Key, dec.Cached, dec.Schedule)
+		return nil
+	}
+	var env unsched.ResponseEnvelope
+	if err := json.Unmarshal(raw, &env); err != nil {
+		return fmt.Errorf("bad response envelope: %w", err)
+	}
+	var res unsched.ScheduleResult
+	if err := json.Unmarshal(env.Result, &res); err != nil {
+		return fmt.Errorf("bad schedule result: %w", err)
+	}
+	printResultRow(tw, req.Algorithm, env.Key, env.Cached, &res)
+	return nil
+}
+
+// remoteBatch submits every algorithm as one POST /v1/schedule/batch
+// and prints rows in arrival order as the NDJSON stream delivers them.
+func remoteBatch(tw io.Writer, base string, algs []string, req unsched.ScheduleRequest) error {
+	batch := unsched.BatchScheduleRequest{Requests: make([]unsched.ScheduleRequest, len(algs))}
+	for i, alg := range algs {
+		one := req
+		one.Algorithm = alg
+		batch.Requests[i] = one
+	}
+	body, err := json.Marshal(batch)
+	if err != nil {
+		return err
+	}
+	hreq, err := http.NewRequest(http.MethodPost, base+"/v1/schedule/batch", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	hreq.Header.Set("Content-Type", unsched.ContentTypeJSON)
+	hreq.Header.Set("Accept", unsched.ContentTypeNDJSON)
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		return remoteError(resp.StatusCode, raw)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 64<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var item unsched.BatchItem
+		if err := json.Unmarshal(line, &item); err != nil {
+			return fmt.Errorf("bad batch line: %w", err)
+		}
+		if item.Index < 0 || item.Index >= len(algs) {
+			return fmt.Errorf("batch item index %d out of range", item.Index)
+		}
+		alg := algs[item.Index]
+		if item.Error != nil {
+			fmt.Fprintf(tw, "%s\t[%s] %s\t-\t-\t-\t-\t-\n", alg, item.Error.Code, item.Error.Message)
+			continue
+		}
+		var res unsched.ScheduleResult
+		if err := json.Unmarshal(item.Result, &res); err != nil {
+			return fmt.Errorf("bad batch result for %s: %w", alg, err)
+		}
+		printResultRow(tw, alg, item.Key, item.Cached, &res)
+	}
+	return sc.Err()
+}
+
+// remoteError turns a non-2xx body into a readable error, preferring
+// the versioned {code, message} detail when the daemon sent one.
+func remoteError(status int, raw []byte) error {
+	var env unsched.ErrorEnvelope
+	if json.Unmarshal(raw, &env) == nil && env.Err.Code != "" {
+		return fmt.Errorf("server: %d [%s] %s", status, env.Err.Code, env.Err.Message)
+	}
+	msg := strings.TrimSpace(string(raw))
+	if len(msg) > 200 {
+		msg = msg[:200] + "..."
+	}
+	return fmt.Errorf("server: %d %s", status, msg)
+}

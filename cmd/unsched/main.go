@@ -10,6 +10,15 @@
 //	unsched -pattern hotspot -n 64 -d 8 -bytes 1024
 //	unsched -pattern halo:16x16:512 -n 64            # any workload spec
 //	unsched -load pattern.txt -alg LP -gantt
+//
+// With -server the CLI schedules against a running unschedd daemon
+// instead of computing locally; -binary negotiates the daemon's
+// compact binary response encoding and -batch streams all algorithms
+// through one POST /v1/schedule/batch request:
+//
+//	unsched -server http://localhost:8080 -n 256 -d 8 -bytes 4096
+//	unsched -server http://localhost:8080 -binary -alg RS_NL
+//	unsched -server http://localhost:8080 -batch
 package main
 
 import (
@@ -43,10 +52,38 @@ func main() {
 	doGantt := flag.Bool("gantt", false, "print a per-node phase occupancy chart")
 	doHeat := flag.Bool("heatmap", false, "print the communication matrix heatmap")
 	saveSched := flag.String("save", "", "write the (single -alg) schedule to this file for reuse")
+	server := flag.String("server", "", "base URL of a running unschedd; schedule remotely instead of locally")
+	binary := flag.Bool("binary", false, "with -server: negotiate the compact binary response encoding")
+	batch := flag.Bool("batch", false, "with -server: submit all algorithms as one streaming batch")
 	flag.Parse()
 
 	if *saveSched != "" && *alg == "" {
 		fatal(fmt.Errorf("-save requires a single -alg"))
+	}
+	if (*binary || *batch) && *server == "" {
+		fatal(fmt.Errorf("-binary and -batch require -server"))
+	}
+
+	if *server != "" {
+		algs := []string{"AC", "LP", "RS_N", "RS_NL", "RS_NL_SZ", "GREEDY", "GREEDY_LF"}
+		if *alg != "" {
+			algs = []string{*alg}
+		}
+		var m *comm.Matrix
+		if *load != "" {
+			var err error
+			if m, err = buildMatrix(*load, *pattern, *n, *d, *bytes, *seed); err != nil {
+				fatal(err)
+			}
+		}
+		req, err := remoteRequest(m, *pattern, *n, *d, *bytes, *topoName, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		if err := runRemote(*server, algs, req, *binary, *batch); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	m, err := buildMatrix(*load, *pattern, *n, *d, *bytes, *seed)

@@ -9,12 +9,23 @@
 //
 // Endpoints (see internal/service for the wire formats):
 //
-//	POST /v1/schedule       matrix in, schedule out (cached)
-//	POST /v1/simulate       schedule in, predicted result out (cached)
-//	POST /v1/campaign       async measurement grid; poll the returned id
-//	GET  /v1/campaign/{id}  campaign progress / results
-//	GET  /healthz           liveness
-//	GET  /metrics           Prometheus-style counters
+//	POST /v1/schedule        matrix in, schedule out (cached)
+//	POST /v1/simulate        schedule in, predicted result out (cached)
+//	POST /v1/schedule/batch  many schedule requests in, NDJSON stream out
+//	POST /v1/campaign        async measurement grid; poll the returned id
+//	GET  /v1/campaign/{id}   campaign progress / results
+//	GET  /healthz            liveness
+//	GET  /metrics            Prometheus-style counters
+//
+// Synchronous responses are negotiable: JSON by default, the compact
+// binary envelope (application/x-unsched-binary) on Accept, gzip on
+// Accept-Encoding — the binary+gzip form of a 1024-node schedule is
+// over 10x smaller than its JSON. Every cacheable response carries
+// its content hash as a strong ETag, so If-None-Match revalidation
+// costs zero body bytes (304), and error bodies carry stable
+// machine-readable codes in error_v2 next to the legacy message. The
+// README's wire-format section documents the full contract; the
+// unsched CLI's -server/-binary/-batch flags exercise it.
 //
 // The daemon sheds load with 429 when its bounded queue is full and
 // shuts down gracefully on SIGINT/SIGTERM: in-flight requests finish,

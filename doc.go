@@ -141,4 +141,16 @@
 // bit-identical patterns and schedules whether they hit the cache or
 // recompute. A full queue sheds load with 429; Close drains
 // gracefully.
+//
+// The wire surface is versioned and negotiable. Responses come back
+// as JSON by default or, with Accept: application/x-unsched-binary,
+// as a compact varint-based binary envelope (DecodeBinaryResponse
+// parses it; DecodeMatrixBinary handles the embedded matrix block)
+// that gzips to a fraction of the JSON size. The response's content
+// hash doubles as a strong ETag, so If-None-Match revalidation
+// answers 304 with zero body bytes before any scheduling work, and
+// POST /v1/schedule/batch streams many schedule requests through the
+// worker pool as NDJSON lines in completion order. Errors carry a
+// stable machine-readable code next to the human message
+// (ErrorEnvelope); clients branch on the code, never the text.
 package unsched

@@ -13,14 +13,14 @@ import (
 	"unsched/internal/workload"
 )
 
-// campaignRequest is the body of POST /v1/campaign: a measurement grid
+// CampaignRequest is the body of POST /v1/campaign: a measurement grid
 // in the shape of the paper's §6 protocol, run asynchronously on any
 // topology and workload the service knows. The grid axis comes in two
 // mutually exclusive forms: the classic densities x sizes sweep of the
 // paper's uniform workload, or an explicit list of workload specs
 // (uniform:D:BYTES, hotspot:D:BYTES:HOT, halo:WxH:BYTES, ... — the
 // same grammar the CLI's -workload flag takes; see workload.ParseSpec).
-type campaignRequest struct {
+type CampaignRequest struct {
 	Densities []int   `json:"densities,omitempty"`
 	Sizes     []int64 `json:"sizes,omitempty"`
 	// Workloads lists the grid's cells as canonical workload specs.
@@ -37,15 +37,15 @@ type campaignRequest struct {
 	// /v1/schedule and /v1/simulate take (cube, mesh, torus, ring,
 	// graph). Absent means the hypercube picked by Dim. Its identity is
 	// fingerprinted into the campaign's content hash.
-	Topology *topologyJSON `json:"topology,omitempty"`
+	Topology *WireTopology `json:"topology,omitempty"`
 	// Params picks the timing model: "ipsc860" (default) or "ipsc2".
 	Params string `json:"params,omitempty"`
 }
 
-// campaignCell is one measured (algorithm, workload) result. Density
+// CampaignCell is one measured (algorithm, workload) result. Density
 // and MsgBytes carry the workload's nominal parameters (density 0 for
 // the data-dependent kinds).
-type campaignCell struct {
+type CampaignCell struct {
 	Algorithm string  `json:"algorithm"`
 	Workload  string  `json:"workload"`
 	Density   int     `json:"density"`
@@ -56,8 +56,8 @@ type campaignCell struct {
 	Iters     float64 `json:"iters"`
 }
 
-// campaignStatus is the body of GET /v1/campaign/{id}.
-type campaignStatus struct {
+// CampaignStatus is the body of GET /v1/campaign/{id}.
+type CampaignStatus struct {
 	ID    string `json:"id"`
 	State string `json:"state"` // running | done | failed
 	// Key is the campaign's content hash — every input that determines
@@ -72,7 +72,7 @@ type campaignStatus struct {
 	Error    string `json:"error,omitempty"`
 	// Cells is populated when State is done, in (density, size,
 	// algorithm) order with sizes varying faster than densities.
-	Cells []campaignCell `json:"cells,omitempty"`
+	Cells []CampaignCell `json:"cells,omitempty"`
 }
 
 const (
@@ -92,13 +92,13 @@ type campaignJob struct {
 	mu    sync.Mutex
 	state string
 	err   string
-	cells []campaignCell
+	cells []CampaignCell
 }
 
-func (j *campaignJob) status() campaignStatus {
+func (j *campaignJob) status() CampaignStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return campaignStatus{
+	return CampaignStatus{
 		ID:       j.id,
 		State:    j.state,
 		Key:      j.key,
@@ -110,7 +110,7 @@ func (j *campaignJob) status() campaignStatus {
 	}
 }
 
-func (j *campaignJob) finish(cells []campaignCell, err error) {
+func (j *campaignJob) finish(cells []CampaignCell, err error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if err != nil {
@@ -214,7 +214,7 @@ const (
 // as a hypercube; the grid comes from an explicit workload-spec list
 // or from the classic densities x sizes sweep — each pair mutually
 // exclusive.
-func resolveCampaign(req *campaignRequest) (expt.Config, []expt.Point, string, error) {
+func resolveCampaign(req *CampaignRequest) (expt.Config, []expt.Point, string, error) {
 	fail := func(err error) (expt.Config, []expt.Point, string, error) {
 		return expt.Config{}, nil, "", err
 	}
@@ -331,7 +331,7 @@ func resolveWorkloadSpec(s string, nodes int) (workload.Spec, error) {
 // densities x sizes requests hash exactly as they did before the
 // workload axis existed, so their keys are stable across versions; a
 // workloads request hashes its canonical spec strings instead.
-func campaignKey(req *campaignRequest, specs []workload.Spec, net topo.Topology, paramsName string, seed int64) *comm.Digest {
+func campaignKey(req *CampaignRequest, specs []workload.Spec, net topo.Topology, paramsName string, seed int64) *comm.Digest {
 	d := comm.NewDigest()
 	d.String("campaign/v1")
 	if len(req.Workloads) > 0 {
@@ -374,11 +374,11 @@ func runCampaign(ctx context.Context, j *campaignJob, cfg expt.Config, points []
 		j.finish(nil, err)
 		return
 	}
-	var cells []campaignCell
+	var cells []CampaignCell
 	for i := range points {
 		for _, alg := range expt.Algorithms {
 			c := cellMaps[i][alg]
-			cells = append(cells, campaignCell{
+			cells = append(cells, CampaignCell{
 				Algorithm: string(alg),
 				Workload:  c.Workload,
 				Density:   c.Density,

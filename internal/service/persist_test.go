@@ -88,9 +88,9 @@ func TestRecordDecodeRejectsDamage(t *testing.T) {
 func TestWarmRestartServesPersistedResponses(t *testing.T) {
 	dir := t.TempDir()
 
-	schedReq := scheduleRequest{Matrix: testMatrix(t, 32, 6, 2048, 17), Algorithm: "RS_NL", Seed: 5}
-	var schedEnv, simEnv envelope
-	var simReq simulateRequest
+	schedReq := ScheduleRequest{Matrix: testMatrix(t, 32, 6, 2048, 17), Algorithm: "RS_NL", Seed: 5}
+	var schedEnv, simEnv Envelope
+	var simReq SimulateRequest
 	{
 		svc, err := NewServer(Options{Workers: 2, CacheDir: dir})
 		if err != nil {
@@ -101,11 +101,11 @@ func TestWarmRestartServesPersistedResponses(t *testing.T) {
 		if status != http.StatusOK {
 			t.Fatalf("schedule: status %d: %s", status, raw)
 		}
-		var res scheduleResult
+		var res ScheduleResult
 		if err := json.Unmarshal(schedEnv.Result, &res); err != nil {
 			t.Fatal(err)
 		}
-		simReq = simulateRequest{Schedule: res.Schedule}
+		simReq = SimulateRequest{Schedule: res.Schedule}
 		if status, raw := postJSON(t, ts+"/v1/simulate", simReq, &simEnv); status != http.StatusOK {
 			t.Fatalf("simulate: status %d: %s", status, raw)
 		}
@@ -122,7 +122,7 @@ func TestWarmRestartServesPersistedResponses(t *testing.T) {
 	if warm := svc.warmLoaded.Load(); warm != 2 {
 		t.Errorf("warm-loaded %d entries, want 2", warm)
 	}
-	var schedEnv2, simEnv2 envelope
+	var schedEnv2, simEnv2 Envelope
 	if status, raw := postJSON(t, ts+"/v1/schedule", schedReq, &schedEnv2); status != http.StatusOK {
 		t.Fatalf("restarted schedule: status %d: %s", status, raw)
 	}
@@ -168,8 +168,8 @@ func TestWarmRestartSkipsCorruptRecords(t *testing.T) {
 	dir := t.TempDir()
 
 	// One real response persisted by a real server.
-	req := scheduleRequest{Matrix: testMatrix(t, 16, 4, 1024, 9), Algorithm: "RS_N"}
-	var env envelope
+	req := ScheduleRequest{Matrix: testMatrix(t, 16, 4, 1024, 9), Algorithm: "RS_N"}
+	var env Envelope
 	{
 		svc, err := NewServer(Options{Workers: 1, CacheDir: dir})
 		if err != nil {
@@ -214,7 +214,7 @@ func TestWarmRestartSkipsCorruptRecords(t *testing.T) {
 		t.Errorf("load errors = %d, want 4 corrupt records counted", errs)
 	}
 	// The intact record still serves, byte-identically.
-	var env2 envelope
+	var env2 Envelope
 	if status, _ := postJSON(t, ts+"/v1/schedule", req, &env2); status != http.StatusOK {
 		t.Fatal("schedule after corrupt-tolerant load failed")
 	}

@@ -26,9 +26,9 @@ func TestSimulateRejectsUnknownScheduleAlgorithm(t *testing.T) {
 	_, ts := newTestServer(t, Options{Workers: 1})
 
 	// A structurally valid two-phase schedule wearing a typo'd tag.
-	phases := []phaseJSON{{{0, 1, 256}}, {{1, 0, 256}}}
+	phases := []WirePhase{{{0, 1, 256}}, {{1, 0, 256}}}
 	for _, tag := range []string{"RS-NL", "rs_nl", "LPX", "bogus", ""} {
-		req := simulateRequest{Schedule: &scheduleJSON{Algorithm: tag, N: 4, Phases: phases}}
+		req := SimulateRequest{Schedule: &WireSchedule{Algorithm: tag, N: 4, Phases: phases}}
 		status, raw := postJSON(t, ts.URL+"/v1/simulate", req, nil)
 		if status != http.StatusBadRequest {
 			t.Errorf("algorithm %q: status %d, want 400 (%s)", tag, status, raw)
@@ -37,7 +37,7 @@ func TestSimulateRejectsUnknownScheduleAlgorithm(t *testing.T) {
 
 	// The canonical spellings still simulate fine.
 	for _, tag := range []string{"RS_NL", "RS_N", "GREEDY_LF_LINK"} {
-		req := simulateRequest{Schedule: &scheduleJSON{Algorithm: tag, N: 4, Phases: phases}}
+		req := SimulateRequest{Schedule: &WireSchedule{Algorithm: tag, N: 4, Phases: phases}}
 		if status, raw := postJSON(t, ts.URL+"/v1/simulate", req, nil); status != http.StatusOK {
 			t.Errorf("algorithm %q: status %d, want 200 (%s)", tag, status, raw)
 		}
@@ -45,7 +45,7 @@ func TestSimulateRejectsUnknownScheduleAlgorithm(t *testing.T) {
 
 	// An AC tag with phases is contradictory (AC runs are driven by the
 	// matrix, not a phase list) and must be rejected too.
-	req := simulateRequest{Schedule: &scheduleJSON{Algorithm: "AC", N: 4, Phases: phases}}
+	req := SimulateRequest{Schedule: &WireSchedule{Algorithm: "AC", N: 4, Phases: phases}}
 	if status, raw := postJSON(t, ts.URL+"/v1/simulate", req, nil); status != http.StatusBadRequest {
 		t.Errorf("AC schedule with phases: status %d, want 400 (%s)", status, raw)
 	}
@@ -57,13 +57,13 @@ func TestSimulateRejectsUnknownScheduleAlgorithm(t *testing.T) {
 // resolveProtocol — but /v1/schedule rejected it before the fix.
 func TestScheduleServesGreedyLFLink(t *testing.T) {
 	_, ts := newTestServer(t, Options{Workers: 2})
-	req := scheduleRequest{Matrix: testMatrix(t, 16, 4, 4096, 3), Algorithm: "GREEDY_LF_LINK"}
-	var env envelope
+	req := ScheduleRequest{Matrix: testMatrix(t, 16, 4, 4096, 3), Algorithm: "GREEDY_LF_LINK"}
+	var env Envelope
 	status, raw := postJSON(t, ts.URL+"/v1/schedule", req, &env)
 	if status != http.StatusOK {
 		t.Fatalf("GREEDY_LF_LINK: status %d, want 200 (%s)", status, raw)
 	}
-	var res scheduleResult
+	var res ScheduleResult
 	if err := json.Unmarshal(env.Result, &res); err != nil {
 		t.Fatal(err)
 	}
@@ -77,12 +77,12 @@ func TestScheduleServesGreedyLFLink(t *testing.T) {
 
 	// Round trip: the schedule it produced simulates under its paper
 	// pairing, S1.
-	var simEnv envelope
-	status, raw = postJSON(t, ts.URL+"/v1/simulate", simulateRequest{Schedule: res.Schedule}, &simEnv)
+	var simEnv Envelope
+	status, raw = postJSON(t, ts.URL+"/v1/simulate", SimulateRequest{Schedule: res.Schedule}, &simEnv)
 	if status != http.StatusOK {
 		t.Fatalf("simulate GREEDY_LF_LINK: status %d (%s)", status, raw)
 	}
-	var simRes simulateResult
+	var simRes SimulateResult
 	if err := json.Unmarshal(simEnv.Result, &simRes); err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +109,7 @@ func TestFlightFollowersDoNotDistortCacheMetrics(t *testing.T) {
 	}
 	<-started
 
-	req := scheduleRequest{Matrix: testMatrix(t, 16, 4, 2048, 21), Algorithm: "RS_NL"}
+	req := ScheduleRequest{Matrix: testMatrix(t, 16, 4, 2048, 21), Algorithm: "RS_NL"}
 	body, _ := json.Marshal(req)
 	const clients = 6
 	var wg sync.WaitGroup

@@ -81,34 +81,34 @@ func getJSON(t *testing.T, url string, out any) (int, []byte) {
 }
 
 // testMatrix returns a deterministic d-regular wire matrix.
-func testMatrix(t *testing.T, n, d int, bytes int64, seed int64) *matrixJSON {
+func testMatrix(t *testing.T, n, d int, bytes int64, seed int64) *WireMatrix {
 	t.Helper()
 	m, err := comm.DRegular(n, d, bytes, rand.New(rand.NewSource(seed)))
 	if err != nil {
 		t.Fatal(err)
 	}
-	return matrixWire(m)
+	return NewWireMatrix(m)
 }
 
 func TestHealthz(t *testing.T) {
 	_, ts := newTestServer(t, Options{Workers: 2})
-	var doc map[string]any
+	var doc HealthStatus
 	status, _ := getJSON(t, ts.URL+"/healthz", &doc)
-	if status != http.StatusOK || doc["status"] != "ok" {
-		t.Fatalf("healthz: status %d, doc %v", status, doc)
+	if status != http.StatusOK || doc.Status != "ok" {
+		t.Fatalf("healthz: status %d, doc %+v", status, doc)
 	}
 }
 
 func TestScheduleEndpointAlgorithms(t *testing.T) {
 	_, ts := newTestServer(t, Options{Workers: 2})
 	for _, alg := range []string{"auto", "AC", "LP", "RS_N", "RS_NL", "RS_NL_SZ", "GREEDY", "GREEDY_LF"} {
-		req := scheduleRequest{Matrix: testMatrix(t, 16, 4, 4096, 1), Algorithm: alg}
-		var env envelope
+		req := ScheduleRequest{Matrix: testMatrix(t, 16, 4, 4096, 1), Algorithm: alg}
+		var env Envelope
 		status, raw := postJSON(t, ts.URL+"/v1/schedule", req, &env)
 		if status != http.StatusOK {
 			t.Fatalf("%s: status %d: %s", alg, status, raw)
 		}
-		var res scheduleResult
+		var res ScheduleResult
 		if err := json.Unmarshal(env.Result, &res); err != nil {
 			t.Fatalf("%s: %v", alg, err)
 		}
@@ -129,9 +129,9 @@ func TestScheduleEndpointAlgorithms(t *testing.T) {
 
 func TestScheduleCacheHitIsByteIdentical(t *testing.T) {
 	svc, ts := newTestServer(t, Options{Workers: 2})
-	req := scheduleRequest{Matrix: testMatrix(t, 32, 6, 2048, 7), Algorithm: "RS_NL", Seed: 42}
+	req := ScheduleRequest{Matrix: testMatrix(t, 32, 6, 2048, 7), Algorithm: "RS_NL", Seed: 42}
 
-	var first envelope
+	var first Envelope
 	status, raw := postJSON(t, ts.URL+"/v1/schedule", req, &first)
 	if status != http.StatusOK {
 		t.Fatalf("first: status %d: %s", status, raw)
@@ -139,7 +139,7 @@ func TestScheduleCacheHitIsByteIdentical(t *testing.T) {
 	if first.Cached {
 		t.Fatal("first request reported a cache hit")
 	}
-	var second envelope
+	var second Envelope
 	status, _ = postJSON(t, ts.URL+"/v1/schedule", req, &second)
 	if status != http.StatusOK {
 		t.Fatalf("second: status %d", status)
@@ -160,7 +160,7 @@ func TestScheduleCacheHitIsByteIdentical(t *testing.T) {
 	// A different seed is a different key and (overwhelmingly likely
 	// for a 32-node RS_NL) a different schedule.
 	req.Seed = 43
-	var third envelope
+	var third Envelope
 	postJSON(t, ts.URL+"/v1/schedule", req, &third)
 	if third.Cached || third.Key == first.Key {
 		t.Fatal("different seed collided with the first request")
@@ -171,11 +171,11 @@ func TestScheduleDeterministicAcrossServers(t *testing.T) {
 	// Identical requests to two independent daemons (no shared cache)
 	// must produce identical schedules: the RNG seed derives from the
 	// request content, not server state.
-	req := scheduleRequest{Matrix: testMatrix(t, 32, 5, 1024, 3), Algorithm: "RS_N"}
+	req := ScheduleRequest{Matrix: testMatrix(t, 32, 5, 1024, 3), Algorithm: "RS_N"}
 	var results [][]byte
 	for i := 0; i < 2; i++ {
 		_, ts := newTestServer(t, Options{Workers: 1})
-		var env envelope
+		var env Envelope
 		status, raw := postJSON(t, ts.URL+"/v1/schedule", req, &env)
 		if status != http.StatusOK {
 			t.Fatalf("server %d: status %d: %s", i, status, raw)
@@ -220,9 +220,12 @@ func TestScheduleBadRequests(t *testing.T) {
 		if resp.StatusCode != http.StatusBadRequest {
 			t.Errorf("%s: status %d, want 400 (%s)", tc.name, resp.StatusCode, raw)
 		}
-		var doc errorDoc
+		var doc ErrorEnvelope
 		if err := json.Unmarshal(raw, &doc); err != nil || doc.Error == "" {
 			t.Errorf("%s: error response not a JSON error doc: %s", tc.name, raw)
+		}
+		if doc.Err.Code == "" || doc.Err.Message != doc.Error {
+			t.Errorf("%s: error envelope missing structured detail: %s", tc.name, raw)
 		}
 	}
 }
@@ -232,23 +235,23 @@ func TestSimulateEndpoint(t *testing.T) {
 	mj := testMatrix(t, 16, 4, 8192, 5)
 
 	// Schedule first, then feed the schedule back into /v1/simulate.
-	var env envelope
-	status, raw := postJSON(t, ts.URL+"/v1/schedule", scheduleRequest{Matrix: mj, Algorithm: "RS_NL"}, &env)
+	var env Envelope
+	status, raw := postJSON(t, ts.URL+"/v1/schedule", ScheduleRequest{Matrix: mj, Algorithm: "RS_NL"}, &env)
 	if status != http.StatusOK {
 		t.Fatalf("schedule: status %d: %s", status, raw)
 	}
-	var schedRes scheduleResult
+	var schedRes ScheduleResult
 	if err := json.Unmarshal(env.Result, &schedRes); err != nil {
 		t.Fatal(err)
 	}
 
-	var simEnv envelope
+	var simEnv Envelope
 	status, raw = postJSON(t, ts.URL+"/v1/simulate",
-		simulateRequest{Schedule: schedRes.Schedule, Matrix: mj}, &simEnv)
+		SimulateRequest{Schedule: schedRes.Schedule, Matrix: mj}, &simEnv)
 	if status != http.StatusOK {
 		t.Fatalf("simulate: status %d: %s", status, raw)
 	}
-	var simRes simulateResult
+	var simRes SimulateResult
 	if err := json.Unmarshal(simEnv.Result, &simRes); err != nil {
 		t.Fatal(err)
 	}
@@ -260,19 +263,19 @@ func TestSimulateEndpoint(t *testing.T) {
 	}
 
 	// Repeat: cache hit, byte-identical.
-	var rep envelope
-	postJSON(t, ts.URL+"/v1/simulate", simulateRequest{Schedule: schedRes.Schedule, Matrix: mj}, &rep)
+	var rep Envelope
+	postJSON(t, ts.URL+"/v1/simulate", SimulateRequest{Schedule: schedRes.Schedule, Matrix: mj}, &rep)
 	if !rep.Cached || !bytes.Equal(rep.Result, simEnv.Result) {
 		t.Fatal("repeated simulate was not a byte-identical cache hit")
 	}
 
 	// AC run straight from the matrix.
-	var acEnv envelope
-	status, raw = postJSON(t, ts.URL+"/v1/simulate", simulateRequest{Matrix: mj}, &acEnv)
+	var acEnv Envelope
+	status, raw = postJSON(t, ts.URL+"/v1/simulate", SimulateRequest{Matrix: mj}, &acEnv)
 	if status != http.StatusOK {
 		t.Fatalf("AC simulate: status %d: %s", status, raw)
 	}
-	var acRes simulateResult
+	var acRes SimulateResult
 	if err := json.Unmarshal(acEnv.Result, &acRes); err != nil {
 		t.Fatal(err)
 	}
@@ -281,9 +284,9 @@ func TestSimulateEndpoint(t *testing.T) {
 	}
 
 	// Explicit protocol override and the ipsc2 model.
-	var s2Env envelope
+	var s2Env Envelope
 	status, raw = postJSON(t, ts.URL+"/v1/simulate",
-		simulateRequest{Schedule: schedRes.Schedule, Protocol: "S2", Params: "ipsc2"}, &s2Env)
+		SimulateRequest{Schedule: schedRes.Schedule, Protocol: "S2", Params: "ipsc2"}, &s2Env)
 	if status != http.StatusOK {
 		t.Fatalf("S2/ipsc2 simulate: status %d: %s", status, raw)
 	}
@@ -292,11 +295,11 @@ func TestSimulateEndpoint(t *testing.T) {
 func TestSimulateBadRequests(t *testing.T) {
 	_, ts := newTestServer(t, Options{Workers: 1})
 	mj := testMatrix(t, 8, 2, 512, 9)
-	var env envelope
-	if status, raw := postJSON(t, ts.URL+"/v1/schedule", scheduleRequest{Matrix: mj, Algorithm: "RS_N"}, &env); status != 200 {
+	var env Envelope
+	if status, raw := postJSON(t, ts.URL+"/v1/schedule", ScheduleRequest{Matrix: mj, Algorithm: "RS_N"}, &env); status != 200 {
 		t.Fatalf("schedule: %d %s", status, raw)
 	}
-	var schedRes scheduleResult
+	var schedRes ScheduleResult
 	if err := json.Unmarshal(env.Result, &schedRes); err != nil {
 		t.Fatal(err)
 	}
@@ -304,45 +307,45 @@ func TestSimulateBadRequests(t *testing.T) {
 	// Schedule that does not match the supplied matrix.
 	other := testMatrix(t, 8, 3, 512, 10)
 	if status, _ := postJSON(t, ts.URL+"/v1/simulate",
-		simulateRequest{Schedule: schedRes.Schedule, Matrix: other}, nil); status != http.StatusBadRequest {
+		SimulateRequest{Schedule: schedRes.Schedule, Matrix: other}, nil); status != http.StatusBadRequest {
 		t.Errorf("mismatched matrix accepted: status %d", status)
 	}
 	// No schedule and no matrix.
-	if status, _ := postJSON(t, ts.URL+"/v1/simulate", simulateRequest{}, nil); status != http.StatusBadRequest {
+	if status, _ := postJSON(t, ts.URL+"/v1/simulate", SimulateRequest{}, nil); status != http.StatusBadRequest {
 		t.Errorf("empty simulate accepted: status %d", status)
 	}
 	// Unknown protocol / params.
 	if status, _ := postJSON(t, ts.URL+"/v1/simulate",
-		simulateRequest{Schedule: schedRes.Schedule, Protocol: "S9"}, nil); status != http.StatusBadRequest {
+		SimulateRequest{Schedule: schedRes.Schedule, Protocol: "S9"}, nil); status != http.StatusBadRequest {
 		t.Errorf("unknown protocol accepted")
 	}
 	if status, _ := postJSON(t, ts.URL+"/v1/simulate",
-		simulateRequest{Schedule: schedRes.Schedule, Params: "cray"}, nil); status != http.StatusBadRequest {
+		SimulateRequest{Schedule: schedRes.Schedule, Params: "cray"}, nil); status != http.StatusBadRequest {
 		t.Errorf("unknown params accepted")
 	}
 	// Phase with node contention.
-	bad := &scheduleJSON{Algorithm: "RS_N", N: 4, Phases: []phaseJSON{{{0, 2, 10}, {1, 2, 10}}}}
-	if status, _ := postJSON(t, ts.URL+"/v1/simulate", simulateRequest{Schedule: bad}, nil); status != http.StatusBadRequest {
+	bad := &WireSchedule{Algorithm: "RS_N", N: 4, Phases: []WirePhase{{{0, 2, 10}, {1, 2, 10}}}}
+	if status, _ := postJSON(t, ts.URL+"/v1/simulate", SimulateRequest{Schedule: bad}, nil); status != http.StatusBadRequest {
 		t.Errorf("contending phase accepted")
 	}
 }
 
 func TestCampaignEndpoint(t *testing.T) {
 	_, ts := newTestServer(t, Options{Workers: 2})
-	req := campaignRequest{Densities: []int{2}, Sizes: []int64{256}, Samples: 2, Seed: 11, Dim: 3}
-	var accepted map[string]string
+	req := CampaignRequest{Densities: []int{2}, Sizes: []int64{256}, Samples: 2, Seed: 11, Dim: 3}
+	var accepted CampaignAccepted
 	status, raw := postJSON(t, ts.URL+"/v1/campaign", req, &accepted)
 	if status != http.StatusAccepted {
 		t.Fatalf("campaign: status %d: %s", status, raw)
 	}
-	if accepted["id"] == "" || accepted["url"] == "" {
+	if accepted.ID == "" || accepted.URL == "" {
 		t.Fatalf("campaign response missing id/url: %s", raw)
 	}
 
-	var st campaignStatus
+	var st CampaignStatus
 	deadline := time.Now().Add(30 * time.Second)
 	for {
-		status, raw = getJSON(t, ts.URL+accepted["url"], &st)
+		status, raw = getJSON(t, ts.URL+accepted.URL, &st)
 		if status != http.StatusOK {
 			t.Fatalf("poll: status %d: %s", status, raw)
 		}
@@ -394,7 +397,7 @@ func TestCampaignNotFoundAndBadRequests(t *testing.T) {
 	if status, _ := getJSON(t, ts.URL+"/v1/campaign/nope", nil); status != http.StatusNotFound {
 		t.Errorf("unknown campaign id: status %d, want 404", status)
 	}
-	bad := []campaignRequest{
+	bad := []CampaignRequest{
 		{},                    // nothing
 		{Densities: []int{2}}, // no sizes/samples
 		{Densities: []int{200}, Sizes: []int64{64}, Samples: 1, Dim: 3},  // density >= nodes
@@ -417,7 +420,7 @@ func TestCampaignConcurrencyLimit(t *testing.T) {
 		t.Fatal("could not take the campaign slot")
 	}
 	defer svc.campaigns.release()
-	quick := campaignRequest{Densities: []int{2}, Sizes: []int64{64}, Samples: 1, Dim: 3}
+	quick := CampaignRequest{Densities: []int{2}, Sizes: []int64{64}, Samples: 1, Dim: 3}
 	if status, _ := postJSON(t, ts.URL+"/v1/campaign", quick, nil); status != http.StatusTooManyRequests {
 		t.Errorf("concurrent campaign past the limit: status %d, want 429", status)
 	}
@@ -439,7 +442,7 @@ func TestQueueBackpressure429(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	req := scheduleRequest{Matrix: testMatrix(t, 8, 2, 512, 2), Algorithm: "RS_N"}
+	req := ScheduleRequest{Matrix: testMatrix(t, 8, 2, 512, 2), Algorithm: "RS_N"}
 	status, raw := postJSON(t, ts.URL+"/v1/schedule", req, nil)
 	if status != http.StatusTooManyRequests {
 		t.Fatalf("saturated queue: status %d, want 429 (%s)", status, raw)
@@ -455,7 +458,7 @@ func TestQueueBackpressure429(t *testing.T) {
 
 func TestMetricsEndpoint(t *testing.T) {
 	_, ts := newTestServer(t, Options{Workers: 1})
-	req := scheduleRequest{Matrix: testMatrix(t, 8, 2, 512, 4), Algorithm: "RS_N"}
+	req := ScheduleRequest{Matrix: testMatrix(t, 8, 2, 512, 4), Algorithm: "RS_N"}
 	postJSON(t, ts.URL+"/v1/schedule", req, nil)
 	postJSON(t, ts.URL+"/v1/schedule", req, nil)
 
@@ -491,7 +494,7 @@ func TestConcurrentClients(t *testing.T) {
 	// or served from cache. Run under -race this also exercises the
 	// pool, cache, and campaign registry for data races.
 	_, ts := newTestServer(t, Options{Workers: 4, QueueDepth: 256})
-	matrices := []*matrixJSON{
+	matrices := []*WireMatrix{
 		testMatrix(t, 16, 4, 1024, 1),
 		testMatrix(t, 16, 4, 1024, 2),
 		testMatrix(t, 32, 8, 4096, 3),
@@ -509,7 +512,7 @@ func TestConcurrentClients(t *testing.T) {
 		go func(c int) {
 			defer wg.Done()
 			for i := 0; i < perClient; i++ {
-				req := scheduleRequest{
+				req := ScheduleRequest{
 					Matrix:    matrices[(c+i)%len(matrices)],
 					Algorithm: algs[(c+2*i)%len(algs)],
 				}
@@ -528,7 +531,7 @@ func TestConcurrentClients(t *testing.T) {
 					errCh <- fmt.Errorf("client %d: status %d: %s", c, resp.StatusCode, raw)
 					return
 				}
-				var env envelope
+				var env Envelope
 				if err := json.Unmarshal(raw, &env); err != nil {
 					errCh <- err
 					return
@@ -567,10 +570,10 @@ func TestSingleFlightDeduplicatesConcurrentMisses(t *testing.T) {
 	}
 	<-started
 
-	req := scheduleRequest{Matrix: testMatrix(t, 16, 4, 2048, 8), Algorithm: "RS_NL"}
+	req := ScheduleRequest{Matrix: testMatrix(t, 16, 4, 2048, 8), Algorithm: "RS_NL"}
 	body, _ := json.Marshal(req)
 	const clients = 6
-	envs := make([]envelope, clients)
+	envs := make([]Envelope, clients)
 	var wg sync.WaitGroup
 	errCh := make(chan error, clients)
 	for i := 0; i < clients; i++ {
@@ -629,7 +632,7 @@ func TestWorkerSurvivesTaskPanic(t *testing.T) {
 		t.Fatal("panic was not captured on the task")
 	}
 	// The single worker must have survived to serve real traffic.
-	req := scheduleRequest{Matrix: testMatrix(t, 8, 2, 512, 12), Algorithm: "RS_N"}
+	req := ScheduleRequest{Matrix: testMatrix(t, 8, 2, 512, 12), Algorithm: "RS_N"}
 	if status, raw := postJSON(t, ts.URL+"/v1/schedule", req, nil); status != http.StatusOK {
 		t.Fatalf("worker died with the panicking task: status %d (%s)", status, raw)
 	}
@@ -681,7 +684,7 @@ func TestCloseRefusesNewWork(t *testing.T) {
 	ts := httptest.NewServer(svc)
 	defer ts.Close()
 	svc.Close()
-	req := scheduleRequest{Matrix: testMatrix(t, 8, 2, 512, 6), Algorithm: "RS_N"}
+	req := ScheduleRequest{Matrix: testMatrix(t, 8, 2, 512, 6), Algorithm: "RS_N"}
 	status, _ := postJSON(t, ts.URL+"/v1/schedule", req, nil)
 	if status != http.StatusServiceUnavailable {
 		t.Fatalf("request after Close: status %d, want 503", status)
@@ -695,26 +698,26 @@ func TestCloseRefusesNewWork(t *testing.T) {
 // engine guarantees is bit-identical to any other worker count.
 func TestCampaignTorusTopology(t *testing.T) {
 	_, ts := newTestServer(t, Options{Workers: 2})
-	req := campaignRequest{
+	req := CampaignRequest{
 		Densities: []int{4, 8},
 		Sizes:     []int64{1024},
 		Samples:   1,
 		Seed:      11,
-		Topology:  &topologyJSON{Kind: "torus", W: 8, H: 8},
+		Topology:  &WireTopology{Kind: "torus", W: 8, H: 8},
 	}
-	var accepted map[string]string
+	var accepted CampaignAccepted
 	status, raw := postJSON(t, ts.URL+"/v1/campaign", req, &accepted)
 	if status != http.StatusAccepted {
 		t.Fatalf("campaign: status %d: %s", status, raw)
 	}
-	if accepted["key"] == "" {
+	if accepted.Key == "" {
 		t.Fatalf("campaign response missing content-hash key: %s", raw)
 	}
 
-	var st campaignStatus
+	var st CampaignStatus
 	deadline := time.Now().Add(30 * time.Second)
 	for {
-		if status, raw = getJSON(t, ts.URL+accepted["url"], &st); status != http.StatusOK {
+		if status, raw = getJSON(t, ts.URL+accepted.URL, &st); status != http.StatusOK {
 			t.Fatalf("poll: status %d: %s", status, raw)
 		}
 		if st.State != campaignRunning {
@@ -731,8 +734,8 @@ func TestCampaignTorusTopology(t *testing.T) {
 	if st.Topology != "torus-8x8" {
 		t.Errorf("status topology %q, want torus-8x8", st.Topology)
 	}
-	if st.Key != accepted["key"] {
-		t.Errorf("status key %q != accepted key %q", st.Key, accepted["key"])
+	if st.Key != accepted.Key {
+		t.Errorf("status key %q != accepted key %q", st.Key, accepted.Key)
 	}
 	if st.Done != st.Total {
 		t.Errorf("done campaign reports %d/%d", st.Done, st.Total)
@@ -767,12 +770,12 @@ func TestCampaignTorusTopology(t *testing.T) {
 	}
 
 	// The identical request must produce the identical content key.
-	var accepted2 map[string]string
+	var accepted2 CampaignAccepted
 	if status, raw := postJSON(t, ts.URL+"/v1/campaign", req, &accepted2); status != http.StatusAccepted {
 		t.Fatalf("second campaign: status %d: %s", status, raw)
 	}
-	if accepted2["key"] != accepted["key"] {
-		t.Errorf("identical campaigns keyed %q and %q", accepted["key"], accepted2["key"])
+	if accepted2.Key != accepted.Key {
+		t.Errorf("identical campaigns keyed %q and %q", accepted.Key, accepted2.Key)
 	}
 }
 
@@ -780,29 +783,29 @@ func TestCampaignTorusTopology(t *testing.T) {
 // rejections of POST /v1/campaign.
 func TestCampaignTopologyBadRequests(t *testing.T) {
 	_, ts := newTestServer(t, Options{Workers: 1})
-	bad := []campaignRequest{
+	bad := []CampaignRequest{
 		// dim and topology together are ambiguous.
 		{Densities: []int{2}, Sizes: []int64{64}, Samples: 1, Dim: 3,
-			Topology: &topologyJSON{Kind: "torus", W: 4, H: 4}},
+			Topology: &WireTopology{Kind: "torus", W: 4, H: 4}},
 		// LP needs a power-of-two node count.
 		{Densities: []int{2}, Sizes: []int64{64}, Samples: 1,
-			Topology: &topologyJSON{Kind: "ring", N: 12}},
+			Topology: &WireTopology{Kind: "ring", N: 12}},
 		// Density too dense for the machine.
 		{Densities: []int{16}, Sizes: []int64{64}, Samples: 1,
-			Topology: &topologyJSON{Kind: "torus", W: 4, H: 4}},
+			Topology: &WireTopology{Kind: "torus", W: 4, H: 4}},
 		// Unknown kind, disconnected graph, over the service node cap.
 		{Densities: []int{2}, Sizes: []int64{64}, Samples: 1,
-			Topology: &topologyJSON{Kind: "hex", N: 8}},
+			Topology: &WireTopology{Kind: "hex", N: 8}},
 		{Densities: []int{2}, Sizes: []int64{64}, Samples: 1,
-			Topology: &topologyJSON{Kind: "graph", N: 4, Edges: [][2]int{{0, 1}, {2, 3}}}},
+			Topology: &WireTopology{Kind: "graph", N: 4, Edges: [][2]int{{0, 1}, {2, 3}}}},
 		{Densities: []int{2}, Sizes: []int64{64}, Samples: 1,
-			Topology: &topologyJSON{Kind: "ring", N: 2048}},
+			Topology: &WireTopology{Kind: "ring", N: 2048}},
 		// Passes the node cap (1024 is a power of two) but its
 		// diameter-512 route table would be ~270M hops: the
 		// maxRouteTableHops gate must reject it before any worker or
 		// campaign precomputes the table.
 		{Densities: []int{2}, Sizes: []int64{64}, Samples: 1,
-			Topology: &topologyJSON{Kind: "ring", N: 1024}},
+			Topology: &WireTopology{Kind: "ring", N: 1024}},
 	}
 	for i, req := range bad {
 		if status, raw := postJSON(t, ts.URL+"/v1/campaign", req, nil); status != http.StatusBadRequest {
@@ -810,8 +813,8 @@ func TestCampaignTopologyBadRequests(t *testing.T) {
 		}
 	}
 	// The spec string form works end to end on the campaign endpoint.
-	ok := campaignRequest{Densities: []int{2}, Sizes: []int64{64}, Samples: 1,
-		Topology: &topologyJSON{Spec: "cube:3"}}
+	ok := CampaignRequest{Densities: []int{2}, Sizes: []int64{64}, Samples: 1,
+		Topology: &WireTopology{Spec: "cube:3"}}
 	if status, raw := postJSON(t, ts.URL+"/v1/campaign", ok, nil); status != http.StatusAccepted {
 		t.Errorf("spec-form campaign rejected: status %d (%s)", status, raw)
 	}
@@ -826,7 +829,7 @@ func TestCampaignDonePinnedAtCompletion(t *testing.T) {
 	j := &campaignJob{id: "c1", state: campaignRunning, total: 8}
 	// The last Progress tick a status reader might have raced with.
 	j.done.Store(int64(j.total) - 1)
-	j.finish([]campaignCell{}, nil)
+	j.finish([]CampaignCell{}, nil)
 	st := j.status()
 	if st.State != campaignDone {
 		t.Fatalf("state %q, want done", st.State)
@@ -870,10 +873,11 @@ func TestFollowerClientGoneIs499(t *testing.T) {
 	cancel()
 	rec := httptest.NewRecorder()
 	req := httptest.NewRequest(http.MethodPost, "/v1/schedule", nil).WithContext(ctx)
-	svc.respondMemoized(rec, req, epSchedule, key, func(wk *worker) (any, error) {
-		t.Error("follower must not compute")
-		return nil, nil
-	})
+	svc.respondMemoized(rec, req, conneg{enc: encJSON}, epSchedule, key, decodeScheduleDoc,
+		func(wk *worker) (wireDoc, error) {
+			t.Error("follower must not compute")
+			return nil, nil
+		})
 	if rec.Code != statusClientClosedRequest {
 		t.Errorf("follower with dead client got %d, want %d", rec.Code, statusClientClosedRequest)
 	}
@@ -892,24 +896,24 @@ func TestFollowerClientGoneIs499(t *testing.T) {
 // same seed, same streams, same numbers.
 func TestCampaignWorkloadsEndToEnd(t *testing.T) {
 	_, ts := newTestServer(t, Options{Workers: 2})
-	req := campaignRequest{
+	req := CampaignRequest{
 		Workloads: []string{"halo:8x8:512", "uniform:4:1024"},
 		Samples:   2, Seed: 11,
-		Topology: &topologyJSON{Spec: "torus:8x8"},
+		Topology: &WireTopology{Spec: "torus:8x8"},
 	}
-	var accepted map[string]string
+	var accepted CampaignAccepted
 	status, raw := postJSON(t, ts.URL+"/v1/campaign", req, &accepted)
 	if status != http.StatusAccepted {
 		t.Fatalf("campaign: status %d: %s", status, raw)
 	}
-	if accepted["key"] == "" {
+	if accepted.Key == "" {
 		t.Fatalf("campaign response missing content key: %s", raw)
 	}
 
-	var st campaignStatus
+	var st CampaignStatus
 	deadline := time.Now().Add(30 * time.Second)
 	for {
-		status, raw = getJSON(t, ts.URL+accepted["url"], &st)
+		status, raw = getJSON(t, ts.URL+accepted.URL, &st)
 		if status != http.StatusOK {
 			t.Fatalf("poll: status %d: %s", status, raw)
 		}
@@ -953,17 +957,17 @@ func TestCampaignWorkloadsEndToEnd(t *testing.T) {
 	alias := req
 	alias.Workloads = []string{"halo:8x8:512", "dregular:4:1024"}
 	aliasKey := campaignKeyFor(t, &alias)
-	if aliasKey != accepted["key"] {
-		t.Errorf("dregular-alias campaign hashed to %s, canonical run said %s", aliasKey, accepted["key"])
+	if aliasKey != accepted.Key {
+		t.Errorf("dregular-alias campaign hashed to %s, canonical run said %s", aliasKey, accepted.Key)
 	}
 	alias.Workloads = []string{"halo:8x8:512", "uniform:4:2048"}
-	if campaignKeyFor(t, &alias) == accepted["key"] {
+	if campaignKeyFor(t, &alias) == accepted.Key {
 		t.Error("different workload grid shares the campaign key")
 	}
 }
 
 // campaignKeyFor resolves a campaign request to its content-hash key.
-func campaignKeyFor(t *testing.T, req *campaignRequest) string {
+func campaignKeyFor(t *testing.T, req *CampaignRequest) string {
 	t.Helper()
 	_, _, key, err := resolveCampaign(req)
 	if err != nil {
@@ -980,22 +984,22 @@ func TestCampaignWorkloadBadRequests(t *testing.T) {
 	_, ts := newTestServer(t, Options{Workers: 1})
 	cases := []struct {
 		name string
-		req  campaignRequest
+		req  CampaignRequest
 	}{
-		{"malformed spec", campaignRequest{Workloads: []string{"uniform:4"}, Samples: 1, Dim: 3}},
-		{"unknown kind", campaignRequest{Workloads: []string{"klein:4:64"}, Samples: 1, Dim: 3}},
-		{"both grid forms", campaignRequest{Workloads: []string{"uniform:2:64"}, Densities: []int{2}, Sizes: []int64{64}, Samples: 1, Dim: 3}},
-		{"density too high", campaignRequest{Workloads: []string{"uniform:8:64"}, Samples: 1, Dim: 3}},
-		{"oversized halo grid", campaignRequest{Workloads: []string{"halo:4096x4096:8"}, Samples: 1, Dim: 3}},
-		{"halo extent over cap", campaignRequest{Workloads: []string{"halo:100000x2:8"}, Samples: 1, Dim: 3}},
-		{"bytes over service cap", campaignRequest{Workloads: []string{"uniform:2:33554433"}, Samples: 1, Dim: 3}},
-		{"aggregated message over cap", campaignRequest{Workloads: []string{"halo:2048x1024:16777216"}, Samples: 1, Dim: 3}},
-		{"spmv nnz over cap", campaignRequest{Workloads: []string{"spmv:100000:8"}, Samples: 1, Dim: 3}},
-		{"transpose on non-square", campaignRequest{Workloads: []string{"transpose:64"}, Samples: 1, Dim: 3}},
-		{"shift multiple of n", campaignRequest{Workloads: []string{"shift:8:64"}, Samples: 1, Dim: 3}},
-		{"stencil smaller than machine", campaignRequest{Workloads: []string{"stencil3d:1x1x2:64"}, Samples: 1, Dim: 3}},
-		{"negative bytes", campaignRequest{Workloads: []string{"perm:-4"}, Samples: 1, Dim: 3}},
-		{"empty workload", campaignRequest{Workloads: []string{""}, Samples: 1, Dim: 3}},
+		{"malformed spec", CampaignRequest{Workloads: []string{"uniform:4"}, Samples: 1, Dim: 3}},
+		{"unknown kind", CampaignRequest{Workloads: []string{"klein:4:64"}, Samples: 1, Dim: 3}},
+		{"both grid forms", CampaignRequest{Workloads: []string{"uniform:2:64"}, Densities: []int{2}, Sizes: []int64{64}, Samples: 1, Dim: 3}},
+		{"density too high", CampaignRequest{Workloads: []string{"uniform:8:64"}, Samples: 1, Dim: 3}},
+		{"oversized halo grid", CampaignRequest{Workloads: []string{"halo:4096x4096:8"}, Samples: 1, Dim: 3}},
+		{"halo extent over cap", CampaignRequest{Workloads: []string{"halo:100000x2:8"}, Samples: 1, Dim: 3}},
+		{"bytes over service cap", CampaignRequest{Workloads: []string{"uniform:2:33554433"}, Samples: 1, Dim: 3}},
+		{"aggregated message over cap", CampaignRequest{Workloads: []string{"halo:2048x1024:16777216"}, Samples: 1, Dim: 3}},
+		{"spmv nnz over cap", CampaignRequest{Workloads: []string{"spmv:100000:8"}, Samples: 1, Dim: 3}},
+		{"transpose on non-square", CampaignRequest{Workloads: []string{"transpose:64"}, Samples: 1, Dim: 3}},
+		{"shift multiple of n", CampaignRequest{Workloads: []string{"shift:8:64"}, Samples: 1, Dim: 3}},
+		{"stencil smaller than machine", CampaignRequest{Workloads: []string{"stencil3d:1x1x2:64"}, Samples: 1, Dim: 3}},
+		{"negative bytes", CampaignRequest{Workloads: []string{"perm:-4"}, Samples: 1, Dim: 3}},
+		{"empty workload", CampaignRequest{Workloads: []string{""}, Samples: 1, Dim: 3}},
 	}
 	for _, c := range cases {
 		if status, raw := postJSON(t, ts.URL+"/v1/campaign", c.req, nil); status != http.StatusBadRequest {
@@ -1010,17 +1014,17 @@ func TestCampaignWorkloadBadRequests(t *testing.T) {
 // shares the canonical cache key.
 func TestScheduleWorkloadEndpoint(t *testing.T) {
 	_, ts := newTestServer(t, Options{Workers: 2})
-	req := scheduleRequest{
+	req := ScheduleRequest{
 		Workload:  "halo:8x8:512",
 		Algorithm: "RS_NL",
-		Topology:  &topologyJSON{Spec: "torus:8x8"},
+		Topology:  &WireTopology{Spec: "torus:8x8"},
 	}
-	var env envelope
+	var env Envelope
 	status, raw := postJSON(t, ts.URL+"/v1/schedule", req, &env)
 	if status != http.StatusOK {
 		t.Fatalf("schedule workload: status %d: %s", status, raw)
 	}
-	var res scheduleResult
+	var res ScheduleResult
 	if err := json.Unmarshal(env.Result, &res); err != nil {
 		t.Fatal(err)
 	}
@@ -1040,7 +1044,7 @@ func TestScheduleWorkloadEndpoint(t *testing.T) {
 	// Same request on a fresh server: identical key and identical bytes
 	// (the pattern derives from the content hash, not server state).
 	_, ts2 := newTestServer(t, Options{Workers: 1})
-	var env2 envelope
+	var env2 Envelope
 	if status, raw := postJSON(t, ts2.URL+"/v1/schedule", req, &env2); status != http.StatusOK {
 		t.Fatalf("second server: status %d: %s", status, raw)
 	}
@@ -1052,9 +1056,9 @@ func TestScheduleWorkloadEndpoint(t *testing.T) {
 	}
 
 	// The dregular alias shares the canonical uniform cache slot.
-	uni := scheduleRequest{Workload: "uniform:4:1024", Algorithm: "RS_N", Topology: &topologyJSON{Spec: "cube:4"}}
-	ali := scheduleRequest{Workload: "dregular:4:1024", Algorithm: "RS_N", Topology: &topologyJSON{Spec: "cube:4"}}
-	var uniEnv, aliEnv envelope
+	uni := ScheduleRequest{Workload: "uniform:4:1024", Algorithm: "RS_N", Topology: &WireTopology{Spec: "cube:4"}}
+	ali := ScheduleRequest{Workload: "dregular:4:1024", Algorithm: "RS_N", Topology: &WireTopology{Spec: "cube:4"}}
+	var uniEnv, aliEnv Envelope
 	postJSON(t, ts.URL+"/v1/schedule", uni, &uniEnv)
 	postJSON(t, ts.URL+"/v1/schedule", ali, &aliEnv)
 	if uniEnv.Key != aliEnv.Key {
@@ -1073,15 +1077,15 @@ func TestScheduleWorkloadBadRequests(t *testing.T) {
 	mj := testMatrix(t, 8, 2, 64, 5)
 	cases := []struct {
 		name string
-		req  scheduleRequest
+		req  ScheduleRequest
 	}{
-		{"workload plus matrix", scheduleRequest{Workload: "uniform:2:64", Matrix: mj, Topology: &topologyJSON{Spec: "cube:3"}}},
-		{"workload without topology", scheduleRequest{Workload: "uniform:2:64"}},
-		{"malformed spec", scheduleRequest{Workload: "uniform:64", Topology: &topologyJSON{Spec: "cube:3"}}},
-		{"density over machine", scheduleRequest{Workload: "uniform:8:64", Topology: &topologyJSON{Spec: "cube:3"}}},
-		{"oversized grid", scheduleRequest{Workload: "halo:4096x4096:8", Topology: &topologyJSON{Spec: "cube:3"}}},
-		{"bytes over cap", scheduleRequest{Workload: "perm:33554433", Topology: &topologyJSON{Spec: "cube:3"}}},
-		{"bitcomp on odd machine", scheduleRequest{Workload: "bitcomp:64", Topology: &topologyJSON{Spec: "ring:6"}}},
+		{"workload plus matrix", ScheduleRequest{Workload: "uniform:2:64", Matrix: mj, Topology: &WireTopology{Spec: "cube:3"}}},
+		{"workload without topology", ScheduleRequest{Workload: "uniform:2:64"}},
+		{"malformed spec", ScheduleRequest{Workload: "uniform:64", Topology: &WireTopology{Spec: "cube:3"}}},
+		{"density over machine", ScheduleRequest{Workload: "uniform:8:64", Topology: &WireTopology{Spec: "cube:3"}}},
+		{"oversized grid", ScheduleRequest{Workload: "halo:4096x4096:8", Topology: &WireTopology{Spec: "cube:3"}}},
+		{"bytes over cap", ScheduleRequest{Workload: "perm:33554433", Topology: &WireTopology{Spec: "cube:3"}}},
+		{"bitcomp on odd machine", ScheduleRequest{Workload: "bitcomp:64", Topology: &WireTopology{Spec: "ring:6"}}},
 	}
 	for _, c := range cases {
 		if status, raw := postJSON(t, ts.URL+"/v1/schedule", c.req, nil); status != http.StatusBadRequest {
@@ -1096,7 +1100,7 @@ func TestScheduleWorkloadBadRequests(t *testing.T) {
 // versions. The pinned key was computed from the pre-workload hashing
 // scheme (grid lengths and values, samples, seed, params, topology).
 func TestCampaignClassicKeysUnchangedByWorkloadAxis(t *testing.T) {
-	req := campaignRequest{Densities: []int{2, 4}, Sizes: []int64{64, 1024}, Samples: 2, Seed: 7, Dim: 3}
+	req := CampaignRequest{Densities: []int{2, 4}, Sizes: []int64{64, 1024}, Samples: 2, Seed: 7, Dim: 3}
 	d := comm.NewDigest()
 	d.String("campaign/v1")
 	d.Int64(2)

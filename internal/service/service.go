@@ -1,23 +1,35 @@
 // Package service implements unschedd, the scheduling-as-a-service
 // daemon: the repository's schedulers and machine simulator behind a
-// long-running HTTP JSON API.
+// long-running HTTP API.
 //
 // Endpoints:
 //
-//	POST /v1/schedule       communication matrix (or workload spec) in,
-//	                        schedule out
-//	POST /v1/simulate       schedule (or AC matrix) in, predicted Result out
-//	POST /v1/campaign       async measurement grid (density sweep or
-//	                        workload-spec list); returns a job id
-//	GET  /v1/campaign/{id}  progress and, when done, the measured cells
-//	GET  /healthz           liveness
-//	GET  /metrics           Prometheus-style text counters
+//	POST /v1/schedule        communication matrix (or workload spec) in,
+//	                         schedule out
+//	POST /v1/schedule/batch  many schedule requests in, NDJSON results
+//	                         streamed out as each finishes
+//	POST /v1/simulate        schedule (or AC matrix) in, predicted Result out
+//	POST /v1/campaign        async measurement grid (density sweep or
+//	                         workload-spec list); returns a job id
+//	GET  /v1/campaign/{id}   progress and, when done, the measured cells
+//	GET  /healthz            liveness
+//	GET  /metrics            Prometheus-style text counters
+//
+// Requests are JSON. Synchronous responses are negotiated via Accept:
+// application/json (the default) or application/x-unsched-binary, the
+// compact varint envelope over the comm binary matrix codec; either
+// may be gzip-compressed via Accept-Encoding. Every synchronous
+// response carries a strong ETag derived from its content-hash key,
+// and If-None-Match revalidation is answered 304 with zero body bytes
+// — see wire.go and the README's wire-format section. Errors are
+// always JSON: an ErrorEnvelope with a stable machine-readable code.
 //
 // Synchronous requests run on a bounded worker pool; each worker owns
 // reusable simulator machines (one per topology/params pair it has
 // served), so the hot path allocates no per-run machine state. When
 // the queue is full the service sheds load with 429 rather than
-// growing without bound.
+// growing without bound. Batch items instead yield and retry, so one
+// stream survives transient pressure.
 //
 // Results are memoized in a sharded LRU keyed by a canonical content
 // hash of (matrix, algorithm, topology, params, seed) — see
@@ -34,7 +46,8 @@
 // byte-identically from the cache. Corrupt or truncated records are
 // skipped, deleted, and counted on /metrics, never fatal; Close
 // flushes the pending write batch. See persist.go for the record
-// format.
+// format. Only the canonical JSON form is persisted; binary
+// renderings are derived from it on demand and cached in memory.
 package service
 
 import (
@@ -46,6 +59,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"unsched/internal/comm"
 	"unsched/internal/costmodel"
@@ -136,7 +150,7 @@ type Server struct {
 	cancel context.CancelFunc
 	wg     sync.WaitGroup // campaign goroutines
 
-	requests  [4]atomic.Int64 // by endpoint index below
+	requests  [numEndpoints]atomic.Int64 // by endpoint index below
 	rejected  atomic.Int64
 	totalJobs atomic.Int64
 
@@ -149,6 +163,15 @@ type Server struct {
 	cacheMisses [2]atomic.Int64
 	flightDedup atomic.Int64
 	warmLoaded  atomic.Int64 // entries restored from disk at startup
+
+	// Wire-layer observability: If-None-Match revalidations answered
+	// 304, responses and wire bytes by encoding x compression, and the
+	// body bytes the wire layer avoided sending (gzip savings plus the
+	// known size of 304-suppressed bodies).
+	http304    atomic.Int64
+	bytesSaved atomic.Int64
+	respCount  [numEncodings][numCompressions]atomic.Int64
+	respBytes  [numEncodings][numCompressions]atomic.Int64
 }
 
 // endpoint indices for the requests counter.
@@ -157,9 +180,11 @@ const (
 	epSimulate
 	epCampaign
 	epCampaignGet
+	epBatch
+	numEndpoints
 )
 
-var endpointNames = [4]string{"schedule", "simulate", "campaign", "campaign_status"}
+var endpointNames = [numEndpoints]string{"schedule", "simulate", "campaign", "campaign_status", "schedule_batch"}
 
 // statusClientClosedRequest is the non-standard but widely used (nginx)
 // status for a client that disconnected before its response was ready:
@@ -203,6 +228,7 @@ func NewServer(opts Options) (*Server, error) {
 		s.disk = disk
 	}
 	s.mux.HandleFunc("POST /v1/schedule", s.handleSchedule)
+	s.mux.HandleFunc("POST /v1/schedule/batch", s.handleScheduleBatch)
 	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
 	s.mux.HandleFunc("POST /v1/campaign", s.handleCampaign)
 	s.mux.HandleFunc("GET /v1/campaign/{id}", s.handleCampaignStatus)
@@ -232,18 +258,41 @@ func (s *Server) Close() {
 // --- response plumbing ----------------------------------------------
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Type", ContentTypeJSON)
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	_ = enc.Encode(v) // the client is gone if this fails; nothing to do
 }
 
+// writeError answers any failure with the JSON error envelope: the
+// legacy bare string plus the versioned {code, message} detail.
+// Errors are JSON regardless of the negotiated response encoding — an
+// error body is small, and one parseable shape beats two.
 func writeError(w http.ResponseWriter, err error) {
-	if ae, ok := err.(*apiError); ok {
-		writeJSON(w, ae.status, errorDoc{Error: ae.msg})
-		return
+	ae, ok := err.(*apiError)
+	if !ok {
+		ae = &apiError{status: http.StatusInternalServerError, msg: err.Error()}
 	}
-	writeJSON(w, http.StatusInternalServerError, errorDoc{Error: err.Error()})
+	writeJSON(w, ae.status, ErrorEnvelope{
+		Error: ae.msg,
+		Err:   ErrorDetail{Code: ae.Code(), Message: ae.msg},
+	})
+}
+
+// negotiate validates the request's Content-Type and resolves its
+// Accept headers into a response form. It runs before the body is
+// decoded: a client that cannot receive the answer (406) or mislabeled
+// its payload (415) should hear so without the server parsing
+// megabytes first.
+func (s *Server) negotiate(r *http.Request) (conneg, error) {
+	if err := checkRequestContentType(r); err != nil {
+		return conneg{}, err
+	}
+	enc, err := negotiateEncoding(r)
+	if err != nil {
+		return conneg{}, err
+	}
+	return conneg{enc: enc, gzip: acceptsGzip(r)}, nil
 }
 
 // runTask submits fn to the pool and waits for completion.
@@ -270,72 +319,168 @@ func (s *Server) runTask(fn func(w *worker)) error {
 	return nil
 }
 
-// respondMemoized serves key from the cache or computes, memoizes, and
-// serves the result document produced by compute (which runs on the
-// worker pool). Concurrent misses on the same key are single-flighted:
-// one leader computes, the rest wait for its bytes instead of occupying
-// workers with identical recomputation.
+// runTaskWait is runTask for batch items: a full queue makes it yield
+// and retry instead of failing, so one saturated moment does not pock
+// a long stream with 429s. Retries do not touch the rejected counter —
+// a retried item was not shed. The submit itself can never block
+// forever on a closing pool (submit fails fast), and the wait between
+// attempts watches the stream's context so a disconnected client
+// stops burning the queue.
+func (s *Server) runTaskWait(ctx context.Context, fn func(w *worker)) error {
+	for {
+		t := &task{run: fn, done: make(chan struct{})}
+		err := s.pool.submit(t)
+		if err == nil {
+			<-t.done
+			if t.panicked != nil {
+				return t.panicked
+			}
+			return nil
+		}
+		if err != errBusy {
+			return &apiError{status: http.StatusServiceUnavailable, msg: err.Error()}
+		}
+		select {
+		case <-ctx.Done():
+			return &apiError{status: statusClientClosedRequest, msg: "client closed request"}
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+// memoized returns the response payload for key in the requested
+// encoding: the raw JSON result document (enc == encJSON) or the
+// binary document payload (enc == encBinary), plus whether it was
+// served without computing. Concurrent misses on the same variant are
+// single-flighted: one leader computes, the rest wait for its bytes.
+//
+// The canonical memoized representation is JSON — that is what the
+// disk store persists and warm restart reloads. A binary-encoding
+// miss that finds the JSON form cached re-encodes it via decodeDoc
+// (cheap) instead of recomputing (expensive), and the rendering is
+// cached in memory under the variant key. wait selects runTaskWait
+// (batch items) over runTask (synchronous requests, which 429).
 //
 // ep is the endpoint index (epSchedule/epSimulate) the hit/miss
 // counters are kept under. The accounting reflects what actually
-// happened: a hit is a response served from the cache, a miss is a
-// computation the leader performed, and a flight-served follower
-// counts only in flightDedup — its probe of the cache is not a second
-// miss, because nothing was computed for it.
-func (s *Server) respondMemoized(w http.ResponseWriter, r *http.Request, ep int, key string,
-	compute func(w *worker) (any, error)) {
-	if raw, ok := s.cache.get(key); ok {
+// happened: a hit is a response served from cached bytes (including a
+// binary rendering of cached JSON), a miss is a computation the
+// leader performed, and a flight-served follower counts only in
+// flightDedup.
+func (s *Server) memoized(ctx context.Context, ep int, key string, enc encoding, wait bool,
+	decodeDoc func([]byte) (wireDoc, error),
+	compute func(wk *worker) (wireDoc, error)) (payload []byte, cached bool, err error) {
+	vkey := variantKey(key, enc)
+	if raw, ok := s.cache.get(vkey); ok {
 		s.cacheHits[ep].Add(1)
-		writeJSON(w, http.StatusOK, envelope{Key: key, Cached: true, Result: raw})
-		return
+		return raw, true, nil
 	}
-	call, leader := s.flights.join(key)
+	if enc != encJSON {
+		if jsonRaw, ok := s.cache.get(key); ok {
+			doc, err := decodeDoc(jsonRaw)
+			if err != nil {
+				return nil, false, err
+			}
+			s.cacheHits[ep].Add(1)
+			raw := doc.appendBinaryPayload(nil)
+			s.cache.put(vkey, raw)
+			return raw, true, nil
+		}
+	}
+	call, leader := s.flights.join(vkey)
 	if !leader {
 		s.flightDedup.Add(1)
 		select {
 		case <-call.done:
-		case <-r.Context().Done():
+		case <-ctx.Done():
 			// The follower's own client hung up while waiting for the
 			// leader's result. That is a client-side abort, not a server
 			// failure: answer with a 4xx (499, nginx's "client closed
 			// request" convention) and leave the rejection and
 			// server-error metrics alone — the leader's computation is
 			// unaffected and still lands in the cache.
-			writeError(w, &apiError{status: statusClientClosedRequest, msg: "client closed request"})
-			return
+			return nil, false, &apiError{status: statusClientClosedRequest, msg: "client closed request"}
 		}
 		if call.err != nil {
-			writeError(w, call.err)
-			return
+			return nil, false, call.err
 		}
-		writeJSON(w, http.StatusOK, envelope{Key: key, Cached: true, Result: call.raw})
-		return
+		return call.raw, true, nil
 	}
 	s.cacheMisses[ep].Add(1)
 	raw, err := func() ([]byte, error) {
 		var (
-			result any
-			err    error
+			doc     wireDoc
+			docErr  error
+			taskErr error
 		)
-		if terr := s.runTask(func(wk *worker) { result, err = compute(wk) }); terr != nil {
-			return nil, terr
+		if wait {
+			taskErr = s.runTaskWait(ctx, func(wk *worker) { doc, docErr = compute(wk) })
+		} else {
+			taskErr = s.runTask(func(wk *worker) { doc, docErr = compute(wk) })
 		}
+		if taskErr != nil {
+			return nil, taskErr
+		}
+		if docErr != nil {
+			return nil, docErr
+		}
+		jsonRaw, err := json.Marshal(doc)
 		if err != nil {
 			return nil, err
 		}
-		return json.Marshal(result)
+		// Populate the cache before retiring the flight so no request
+		// can slip between the two and recompute. The JSON form is
+		// always cached (and write-through persisted); a binary leader
+		// additionally caches its rendering, memory-only.
+		s.cachePut(key, jsonRaw)
+		if enc == encJSON {
+			return jsonRaw, nil
+		}
+		bin := doc.appendBinaryPayload(nil)
+		s.cache.put(vkey, bin)
+		return bin, nil
 	}()
-	// Populate the cache before retiring the flight so no request can
-	// slip between the two and recompute.
-	if err == nil {
-		s.cachePut(key, raw)
+	s.flights.finish(vkey, call, raw, err)
+	if err != nil {
+		return nil, false, err
 	}
-	s.flights.finish(key, call, raw, err)
+	return raw, false, nil
+}
+
+// respondMemoized is the HTTP face of memoized: revalidation first,
+// then cache-or-compute, then the negotiated response envelope.
+//
+// The If-None-Match check runs before everything else. The response
+// is a pure function of the content-hash key, so a client presenting
+// the current ETag holds current bytes by construction — the 304 costs
+// no cache probe for the body and no worker time, even if the entry
+// was evicted everywhere.
+func (s *Server) respondMemoized(w http.ResponseWriter, r *http.Request, cn conneg, ep int, key string,
+	decodeDoc func([]byte) (wireDoc, error), compute func(wk *worker) (wireDoc, error)) {
+	if ifNoneMatchHit(r, etagFor(key, cn.enc)) {
+		known := 0
+		if raw, ok := s.cache.get(variantKey(key, cn.enc)); ok {
+			known = len(raw)
+		}
+		s.writeNotModified(w, cn, key, known)
+		return
+	}
+	payload, cached, err := s.memoized(r.Context(), ep, key, cn.enc, false, decodeDoc, compute)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, envelope{Key: key, Cached: false, Result: raw})
+	var body []byte
+	if cn.enc == encBinary {
+		body = appendBinaryEnvelope(make([]byte, 0, len(payload)+len(key)+16), key, cached, payload)
+	} else {
+		body, err = json.Marshal(Envelope{Key: key, Cached: cached, Result: payload})
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+	}
+	s.writeNegotiated(w, cn, key, body)
 }
 
 // cachePut memoizes a computed response in memory and, when
@@ -346,6 +491,25 @@ func (s *Server) cachePut(key string, raw []byte) {
 	if s.disk != nil {
 		s.disk.enqueue(key, raw)
 	}
+}
+
+// decodeScheduleDoc re-types a cached JSON schedule result so the wire
+// layer can render its binary form without recomputing.
+func decodeScheduleDoc(raw []byte) (wireDoc, error) {
+	var res ScheduleResult
+	if err := json.Unmarshal(raw, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// decodeSimulateDoc is decodeScheduleDoc for simulate results.
+func decodeSimulateDoc(raw []byte) (wireDoc, error) {
+	var res SimulateResult
+	if err := json.Unmarshal(raw, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
 }
 
 // --- /v1/schedule ---------------------------------------------------
@@ -359,83 +523,98 @@ var scheduleAlgorithms = map[string]bool{
 
 func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	s.requests[epSchedule].Add(1)
-	var req scheduleRequest
+	cn, err := s.negotiate(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	var req ScheduleRequest
 	if err := decodeJSON(r, &req); err != nil {
 		writeError(w, err)
 		return
 	}
+	key, compute, err := s.scheduleJob(&req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	s.respondMemoized(w, r, cn, epSchedule, key, decodeScheduleDoc, compute)
+}
+
+// scheduleJob resolves a schedule request — algorithm, pattern,
+// topology, caps — into its content-hash key and the compute closure
+// that builds the result on a worker. It owns everything below the
+// HTTP layer, which is what lets the synchronous handler and the batch
+// stream share one implementation.
+func (s *Server) scheduleJob(req *ScheduleRequest) (string, func(wk *worker) (wireDoc, error), error) {
 	if req.Algorithm == "" {
 		req.Algorithm = "auto"
 	}
 	if !scheduleAlgorithms[req.Algorithm] {
-		writeError(w, badRequest("unknown algorithm %q", req.Algorithm))
-		return
+		return "", nil, codedRequest(CodeUnknownAlgorithm, "unknown algorithm %q", req.Algorithm)
 	}
 	if req.Workload != "" {
-		s.handleScheduleWorkload(w, r, &req)
-		return
+		return s.scheduleWorkloadJob(req)
 	}
 	m, err := resolveMatrix(req.Matrix)
 	if err != nil {
-		writeError(w, err)
-		return
+		return "", nil, err
 	}
 	net, err := resolveTopology(req.Topology, m.N())
 	if err != nil {
-		writeError(w, err)
-		return
+		return "", nil, err
 	}
 	digest := scheduleKey(m, req.Algorithm, net, req.Seed)
 	seed := effectiveSeed(digest)
-	key := digest.Hex()
-	s.respondMemoized(w, r, epSchedule, key, func(wk *worker) (any, error) {
-		return buildSchedule(wk.schedCore(net), m, req.Algorithm, net, seed)
-	})
+	algorithm := req.Algorithm
+	return digest.Hex(), func(wk *worker) (wireDoc, error) {
+		res, err := buildSchedule(wk.schedCore(net), m, algorithm, net, seed)
+		if err != nil {
+			return nil, err
+		}
+		return res, nil
+	}, nil
 }
 
-// handleScheduleWorkload serves /v1/schedule requests that name a
+// scheduleWorkloadJob serves /v1/schedule requests that name a
 // generated workload instead of shipping a matrix. Every gate — spec
 // grammar, structural caps, machine fit, size cap — is enforced from
 // the spec string before the O(n^2) build, which itself runs on the
 // worker pool, off the HTTP goroutine. The pattern RNG derives from
 // the request's content hash, so the same request generates the same
 // matrix on any server at any time.
-func (s *Server) handleScheduleWorkload(w http.ResponseWriter, r *http.Request, req *scheduleRequest) {
+func (s *Server) scheduleWorkloadJob(req *ScheduleRequest) (string, func(wk *worker) (wireDoc, error), error) {
 	if req.Matrix != nil {
-		writeError(w, badRequest("matrix and workload are mutually exclusive"))
-		return
+		return "", nil, badRequest("matrix and workload are mutually exclusive")
 	}
 	if req.Topology == nil {
-		writeError(w, badRequest("a workload request needs an explicit topology (the workload is sized by the machine)"))
-		return
+		return "", nil, badRequest("a workload request needs an explicit topology (the workload is sized by the machine)")
 	}
 	net, err := buildTopology(req.Topology, 0)
 	if err != nil {
-		writeError(w, err)
-		return
+		return "", nil, err
 	}
 	sp, err := resolveWorkloadSpec(req.Workload, net.Nodes())
 	if err != nil {
-		writeError(w, err)
-		return
+		return "", nil, err
 	}
 	digest := scheduleWorkloadKey(sp, req.Algorithm, net, req.Seed)
 	seed := effectiveSeed(digest)
-	key := digest.Hex()
-	s.respondMemoized(w, r, epSchedule, key, func(wk *worker) (any, error) {
+	algorithm := req.Algorithm
+	return digest.Hex(), func(wk *worker) (wireDoc, error) {
 		patRNG := stats.NewSource(seed).StreamKeyed(sp.Key()...)
 		m, err := sp.Build(net.Nodes(), patRNG)
 		if err != nil {
 			return nil, badRequest("workload %s: %v", sp, err)
 		}
-		res, err := buildSchedule(wk.schedCore(net), m, req.Algorithm, net, seed)
+		res, err := buildSchedule(wk.schedCore(net), m, algorithm, net, seed)
 		if err != nil {
 			return nil, err
 		}
 		res.Workload = sp.String()
-		res.Matrix = matrixWire(m)
+		res.Matrix = NewWireMatrix(m)
 		return res, nil
-	})
+	}, nil
 }
 
 // chooseAlgorithm is the paper's Figure-5 operating-point policy: AC
@@ -461,12 +640,12 @@ func chooseAlgorithm(m *comm.Matrix, net topo.Topology) string {
 // schedule, because core methods consume the identical RNG stream as
 // the package-level functions — which is what makes memoization and
 // deterministic re-computation equivalent.
-func buildSchedule(core *sched.Core, m *comm.Matrix, algorithm string, net topo.Topology, seed int64) (*scheduleResult, error) {
+func buildSchedule(core *sched.Core, m *comm.Matrix, algorithm string, net topo.Topology, seed int64) (*ScheduleResult, error) {
 	chosen := algorithm
 	if chosen == "auto" {
 		chosen = chooseAlgorithm(m, net)
 	}
-	res := &scheduleResult{Chosen: chosen, Topology: net.Name(), Seed: seed}
+	res := &ScheduleResult{Chosen: chosen, Topology: net.Name(), Seed: seed}
 	if chosen == "AC" {
 		// Nothing to schedule: AC fires asynchronously. The wire
 		// schedule carries the algorithm tag and no phases; /v1/simulate
@@ -474,7 +653,7 @@ func buildSchedule(core *sched.Core, m *comm.Matrix, algorithm string, net topo.
 		if err := m.Validate(); err != nil {
 			return nil, badRequest("%v", err)
 		}
-		res.Schedule = &scheduleJSON{Algorithm: "AC", N: m.N()}
+		res.Schedule = &WireSchedule{Algorithm: "AC", N: m.N()}
 		return res, nil
 	}
 	rng := rand.New(rand.NewSource(seed))
@@ -498,7 +677,7 @@ func buildSchedule(core *sched.Core, m *comm.Matrix, algorithm string, net topo.
 	case "GREEDY_LF_LINK":
 		sc, err = core.GreedyLargestFirstLinkFree(m)
 	default:
-		return nil, badRequest("unknown algorithm %q", chosen)
+		return nil, codedRequest(CodeUnknownAlgorithm, "unknown algorithm %q", chosen)
 	}
 	if err != nil {
 		return nil, badRequest("%s: %v", chosen, err)
@@ -512,7 +691,12 @@ func buildSchedule(core *sched.Core, m *comm.Matrix, algorithm string, net topo.
 
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	s.requests[epSimulate].Add(1)
-	var req simulateRequest
+	cn, err := s.negotiate(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	var req SimulateRequest
 	if err := decodeJSON(r, &req); err != nil {
 		writeError(w, err)
 		return
@@ -574,7 +758,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 
 	digest := simulateKey(sc, m, net, paramsName, protocol)
 	key := digest.Hex()
-	s.respondMemoized(w, r, epSimulate, key, func(wk *worker) (any, error) {
+	s.respondMemoized(w, r, cn, epSimulate, key, decodeSimulateDoc, func(wk *worker) (wireDoc, error) {
 		mach, err := wk.machine(net, paramsName, params)
 		if err != nil {
 			return nil, err
@@ -603,7 +787,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 				return nil, err
 			}
 		}
-		return &simulateResult{
+		return &SimulateResult{
 			Topology:       net.Name(),
 			Protocol:       protocol,
 			MakespanUS:     result.MakespanUS,
@@ -645,7 +829,7 @@ func resolveProtocol(requested string, isAC bool, sc *sched.Schedule) (string, e
 
 func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 	s.requests[epCampaign].Add(1)
-	var req campaignRequest
+	var req CampaignRequest
 	if err := decodeJSON(r, &req); err != nil {
 		writeError(w, err)
 		return
@@ -688,10 +872,10 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 		cfg.Routes = s.tables.get(cfg.Topology)
 		runCampaign(s.ctx, job, cfg, points, parallelism)
 	}()
-	writeJSON(w, http.StatusAccepted, map[string]string{
-		"id":  job.id,
-		"key": key,
-		"url": "/v1/campaign/" + job.id,
+	writeJSON(w, http.StatusAccepted, CampaignAccepted{
+		ID:  job.id,
+		Key: key,
+		URL: "/v1/campaign/" + job.id,
 	})
 }
 
@@ -709,9 +893,9 @@ func (s *Server) handleCampaignStatus(w http.ResponseWriter, r *http.Request) {
 // --- /healthz and /metrics ------------------------------------------
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":  "ok",
-		"workers": s.opts.Workers,
+	writeJSON(w, http.StatusOK, HealthStatus{
+		Status:  "ok",
+		Workers: s.opts.Workers,
 	})
 }
 
@@ -733,6 +917,24 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	fmt.Fprintf(w, "# TYPE unschedd_flight_dedup_total counter\n")
 	fmt.Fprintf(w, "unschedd_flight_dedup_total %d\n", s.flightDedup.Load())
+	fmt.Fprintf(w, "# TYPE unschedd_http_304_total counter\n")
+	fmt.Fprintf(w, "unschedd_http_304_total %d\n", s.http304.Load())
+	fmt.Fprintf(w, "# TYPE unschedd_response_encoding_total counter\n")
+	for e := range s.respCount {
+		for c := range s.respCount[e] {
+			fmt.Fprintf(w, "unschedd_response_encoding_total{encoding=%q,compression=%q} %d\n",
+				encodingNames[e], compressionNames[c], s.respCount[e][c].Load())
+		}
+	}
+	fmt.Fprintf(w, "# TYPE unschedd_response_bytes_total counter\n")
+	for e := range s.respBytes {
+		for c := range s.respBytes[e] {
+			fmt.Fprintf(w, "unschedd_response_bytes_total{encoding=%q,compression=%q} %d\n",
+				encodingNames[e], compressionNames[c], s.respBytes[e][c].Load())
+		}
+	}
+	fmt.Fprintf(w, "# TYPE unschedd_bytes_saved_total counter\n")
+	fmt.Fprintf(w, "unschedd_bytes_saved_total %d\n", s.bytesSaved.Load())
 	fmt.Fprintf(w, "# TYPE unschedd_cache_entries gauge\n")
 	fmt.Fprintf(w, "unschedd_cache_entries %d\n", s.cache.len())
 	fmt.Fprintf(w, "# TYPE unschedd_cache_warm_loaded_entries gauge\n")

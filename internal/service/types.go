@@ -39,34 +39,91 @@ const maxServiceNodes = 1 << maxCampaignDim
 // at ~33M hops — and rejects the high-diameter degenerates.
 const maxRouteTableHops = 1 << 26
 
-// apiError is an error with an HTTP status. Handlers convert every
-// failure into one so clients always get a JSON error document.
+// Stable machine-readable error codes, carried in every error
+// response's envelope (ErrorEnvelope.Err.Code). Clients branch on
+// these, never on message text: messages may be reworded, codes are a
+// versioned contract.
+const (
+	CodeBadRequest          = "bad_request"
+	CodeUnknownAlgorithm    = "unknown_algorithm"
+	CodeBackpressure        = "backpressure"
+	CodePayloadTooLarge     = "payload_too_large"
+	CodeNotAcceptable       = "not_acceptable"
+	CodeUnsupportedMedia    = "unsupported_media_type"
+	CodeNotFound            = "not_found"
+	CodeClientClosedRequest = "client_closed_request"
+	CodeShuttingDown        = "shutting_down"
+	CodeInternal            = "internal"
+)
+
+// codeForStatus maps an HTTP status to its default error code; errors
+// carrying a more specific condition set their code explicitly.
+func codeForStatus(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return CodeBadRequest
+	case http.StatusNotAcceptable:
+		return CodeNotAcceptable
+	case http.StatusUnsupportedMediaType:
+		return CodeUnsupportedMedia
+	case http.StatusNotFound:
+		return CodeNotFound
+	case http.StatusRequestEntityTooLarge:
+		return CodePayloadTooLarge
+	case http.StatusTooManyRequests:
+		return CodeBackpressure
+	case statusClientClosedRequest:
+		return CodeClientClosedRequest
+	case http.StatusServiceUnavailable:
+		return CodeShuttingDown
+	default:
+		return CodeInternal
+	}
+}
+
+// apiError is an error with an HTTP status and a stable machine
+// readable code. Handlers convert every failure into one so clients
+// always get a structured error document.
 type apiError struct {
 	status int
+	code   string // empty means codeForStatus(status)
 	msg    string
 }
 
 func (e *apiError) Error() string { return e.msg }
 
+// Code returns the error's stable machine-readable code.
+func (e *apiError) Code() string {
+	if e.code != "" {
+		return e.code
+	}
+	return codeForStatus(e.status)
+}
+
 func badRequest(format string, args ...any) *apiError {
 	return &apiError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
 }
 
+// codedRequest is badRequest with a specific machine-readable code.
+func codedRequest(code, format string, args ...any) *apiError {
+	return &apiError{status: http.StatusBadRequest, code: code, msg: fmt.Sprintf(format, args...)}
+}
+
 // --- wire types -----------------------------------------------------
 
-// matrixJSON is the wire form of a communication matrix: the dimension
+// WireMatrix is the wire form of a communication matrix: the dimension
 // and the nonzero entries as [src, dst, bytes] triples.
-type matrixJSON struct {
+type WireMatrix struct {
 	N        int        `json:"n"`
 	Messages [][3]int64 `json:"messages"`
 }
 
-// topologyJSON names the network a request targets, in either of two
+// WireTopology names the network a request targets, in either of two
 // equivalent forms: the structured fields (kind "cube" uses Dim,
 // "mesh"/"torus" use W x H, "ring"/"graph" use N and Edges), or the
 // canonical spec string ("torus:8x8" — the same grammar the CLI's
 // -topo flag takes; see topo.ParseSpec). Setting both is an error.
-type topologyJSON struct {
+type WireTopology struct {
 	Kind  string   `json:"kind,omitempty"`
 	Dim   int      `json:"dim,omitempty"`
 	W     int      `json:"w,omitempty"`
@@ -76,13 +133,13 @@ type topologyJSON struct {
 	Spec  string   `json:"spec,omitempty"`
 }
 
-// scheduleRequest is the body of POST /v1/schedule. The pattern to
+// ScheduleRequest is the body of POST /v1/schedule. The pattern to
 // schedule comes in one of two mutually exclusive forms: an explicit
 // matrix, or a workload spec the service generates server-side
 // (deterministically, from the request's content hash) against an
 // explicitly sized topology.
-type scheduleRequest struct {
-	Matrix *matrixJSON `json:"matrix,omitempty"`
+type ScheduleRequest struct {
+	Matrix *WireMatrix `json:"matrix,omitempty"`
 	// Workload names a generated pattern by its canonical spec
 	// ("uniform:8:4096", "halo:64x64:512", ... — see
 	// workload.ParseSpec). Requires an explicit topology (the spec is
@@ -93,7 +150,7 @@ type scheduleRequest struct {
 	// Algorithm is AC, LP, RS_N, RS_NL, RS_NL_SZ, GREEDY, GREEDY_LF,
 	// or "auto" (the default) for the paper's Figure-5 policy.
 	Algorithm string        `json:"algorithm,omitempty"`
-	Topology  *topologyJSON `json:"topology,omitempty"`
+	Topology  *WireTopology `json:"topology,omitempty"`
 	// Seed perturbs the randomized schedulers and the generated
 	// workload. It is part of the cache key; the effective RNG seed is
 	// derived from the full request content, so identical requests
@@ -102,20 +159,20 @@ type scheduleRequest struct {
 	Seed int64 `json:"seed,omitempty"`
 }
 
-// phaseJSON is one schedule phase as [src, dst, bytes] triples.
-type phaseJSON [][3]int64
+// WirePhase is one schedule phase as [src, dst, bytes] triples.
+type WirePhase [][3]int64
 
-// scheduleJSON is the wire form of a computed schedule, reusable as
+// WireSchedule is the wire form of a computed schedule, reusable as
 // the input of /v1/simulate.
-type scheduleJSON struct {
+type WireSchedule struct {
 	Algorithm string      `json:"algorithm"`
 	N         int         `json:"n"`
 	Ops       int64       `json:"ops"`
-	Phases    []phaseJSON `json:"phases"`
+	Phases    []WirePhase `json:"phases"`
 }
 
-// scheduleResult is the cached payload of a /v1/schedule response.
-type scheduleResult struct {
+// ScheduleResult is the cached payload of a /v1/schedule response.
+type ScheduleResult struct {
 	// Chosen is the concrete algorithm that ran ("auto" resolves here).
 	Chosen   string `json:"chosen"`
 	Topology string `json:"topology"`
@@ -125,19 +182,19 @@ type scheduleResult struct {
 	// Matrix echoes the server-generated pattern for workload requests,
 	// so the client can hand it to /v1/simulate (AC runs need it) or
 	// inspect what was scheduled.
-	Matrix *matrixJSON `json:"matrix,omitempty"`
+	Matrix *WireMatrix `json:"matrix,omitempty"`
 	// Seed is the effective RNG seed, derived from the request content.
 	Seed     int64         `json:"seed"`
 	LinkFree bool          `json:"link_free"`
-	Schedule *scheduleJSON `json:"schedule"`
+	Schedule *WireSchedule `json:"schedule"`
 }
 
-// simulateRequest is the body of POST /v1/simulate. Algorithm AC needs
+// SimulateRequest is the body of POST /v1/simulate. Algorithm AC needs
 // Matrix instead of Schedule phases; everything else needs Schedule.
-type simulateRequest struct {
-	Schedule *scheduleJSON `json:"schedule"`
-	Matrix   *matrixJSON   `json:"matrix,omitempty"`
-	Topology *topologyJSON `json:"topology,omitempty"`
+type SimulateRequest struct {
+	Schedule *WireSchedule `json:"schedule"`
+	Matrix   *WireMatrix   `json:"matrix,omitempty"`
+	Topology *WireTopology `json:"topology,omitempty"`
 	// Params picks the timing model: "ipsc860" (default) or "ipsc2".
 	Params string `json:"params,omitempty"`
 	// Protocol is "auto" (default: the pairing the paper uses for the
@@ -145,8 +202,8 @@ type simulateRequest struct {
 	Protocol string `json:"protocol,omitempty"`
 }
 
-// simulateResult is the cached payload of a /v1/simulate response.
-type simulateResult struct {
+// SimulateResult is the cached payload of a /v1/simulate response.
+type SimulateResult struct {
 	Topology       string  `json:"topology"`
 	Protocol       string  `json:"protocol"`
 	MakespanUS     float64 `json:"makespan_us"`
@@ -156,18 +213,45 @@ type simulateResult struct {
 	ResourceWaitUS float64 `json:"resource_wait_us"`
 }
 
-// envelope is the outer document of every synchronous response. Result
+// Envelope is the outer document of every synchronous response. Result
 // is the memoized part: on a cache hit it is returned byte for byte as
 // first computed.
-type envelope struct {
+type Envelope struct {
 	Key    string          `json:"key"`
 	Cached bool            `json:"cached"`
 	Result json.RawMessage `json:"result"`
 }
 
-// errorDoc is the body of every non-2xx response.
-type errorDoc struct {
-	Error string `json:"error"`
+// CampaignAccepted is the 202 body of POST /v1/campaign: where the
+// accepted job lives. Key is the campaign's content-hash identity, so
+// a client can recognize a re-submitted grid.
+type CampaignAccepted struct {
+	ID  string `json:"id"`
+	Key string `json:"key"`
+	URL string `json:"url"`
+}
+
+// HealthStatus is the body of GET /healthz.
+type HealthStatus struct {
+	Status  string `json:"status"`
+	Workers int    `json:"workers"`
+}
+
+// ErrorDetail is the structured half of an error response: a stable
+// machine-readable code (one of the Code* constants) plus the human
+// message.
+type ErrorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// ErrorEnvelope is the body of every non-2xx response. Error is the
+// legacy bare-message field, kept for one release so existing clients
+// keep parsing; Err carries the versioned structured form — new
+// clients should branch on Err.Code and ignore Error.
+type ErrorEnvelope struct {
+	Error string      `json:"error"`
+	Err   ErrorDetail `json:"error_v2"`
 }
 
 // --- decoding and resolution ----------------------------------------
@@ -200,7 +284,7 @@ func decodeJSON(r *http.Request, v any) error {
 }
 
 // resolveMatrix validates the wire matrix and builds the dense form.
-func resolveMatrix(mj *matrixJSON) (*comm.Matrix, error) {
+func resolveMatrix(mj *WireMatrix) (*comm.Matrix, error) {
 	if mj == nil {
 		return nil, badRequest("missing matrix")
 	}
@@ -235,10 +319,10 @@ func resolveMatrix(mj *matrixJSON) (*comm.Matrix, error) {
 	return m, nil
 }
 
-// matrixWire converts a dense matrix back to wire form.
-func matrixWire(m *comm.Matrix) *matrixJSON {
+// NewWireMatrix converts a dense matrix back to wire form.
+func NewWireMatrix(m *comm.Matrix) *WireMatrix {
 	msgs := m.Messages()
-	out := &matrixJSON{N: m.N(), Messages: make([][3]int64, len(msgs))}
+	out := &WireMatrix{N: m.N(), Messages: make([][3]int64, len(msgs))}
 	for i, msg := range msgs {
 		out.Messages[i] = [3]int64{int64(msg.Src), int64(msg.Dst), msg.Bytes}
 	}
@@ -248,7 +332,7 @@ func matrixWire(m *comm.Matrix) *matrixJSON {
 // resolveTopology builds the network a schedule/simulate request
 // targets; nil defaults to the hypercube sized for the matrix's n
 // nodes, and an explicit topology must agree with n.
-func resolveTopology(tj *topologyJSON, n int) (topo.Topology, error) {
+func resolveTopology(tj *WireTopology, n int) (topo.Topology, error) {
 	if tj == nil {
 		net, err := hypercube.ForNodes(n)
 		if err != nil {
@@ -265,7 +349,7 @@ func resolveTopology(tj *topologyJSON, n int) (topo.Topology, error) {
 // built topology must have exactly n nodes. n == 0 (campaigns) means
 // the topology itself fixes the machine size, so every extent must be
 // explicit.
-func buildTopology(tj *topologyJSON, n int) (topo.Topology, error) {
+func buildTopology(tj *WireTopology, n int) (topo.Topology, error) {
 	var sp topo.Spec
 	switch {
 	case tj.Spec != "":
@@ -365,15 +449,15 @@ func resolveParams(name string) (string, costmodel.Params, error) {
 }
 
 // scheduleWire converts a computed schedule to wire form.
-func scheduleWire(s *sched.Schedule) *scheduleJSON {
-	out := &scheduleJSON{
+func scheduleWire(s *sched.Schedule) *WireSchedule {
+	out := &WireSchedule{
 		Algorithm: s.Algorithm,
 		N:         s.N,
 		Ops:       s.Ops,
-		Phases:    make([]phaseJSON, len(s.Phases)),
+		Phases:    make([]WirePhase, len(s.Phases)),
 	}
 	for k, p := range s.Phases {
-		phase := make(phaseJSON, 0, p.Messages())
+		phase := make(WirePhase, 0, p.Messages())
 		for i, j := range p.Send {
 			if j >= 0 {
 				phase = append(phase, [3]int64{int64(i), int64(j), p.Bytes[i]})
@@ -398,7 +482,7 @@ var knownScheduleAlgorithms = map[string]bool{
 // resolveSchedule validates the wire schedule and builds the phase
 // form, rejecting unknown algorithm tags, node contention, and
 // out-of-range entries.
-func resolveSchedule(sj *scheduleJSON) (*sched.Schedule, error) {
+func resolveSchedule(sj *WireSchedule) (*sched.Schedule, error) {
 	if sj == nil {
 		return nil, badRequest("missing schedule")
 	}
