@@ -14,13 +14,14 @@ import (
 )
 
 // allocBudgetRoundTrip pins one RSNL schedule plus one S1 simulation
-// on reused core+machine. The budget is dominated by the two outputs
-// that must escape — the Schedule's phases and the simulator's per-run
-// program compilation (~5.6k allocations, cf. the committed
-// BenchmarkSimulatorRSNLReused baseline); scheduler scratch adds
-// nothing. A regression in either reuse path blows well past the
-// headroom.
-const allocBudgetRoundTrip = 7000
+// on reused core+machine. Since the simulator moved to flat events
+// and arena-recycled per-message state, only the outputs that must
+// escape allocate: the Schedule's phase slices (~48 allocations) and
+// the simulator's per-phase program headers (~22, cf. the committed
+// BenchmarkSimulatorRSNLReused baseline at 20 allocs/op). 150 is ~2x
+// the measured 71; a closure or per-event allocation creeping back
+// into the hot path blows past it immediately.
+const allocBudgetRoundTrip = 150
 
 func TestScheduleSimulateRoundTripAllocs(t *testing.T) {
 	cube := NewCube(6)

@@ -574,8 +574,11 @@ func BenchmarkSimulatorRSNL(b *testing.B) {
 }
 
 // BenchmarkSimulatorRSNLReused is BenchmarkSimulatorRSNL on one
-// reusable Machine — the configuration every campaign worker runs in.
-// Compare allocs/op against the fresh-machine benchmark above.
+// reusable Machine over a dense route table — the configuration every
+// campaign worker and daemon worker runs in: routes come from the
+// table's CSR arrays and channel occupancy goes word-at-a-time through
+// its bitset spans. Compare allocs/op against the fresh-machine
+// benchmark above.
 func BenchmarkSimulatorRSNLReused(b *testing.B) {
 	cube := hypercube.MustNew(6)
 	params := costmodel.DefaultIPSC860()
@@ -588,7 +591,7 @@ func BenchmarkSimulatorRSNLReused(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	mach, err := ipsc.NewMachine(cube, params)
+	mach, err := ipsc.NewMachine(topo.NewRouteTable(cube), params)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -597,6 +600,66 @@ func BenchmarkSimulatorRSNLReused(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := mach.RunS1(s); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorRSNL_1024 scales the reused-machine benchmark to
+// the service's classic 1024-node cap (the dim-10 cube): ~16x the
+// events of the 64-node run through the same flat-event engine, arena
+// state, and word-mask occupancy, so hot-path regressions that only
+// bite at depth — queue scans over more distinct times, bitset spans
+// over 5120 channels — show up here before they show up in a campaign.
+func BenchmarkSimulatorRSNL_1024(b *testing.B) {
+	cube := hypercube.MustNew(10)
+	params := costmodel.DefaultIPSC860()
+	rng := rand.New(rand.NewSource(11))
+	m, err := comm.DRegular(1024, 4, 4096, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	table := topo.NewRouteTable(cube)
+	core := sched.NewCoreForTable(table)
+	s, err := core.RSNL(m, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mach, err := ipsc.NewMachine(table, params)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mach.RunS1(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRouteTableBitset is the occupancy micro-benchmark under the
+// simulator: probe-claim-release of whole routes against the packed
+// []uint64 channel bitset, word-at-a-time through the table's mask
+// spans. One op is one full probe+claim+probe+release cycle over a
+// route of the 64-node cube.
+func BenchmarkRouteTableBitset(b *testing.B) {
+	cube := hypercube.MustNew(6)
+	rt := topo.NewRouteTable(cube)
+	if !rt.Masked() {
+		b.Fatal("cube table should carry mask spans")
+	}
+	busy := make([]uint64, topo.BitsetWords(cube.NumChannels()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := i & 63
+		dst := (i * 31) & 63
+		if rt.RouteFree(busy, src, dst) {
+			rt.ClaimRoute(busy, src, dst)
+			if rt.RouteFree(busy, src, dst) && src != dst {
+				b.Fatal("claimed route reads free")
+			}
+			rt.ReleaseRoute(busy, src, dst)
 		}
 	}
 }

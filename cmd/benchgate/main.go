@@ -14,6 +14,16 @@
 //
 //	benchgate -baseline BENCH_baseline.json -current BENCH_PR.json
 //
+// A subset of benchmarks can be held to a tighter allocs/op bar than
+// the noise-tolerant default: -strict-allocs takes a regexp and
+// -strict-allocs-threshold the allowed fraction (default 0.10).
+// allocs/op is deterministic — there is no runner noise to forgive —
+// so the simulator hot-path benchmarks are gated at 10% while ns/op
+// keeps the machine-dependent 25%:
+//
+//	benchgate -baseline BENCH_baseline.json -current BENCH_PR.json \
+//	    -strict-allocs 'BenchmarkSimulator' -strict-allocs-threshold 0.10
+//
 // Benchmarks present in the baseline but missing from the current
 // report fail the gate: silently dropping a tracked benchmark is how
 // regressions hide. New benchmarks in the current report are reported
@@ -34,6 +44,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 	"sort"
 	"strconv"
 	"strings"
@@ -60,12 +71,14 @@ type Metrics struct {
 
 func run(args []string, stdout io.Writer) error {
 	var (
-		parse     string
-		out       string
-		baseline  string
-		current   string
-		markdown  string
-		threshold float64
+		parse        string
+		out          string
+		baseline     string
+		current      string
+		markdown     string
+		threshold    float64
+		strictAllocs string
+		strictThresh float64
 	)
 	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
 	fs.StringVar(&parse, "parse", "", "parse `go test -bench` output from this file")
@@ -74,8 +87,17 @@ func run(args []string, stdout io.Writer) error {
 	fs.StringVar(&current, "current", "", "current report to gate")
 	fs.StringVar(&markdown, "markdown", "", "with -baseline and -current: render a markdown before/after table to this file (\"-\" for stdout) instead of gating")
 	fs.Float64Var(&threshold, "threshold", 0.25, "allowed fractional regression per metric")
+	fs.StringVar(&strictAllocs, "strict-allocs", "", "regexp of benchmarks whose allocs/op are gated at -strict-allocs-threshold instead of -threshold")
+	fs.Float64Var(&strictThresh, "strict-allocs-threshold", 0.10, "allowed fractional allocs/op regression for -strict-allocs benchmarks")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var strictRe *regexp.Regexp
+	if strictAllocs != "" {
+		var err error
+		if strictRe, err = regexp.Compile(strictAllocs); err != nil {
+			return fmt.Errorf("-strict-allocs: %v", err)
+		}
 	}
 	switch {
 	case parse != "":
@@ -83,7 +105,7 @@ func run(args []string, stdout io.Writer) error {
 	case baseline != "" && current != "" && markdown != "":
 		return runMarkdown(baseline, current, markdown, threshold, stdout)
 	case baseline != "" && current != "":
-		return runCompare(baseline, current, threshold, stdout)
+		return runCompare(baseline, current, threshold, strictRe, strictThresh, stdout)
 	default:
 		fs.Usage()
 		return fmt.Errorf("need either -parse, or -baseline with -current")
@@ -119,7 +141,7 @@ func runParse(parse, out string, stdout io.Writer) error {
 	return nil
 }
 
-func runCompare(baselinePath, currentPath string, threshold float64, stdout io.Writer) error {
+func runCompare(baselinePath, currentPath string, threshold float64, strictRe *regexp.Regexp, strictThresh float64, stdout io.Writer) error {
 	baseline, err := readReport(baselinePath)
 	if err != nil {
 		return err
@@ -128,13 +150,12 @@ func runCompare(baselinePath, currentPath string, threshold float64, stdout io.W
 	if err != nil {
 		return err
 	}
-	lines, failures := compare(baseline, current, threshold)
+	lines, failures := compare(baseline, current, threshold, strictRe, strictThresh)
 	for _, l := range lines {
 		fmt.Fprintln(stdout, l)
 	}
 	if failures > 0 {
-		return fmt.Errorf("%d benchmark(s) regressed more than %.0f%% against %s",
-			failures, threshold*100, baselinePath)
+		return fmt.Errorf("%d benchmark(s) regressed against %s", failures, baselinePath)
 	}
 	fmt.Fprintf(stdout, "gate passed: no benchmark regressed more than %.0f%%\n", threshold*100)
 	return nil
@@ -304,8 +325,10 @@ func parseBench(r io.Reader) (*Report, error) {
 
 // compare evaluates every baseline-tracked benchmark against the
 // current report, returning human-readable lines and the number of
-// gate failures.
-func compare(baseline, current *Report, threshold float64) (lines []string, failures int) {
+// gate failures. Benchmarks matching strictRe have their allocs/op
+// gated at strictThresh instead of threshold: allocation counts are
+// deterministic, so the hot-path set gets no noise allowance.
+func compare(baseline, current *Report, threshold float64, strictRe *regexp.Regexp, strictThresh float64) (lines []string, failures int) {
 	names := make([]string, 0, len(baseline.Benchmarks))
 	for name := range baseline.Benchmarks {
 		names = append(names, name)
@@ -319,8 +342,12 @@ func compare(baseline, current *Report, threshold float64) (lines []string, fail
 			lines = append(lines, fmt.Sprintf("FAIL %s: tracked benchmark missing from current report", name))
 			continue
 		}
+		allocThresh := threshold
+		if strictRe != nil && strictRe.MatchString(name) {
+			allocThresh = strictThresh
+		}
 		ok1, l1 := gateMetric(name, "ns/op", base.NsPerOp, cur.NsPerOp, threshold)
-		ok2, l2 := gateMetric(name, "allocs/op", base.AllocsPerOp, cur.AllocsPerOp, threshold)
+		ok2, l2 := gateMetric(name, "allocs/op", base.AllocsPerOp, cur.AllocsPerOp, allocThresh)
 		if !ok1 {
 			failures++
 		}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -50,42 +51,104 @@ func report(ns, allocs float64) *Report {
 
 func TestGatePassesWithinThreshold(t *testing.T) {
 	// +20% is inside the 25% budget.
-	_, failures := compare(report(1000, 100), report(1200, 100), 0.25)
+	_, failures := compare(report(1000, 100), report(1200, 100), 0.25, nil, 0.10)
 	if failures != 0 {
 		t.Errorf("20%% slowdown failed the 25%% gate")
 	}
 	// Improvements never fail.
-	if _, failures := compare(report(1000, 100), report(10, 1), 0.25); failures != 0 {
+	if _, failures := compare(report(1000, 100), report(10, 1), 0.25, nil, 0.10); failures != 0 {
 		t.Errorf("improvement failed the gate")
 	}
 }
 
 func TestGateFailsOnSyntheticRegression(t *testing.T) {
 	// The synthetic >25% regression the CI gate must catch: +30% ns/op.
-	lines, failures := compare(report(1000, 100), report(1300, 100), 0.25)
+	lines, failures := compare(report(1000, 100), report(1300, 100), 0.25, nil, 0.10)
 	if failures != 1 {
 		t.Fatalf("30%% slowdown: %d failures, want 1\n%s", failures, strings.Join(lines, "\n"))
 	}
 	// Alloc regressions are gated too.
-	if _, failures := compare(report(1000, 100), report(1000, 200), 0.25); failures != 1 {
+	if _, failures := compare(report(1000, 100), report(1000, 200), 0.25, nil, 0.10); failures != 1 {
 		t.Error("alloc doubling passed the gate")
 	}
 	// A missing tracked benchmark is a failure, not a skip.
 	empty := &Report{Benchmarks: map[string]Metrics{}}
-	if _, failures := compare(report(1000, 100), empty, 0.25); failures != 1 {
+	if _, failures := compare(report(1000, 100), empty, 0.25, nil, 0.10); failures != 1 {
 		t.Error("missing tracked benchmark passed the gate")
 	}
 	// A tracked metric dropping to zero (benchmark ran without
 	// -benchmem) is a failure, not a -100% improvement.
-	if _, failures := compare(report(1000, 100), report(1000, 0), 0.25); failures != 1 {
+	if _, failures := compare(report(1000, 100), report(1000, 0), 0.25, nil, 0.10); failures != 1 {
 		t.Error("vanished allocs/op metric passed the gate")
+	}
+}
+
+func TestStrictAllocsGate(t *testing.T) {
+	strict := regexp.MustCompile(`BenchmarkSimulator`)
+	// +18% allocs/op: inside the default 25% budget, outside the 10%
+	// strict budget — the strict regexp must flip it to a failure.
+	if _, failures := compare(report(1000, 100), report(1000, 118), 0.25, nil, 0.10); failures != 0 {
+		t.Error("18% alloc growth failed the default gate")
+	}
+	lines, failures := compare(report(1000, 100), report(1000, 118), 0.25, strict, 0.10)
+	if failures != 1 {
+		t.Fatalf("18%% alloc growth passed the strict gate:\n%s", strings.Join(lines, "\n"))
+	}
+	// ns/op keeps the noise-tolerant default even under strict allocs.
+	if _, failures := compare(report(1000, 100), report(1180, 100), 0.25, strict, 0.10); failures != 0 {
+		t.Error("18% slowdown failed under -strict-allocs (ns/op must keep the default threshold)")
+	}
+	// Non-matching benchmarks keep the default allocs threshold.
+	loose := regexp.MustCompile(`BenchmarkCampaign`)
+	if _, failures := compare(report(1000, 100), report(1000, 118), 0.25, loose, 0.10); failures != 0 {
+		t.Error("strict regexp gated a non-matching benchmark")
+	}
+}
+
+func TestStrictAllocsEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	benchTxt := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(benchTxt, []byte(sampleBenchOutput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	prJSON := filepath.Join(dir, "BENCH_PR.json")
+	var out bytes.Buffer
+	if err := run([]string{"-parse", benchTxt, "-out", prJSON}, &out); err != nil {
+		t.Fatalf("parse mode: %v", err)
+	}
+	// Baseline with 15% fewer simulator allocs than the current run:
+	// passes the default gate, fails the 10% strict gate.
+	baseline := &Report{Benchmarks: map[string]Metrics{
+		"BenchmarkSimulatorRSNL": {NsPerOp: 305929, AllocsPerOp: 170 / 1.15},
+	}}
+	baseJSON := filepath.Join(dir, "BENCH_baseline.json")
+	raw, _ := json.Marshal(baseline)
+	if err := os.WriteFile(baseJSON, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run([]string{"-baseline", baseJSON, "-current", prJSON}, &out); err != nil {
+		t.Fatalf("default gate failed a 15%% alloc growth: %v\n%s", err, out.String())
+	}
+	out.Reset()
+	err := run([]string{"-baseline", baseJSON, "-current", prJSON,
+		"-strict-allocs", "BenchmarkSimulator", "-strict-allocs-threshold", "0.10"}, &out)
+	if err == nil {
+		t.Fatalf("strict gate passed a 15%% alloc growth:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL BenchmarkSimulatorRSNL allocs/op") {
+		t.Errorf("strict gate output does not name the alloc regression:\n%s", out.String())
+	}
+	// A bad regexp is a usage error, not a pass.
+	if err := run([]string{"-baseline", baseJSON, "-current", prJSON, "-strict-allocs", "("}, &out); err == nil {
+		t.Error("invalid -strict-allocs regexp accepted")
 	}
 }
 
 func TestGateIgnoresUntrackedNewBenchmarks(t *testing.T) {
 	current := report(1000, 100)
 	current.Benchmarks["BenchmarkBrandNew"] = Metrics{NsPerOp: 1}
-	lines, failures := compare(report(1000, 100), current, 0.25)
+	lines, failures := compare(report(1000, 100), current, 0.25, nil, 0.10)
 	if failures != 0 {
 		t.Errorf("new benchmark caused failures:\n%s", strings.Join(lines, "\n"))
 	}

@@ -23,6 +23,8 @@
 //	                bitcomp:BYTES, alltoall:BYTES)
 //	-parallel P     worker goroutines (default 0 = GOMAXPROCS)
 //	-progress       report campaign progress on stderr
+//	-cpuprofile F   write a pprof CPU profile of the run to F
+//	-memprofile F   write a pprof heap profile (after the run) to F
 //
 // The classic targets sweep the paper's uniform workload; the
 // `workloads` target measures each -workload spec as one cell of a
@@ -45,6 +47,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"unsched/internal/expt"
@@ -82,6 +86,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	workloads := fs.String("workload", "", "comma-separated workload specs for the workloads target (uniform:D:BYTES, halo:WxH:BYTES, ...)")
 	parallel := fs.Int("parallel", 0, "worker goroutines; 0 means GOMAXPROCS")
 	progress := fs.Bool("progress", false, "report campaign progress on stderr")
+	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memprofile := fs.String("memprofile", "", "write a pprof heap profile (after the run) to this file")
 	if err := fs.Parse(args); err != nil {
 		// The FlagSet already reported the problem (plus usage) on
 		// stderr; returning ErrHelp exits 2 without printing it twice.
@@ -95,6 +101,38 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if *workloads != "" && fs.Arg(0) != "workloads" {
 		return fmt.Errorf("-workload applies only to the workloads target (the classic grids sweep the paper's uniform workload)")
+	}
+
+	// Profiling brackets everything the command measures — topology
+	// build, campaign, rendering — which is exactly the production
+	// shape the simulator hot path is tuned against.
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(stderr, "experiments: -memprofile:", err)
+				return
+			}
+			defer f.Close()
+			// The heap profile reports live objects as of the last GC;
+			// collect first so the snapshot reflects the run's retained
+			// state, not transient garbage.
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(stderr, "experiments: -memprofile:", err)
+			}
+		}()
 	}
 
 	net, err := resolveNet(fs, *topoSpec, *dim)

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	unschedd [-addr :8080] [-workers 0] [-queue 0] [-cache 4096]
-//	         [-cache-dir DIR] [-campaigns 2]
+//	         [-cache-dir DIR] [-campaigns 2] [-pprof-addr ADDR]
 //
 // Endpoints (see internal/service for the wire formats):
 //
@@ -37,6 +37,13 @@
 // computed responses byte-identically as cache hits instead of
 // re-paying every O(n^2) schedule. Corrupt or truncated records are
 // skipped and counted on /metrics, never fatal.
+//
+// With -pprof-addr, a second listener serves net/http/pprof
+// (/debug/pprof/...) on its own mux, so live CPU and heap profiles of
+// a loaded daemon are one `go tool pprof` away. It is opt-in and
+// separately addressed on purpose: the profile endpoints never share a
+// port with the public API, so they can be bound to localhost while
+// the API faces the network.
 package main
 
 import (
@@ -45,6 +52,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -61,6 +69,7 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "directory for disk-backed cache persistence; empty keeps the cache in memory only")
 	campaigns := flag.Int("campaigns", 2, "maximum concurrently running campaigns")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown deadline")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables profiling")
 	flag.Parse()
 
 	svc, err := service.NewServer(service.Options{
@@ -78,6 +87,25 @@ func main() {
 		Addr:              *addr,
 		Handler:           svc,
 		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	if *pprofAddr != "" {
+		// An explicit mux rather than http.DefaultServeMux: importing
+		// net/http/pprof registers its handlers globally, and serving
+		// the default mux would silently expose them on any future
+		// listener that does the same.
+		pm := http.NewServeMux()
+		pm.HandleFunc("/debug/pprof/", pprof.Index)
+		pm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			fmt.Fprintf(os.Stderr, "unschedd: pprof on %s\n", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, pm); err != nil {
+				fmt.Fprintln(os.Stderr, "unschedd: pprof listener:", err)
+			}
+		}()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)

@@ -1,6 +1,7 @@
 package des
 
 import (
+	"errors"
 	"testing"
 )
 
@@ -10,7 +11,10 @@ func TestEventsRunInTimeOrder(t *testing.T) {
 	e.At(5, func() { order = append(order, 2) })
 	e.At(1, func() { order = append(order, 1) })
 	e.At(9, func() { order = append(order, 3) })
-	end := e.Run(0)
+	end, err := e.Run(0)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
 	if end != 9 {
 		t.Errorf("final time %v, want 9", end)
 	}
@@ -72,17 +76,35 @@ func TestNegativeDelayPanics(t *testing.T) {
 	e.After(-1, func() {})
 }
 
-func TestRunBoundPanicsOnCascade(t *testing.T) {
+func TestRunBoundReturnsLimitError(t *testing.T) {
 	e := New()
 	var loop func()
 	loop = func() { e.After(1, loop) }
 	e.After(0, loop)
-	defer func() {
-		if recover() == nil {
-			t.Error("event cascade did not trip the bound")
-		}
-	}()
-	e.Run(100)
+	_, err := e.Run(100)
+	if err == nil {
+		t.Fatal("event cascade did not trip the bound")
+	}
+	var le *LimitError
+	if !errors.As(err, &le) {
+		t.Fatalf("error %T is not a *LimitError: %v", err, err)
+	}
+	if le.MaxEvents != 100 {
+		t.Errorf("LimitError.MaxEvents = %d, want 100", le.MaxEvents)
+	}
+	if le.Now != e.Now() {
+		t.Errorf("LimitError.Now = %v, engine now %v", le.Now, e.Now())
+	}
+	// The queue is left intact for inspection, and the engine recovers
+	// after a Reset.
+	if e.Pending() == 0 {
+		t.Error("queue drained despite limit error")
+	}
+	e.Reset()
+	e.At(1, func() {})
+	if _, err := e.Run(10); err != nil {
+		t.Errorf("Run after Reset: %v", err)
+	}
 }
 
 func TestStepAndPending(t *testing.T) {
@@ -101,4 +123,57 @@ func TestStepAndPending(t *testing.T) {
 	if e.Pending() != 1 {
 		t.Errorf("Pending after Step = %d", e.Pending())
 	}
+}
+
+func TestFlatEventsDispatchThroughHandler(t *testing.T) {
+	e := New()
+	type rec struct{ kind, a, b int32 }
+	var got []rec
+	e.SetHandler(func(kind, a, b int32) { got = append(got, rec{kind, a, b}) })
+	e.AtEvent(3, 1, 10, 11)
+	e.AtEvent(1, 2, 20, 21)
+	e.AfterEvent(2, 3, 30, 31)
+	end, err := e.Run(0)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if end != 3 {
+		t.Errorf("final time %v, want 3", end)
+	}
+	want := []rec{{2, 20, 21}, {3, 30, 31}, {1, 10, 11}}
+	if len(got) != len(want) {
+		t.Fatalf("dispatched %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dispatched %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFlatAndClosureEventsShareTieOrder(t *testing.T) {
+	e := New()
+	var order []int
+	e.SetHandler(func(kind, a, b int32) { order = append(order, int(a)) })
+	e.At(4, func() { order = append(order, 0) })
+	e.AtEvent(4, 0, 1, 0)
+	e.At(4, func() { order = append(order, 2) })
+	e.AtEvent(4, 0, 3, 0)
+	e.Run(0)
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("tie order = %v", order)
+		}
+	}
+}
+
+func TestFlatEventWithoutHandlerPanics(t *testing.T) {
+	e := New()
+	e.AtEvent(1, 0, 0, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("flat event without handler did not panic")
+		}
+	}()
+	e.Step()
 }

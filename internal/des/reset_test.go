@@ -10,7 +10,8 @@ func TestResetReplaysIdentically(t *testing.T) {
 			order = append(order, 1)
 			e.After(1, func() { order = append(order, 2) })
 		})
-		return e.Run(0), order
+		end, _ := e.Run(0)
+		return end, order
 	}
 	e := New()
 	t1, o1 := runOnce(e)

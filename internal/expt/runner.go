@@ -64,13 +64,17 @@ func (p Point) spec() (workload.Spec, error) {
 // units fan out across workers, and within a unit the four algorithms
 // are measured back to back on the one matrix the unit generates —
 // regenerated into the worker's reused buffer, never allocated per
-// cell. Every RNG stream is derived from the master seed keyed by the
-// (workload key, sample, algorithm) tuple it serves — never by
+// cell. When the grid offers fewer units than the pool has workers —
+// a single cell on a many-core machine — the fan-out drops to
+// (unit, algorithm) granularity instead, each item regenerating its
+// sample's matrix, so otherwise-idle workers share the narrow
+// campaign. Every RNG stream is derived from the master seed keyed by
+// the (workload key, sample, algorithm) tuple it serves — never by
 // execution order — so the measured numbers are bit-identical at any
-// parallelism, including 1, which reproduces the sequential harness.
-// The classic uniform workload's key is its historical (density,
-// msgBytes) pair, so density-sweep campaigns reproduce pre-workload
-// outputs exactly.
+// parallelism and either fan-out granularity, including 1, which
+// reproduces the sequential harness. The classic uniform workload's
+// key is its historical (density, msgBytes) pair, so density-sweep
+// campaigns reproduce pre-workload outputs exactly.
 //
 // The zero value of Parallelism and Progress is valid: the runner then
 // uses GOMAXPROCS workers and reports no progress. A Runner is safe
@@ -185,8 +189,18 @@ func (r *Runner) MeasureCells(ctx context.Context, points []Point) ([]map[Algori
 		r.Progress(done, total)
 		mu.Unlock()
 	}
+	// Fine-grained mode: with fewer units than workers, fan out at
+	// (unit, algorithm) granularity so the extra workers contribute.
+	// Each fine item regenerates its sample's matrix — a price paid
+	// only on narrow grids, where generation is a sliver of the
+	// schedule+simulate cost it unlocks parallelism for.
+	fine := units < r.workers()
+	items := units
+	if fine {
+		items = total
+	}
 	unitCh := make(chan int)
-	for w := 0; w < min(r.workers(), units); w++ {
+	for w := 0; w < min(r.workers(), items); w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -195,8 +209,10 @@ func (r *Runner) MeasureCells(ctx context.Context, points []Point) ([]map[Algori
 			// reused workload matrix, and one stream source; all are
 			// confined to this goroutine, so the steady-state
 			// generate→schedule→simulate pipeline allocates (near)
-			// nothing per unit.
-			mach, err := ipsc.NewMachine(cfg.Topology, cfg.Params)
+			// nothing per unit. The machine runs over the shared route
+			// table too: transfers then claim and release whole routes
+			// through its word-mask bitset spans.
+			mach, err := ipsc.NewMachine(routes, cfg.Params)
 			if err != nil {
 				fail(err)
 				return
@@ -205,6 +221,19 @@ func (r *Runner) MeasureCells(ctx context.Context, points []Point) ([]map[Algori
 			src := stats.NewSource(cfg.Seed)
 			scratch := &unitScratch{m: comm.MustNew(nodes)}
 			for idx := range unitCh {
+				if fine {
+					unit, algIdx := idx/nAlg, idx%nAlg
+					sp := specs[unit/samples]
+					sample := unit % samples
+					if err := cfg.runUnitAlg(mach, core, src, scratch, sp, sample, algIdx, &results[idx]); err != nil {
+						fail(err)
+						return
+					}
+					if r.Progress != nil {
+						tick()
+					}
+					continue
+				}
 				sp := specs[idx/samples]
 				sample := idx % samples
 				var tickFn func()
@@ -219,7 +248,7 @@ func (r *Runner) MeasureCells(ctx context.Context, points []Point) ([]map[Algori
 		}()
 	}
 feed:
-	for idx := 0; idx < units; idx++ {
+	for idx := 0; idx < items; idx++ {
 		select {
 		case unitCh <- idx:
 		case <-ctx.Done():
@@ -289,22 +318,11 @@ func (r *Runner) MeasureWorkloads(ctx context.Context, specs []workload.Spec) ([
 // algorithm); tick, when non-nil, is called after each algorithm
 // completes.
 func (c Config) runSample(mach *ipsc.Machine, core *sched.Core, src *stats.Source, scratch *unitScratch, sp workload.Spec, sample int, out []unitResult, tick func()) error {
-	// Streams are keyed by the full coordinate tuple (tagged 0 for the
-	// pattern stream, 1 for scheduling streams) through composed
-	// SplitMix64 mixing — a linear packing is not injective over
-	// user-chosen grids, which would hand "independent" cells identical
-	// generators. The workload key of the classic uniform spec is its
-	// historical (d, msgBytes) pair, so pattern stream (0, d, M, sample)
-	// and scheduling streams (1, d, M, sample, alg) — and therefore all
-	// density-sweep campaign outputs — are unchanged from the
-	// pre-workload harness.
-	key := sp.AppendKey(append(scratch.key[:0], 0))
-	patRNG := src.StreamKeyed(append(key, int64(sample))...)
-	key[0] = 1 // same workload coordinates, scheduling tag
-	schedKey := append(key, int64(sample), 0)
-	if err := sp.BuildInto(scratch.m, patRNG); err != nil {
+	key, err := c.buildSample(src, scratch, sp, sample)
+	if err != nil {
 		return err
 	}
+	schedKey := append(key, int64(sample), 0)
 	for algIdx, alg := range Algorithms {
 		schedKey[len(schedKey)-1] = int64(algIdx)
 		schedRNG := src.StreamKeyed(schedKey...)
@@ -317,8 +335,52 @@ func (c Config) runSample(mach *ipsc.Machine, core *sched.Core, src *stats.Sourc
 			tick()
 		}
 	}
-	scratch.key = key[:0]
+	scratch.key = schedKey[:0]
 	return nil
+}
+
+// runUnitAlg executes one fine-grained (workload, sample, algorithm)
+// item: regenerate the sample's matrix, then schedule and simulate the
+// single algorithm. The stream keys are identical to runSample's, so a
+// campaign computes the same numbers whichever granularity ran it.
+func (c Config) runUnitAlg(mach *ipsc.Machine, core *sched.Core, src *stats.Source, scratch *unitScratch, sp workload.Spec, sample, algIdx int, out *unitResult) error {
+	key, err := c.buildSample(src, scratch, sp, sample)
+	if err != nil {
+		return err
+	}
+	schedKey := append(key, int64(sample), int64(algIdx))
+	alg := Algorithms[algIdx]
+	schedRNG := src.StreamKeyed(schedKey...)
+	commUS, compMS, nPhases, err := c.runOne(mach, core, alg, scratch.m, schedRNG)
+	if err != nil {
+		return fmt.Errorf("expt: %s %s sample %d: %w", alg, sp, sample, err)
+	}
+	*out = unitResult{commMS: commUS / 1000, compMS: compMS, iters: nPhases}
+	scratch.key = schedKey[:0]
+	return nil
+}
+
+// buildSample regenerates the (workload, sample) communication matrix
+// into the worker's reused buffer and returns the stream-key prefix,
+// tagged for scheduling streams.
+//
+// Streams are keyed by the full coordinate tuple (tagged 0 for the
+// pattern stream, 1 for scheduling streams) through composed
+// SplitMix64 mixing — a linear packing is not injective over
+// user-chosen grids, which would hand "independent" cells identical
+// generators. The workload key of the classic uniform spec is its
+// historical (d, msgBytes) pair, so pattern stream (0, d, M, sample)
+// and scheduling streams (1, d, M, sample, alg) — and therefore all
+// density-sweep campaign outputs — are unchanged from the
+// pre-workload harness.
+func (c Config) buildSample(src *stats.Source, scratch *unitScratch, sp workload.Spec, sample int) ([]int64, error) {
+	key := sp.AppendKey(append(scratch.key[:0], 0))
+	patRNG := src.StreamKeyed(append(key, int64(sample))...)
+	key[0] = 1 // same workload coordinates, scheduling tag
+	if err := sp.BuildInto(scratch.m, patRNG); err != nil {
+		return nil, err
+	}
+	return key, nil
 }
 
 // grid returns the densities x sizes point grid re-expressed as

@@ -204,6 +204,45 @@ func TestRunnerRejectsInvalidConfig(t *testing.T) {
 	}
 }
 
+// TestRunnerFineGrainedDeterministic pins the fine fan-out mode: a
+// single-cell campaign with more workers than (workload, sample) units
+// drops to (unit, algorithm) granularity, and must still measure
+// byte-identically to the sequential coarse run — the fine items key
+// their streams by the same coordinates and regenerate the same
+// matrices. Progress accounting must also be unchanged: one tick per
+// (unit, algorithm) either way.
+func TestRunnerFineGrainedDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Topology = topo.MustParseSpec("torus:4x4").MustBuild()
+	cfg.Samples = 2 // 1 point x 2 samples = 2 units: parallelism >2 goes fine
+	seq, err := (&Runner{Config: cfg, Parallelism: 1}).MeasureCell(context.Background(), 4, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{2, 3, 8} {
+		var dones []int
+		r := &Runner{Config: cfg, Parallelism: p}
+		r.Progress = func(done, total int) {
+			if total != 2*len(Algorithms) {
+				t.Errorf("p=%d: progress total %d, want %d", p, total, 2*len(Algorithms))
+			}
+			dones = append(dones, done)
+		}
+		got, err := r.MeasureCell(context.Background(), 4, 1024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(dones) != 2*len(Algorithms) || dones[len(dones)-1] != 2*len(Algorithms) {
+			t.Errorf("p=%d: progress ticks %v, want %d monotone ticks", p, dones, 2*len(Algorithms))
+		}
+		for _, alg := range Algorithms {
+			if got[alg] != seq[alg] {
+				t.Errorf("%s at parallelism %d: %+v != sequential %+v", alg, p, got[alg], seq[alg])
+			}
+		}
+	}
+}
+
 // TestRunnerWorkloadDeterministicAcrossParallelism extends the
 // tentpole invariant across the workload axis: a mixed grid of
 // non-uniform workloads (halo, hot-spot, stencil, spmv, permutation

@@ -1,0 +1,130 @@
+package ipsc
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"unsched/internal/comm"
+	"unsched/internal/costmodel"
+	"unsched/internal/hypercube"
+	"unsched/internal/sched"
+	"unsched/internal/topo"
+)
+
+// TestDeadlockErrorNamesStuckNodes pins the diagnostic contract of
+// deadlockError: the message names each stuck node with its program
+// counter and current op, and truncates after eight entries so a
+// wedged 1024-node run does not produce a megabyte error string.
+func TestDeadlockErrorNamesStuckNodes(t *testing.T) {
+	m := mustMachine(t, 4) // 16 nodes
+	programs := make([][]op, 16)
+	// Ten orphan receives: more than the 8-entry cap.
+	for i := 0; i < 10; i++ {
+		programs[i] = []op{{kind: opWaitRecv, peer: int32((i + 1) % 16)}}
+	}
+	_, err := m.run(programs)
+	if err == nil {
+		t.Fatal("ten orphan receives not detected")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "deadlock") {
+		t.Fatalf("error %q should mention deadlock", msg)
+	}
+	// The first stuck node, with pc and op rendered.
+	if !strings.Contains(msg, "P0@0:") {
+		t.Errorf("error %q should name stuck node P0 at pc 0", msg)
+	}
+	// Truncated: the 9th and later stuck nodes collapse to "...".
+	if !strings.Contains(msg, "...") {
+		t.Errorf("error %q should truncate after 8 stuck nodes", msg)
+	}
+	if strings.Contains(msg, "P9@") {
+		t.Errorf("error %q lists more than 8 stuck nodes", msg)
+	}
+}
+
+// TestPendingSummary checks the blocked-attempt renderer used by
+// contention tests: entries are labelled send/xchg by kind and
+// returned sorted regardless of queue order.
+func TestPendingSummary(t *testing.T) {
+	m := mustMachine(t, 3)
+	m.attempts = append(m.attempts[:0],
+		attempt{src: 7, dst: 2},
+		attempt{src: 0, dst: 1, exchange: true},
+		attempt{src: 3, dst: 4},
+	)
+	m.pending = append(m.pending[:0], 0, 1, 2)
+	got := m.pendingSummary()
+	want := []string{"send 3->4", "send 7->2", "xchg 0->1"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("pendingSummary() = %v, want %v", got, want)
+	}
+	// Empty queue renders empty, not nil-panic.
+	m.pending = m.pending[:0]
+	if got := m.pendingSummary(); len(got) != 0 {
+		t.Errorf("empty pending queue rendered %v", got)
+	}
+}
+
+// TestMachinesShareRouteTableConcurrently is the campaign-worker
+// memory model under the race detector: many machines, one dense
+// RouteTable. The table must be read-only in the hot path (routeFree/
+// claim/release touch only per-machine occupancy words), so parallel
+// simulations over the shared table are race-free and bit-identical
+// to sequential ones.
+func TestMachinesShareRouteTableConcurrently(t *testing.T) {
+	cube := hypercube.MustNew(5)
+	table := topo.NewRouteTable(cube)
+	params := costmodel.DefaultIPSC860()
+	mat, err := comm.DRegular(32, 6, 2048, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sched.RSNL(mat, cube, rand.New(rand.NewSource(10)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ref, err := RunS1(cube, params, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 8
+	results := make([]Result, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			mach, err := NewMachine(table, params)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			// Two runs per worker: the second exercises Reset reuse
+			// while siblings are mid-flight on the same table.
+			for pass := 0; pass < 2; pass++ {
+				res, err := mach.RunS1(s)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				results[w] = res
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			t.Fatalf("worker %d: %v", w, errs[w])
+		}
+		if results[w] != ref {
+			t.Errorf("worker %d over shared table: %+v, sequential %+v", w, results[w], ref)
+		}
+	}
+}

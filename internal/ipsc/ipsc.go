@@ -24,6 +24,31 @@
 // simultaneously available, rather than incrementally holding partial
 // paths. This keeps the model deadlock-free while preserving the
 // serialization that link contention causes.
+//
+// # Hot-path representation
+//
+// The simulator is the cost center of every campaign cell and service
+// request, so its run loop is built to generate no garbage when a
+// Machine is reused:
+//
+//   - events are flat typed records (a kind tag plus two int32
+//     operands) dispatched through one des.Engine handler, stored
+//     inline in the engine's reusable heap array — no closure per
+//     event;
+//   - transfer attempts live in a machine-owned arena ([]attempt)
+//     addressed by index; the pending-retry queue is a slice of those
+//     indices;
+//   - barrier arrival counts and waiter lists are flat slices indexed
+//     by barrier id (phase number), recycled across runs;
+//   - channel occupancy is a packed []uint64 bitset; when the Machine
+//     is built over a dense topo.RouteTable the free/claim/release
+//     walks go word-at-a-time through the table's precomputed masks;
+//   - per-run programs compile into a machine-owned [][]op arena whose
+//     inner capacities persist across runs (Run* methods only; the
+//     package-level Compile* functions still allocate fresh programs).
+//
+// After the first run on a given workload shape, Reset restores every
+// arena without freeing, so a reused Machine simulates allocation-free.
 package ipsc
 
 import (
@@ -35,24 +60,60 @@ import (
 	"unsched/internal/topo"
 )
 
+// Flat event kinds dispatched through the des.Engine handler. The
+// operands a and b are event-specific.
+const (
+	// evAdvance resumes node a's program.
+	evAdvance int32 = iota
+	// evReady delivers receiver b's ready signal to sender a.
+	evReady
+	// evBarrier releases barrier a, owned by (last-arriving) node b.
+	evBarrier
+	// evXferDone completes the unidirectional transfer attempts[a].
+	evXferDone
+	// evExchDone completes the pairwise exchange attempts[a].
+	evExchDone
+)
+
 // Machine is a simulator instance. Create one with NewMachine and
 // drive it through its RunS1/RunS2/RunLP/RunAC methods, which Reset
 // and reuse its state so one Machine serves an arbitrarily long run
 // sequence without reallocating. A Machine is not safe for concurrent
 // use; create one per goroutine.
+//
+// Passing a *topo.RouteTable as the topology (a RouteTable is itself a
+// Topology) switches channel-occupancy checks to the table's
+// word-at-a-time bitset masks; any other topology routes on the fly.
 type Machine struct {
 	net    topo.Topology
+	routes *topo.RouteTable // non-nil: dense table, word-mask occupancy path
 	params costmodel.Params
 	eng    *des.Engine
-	nodes  []*node
-	// chanBusy[channelIndex] marks channels held by active circuits.
-	chanBusy []bool
+	nodes  []node
+	// chanBusy is the packed channel-occupancy bitset: bit i marks
+	// directed channel i held by an active circuit.
+	chanBusy []uint64
+	// busy packs each node's circuit occupancy into one byte —
+	// busyTx for an active outgoing transfer, busyRx for an incoming
+	// one. tryStart probes these for random peers on every retry, so
+	// keeping all nodes' flags in a few cache lines matters more than
+	// keeping them next to the rest of the node state.
+	busy     []uint8
 	routeBuf []int
-	pending  []*attempt
-	nextSeq  int64
-	// barrier state: arrivals and blocked nodes per barrier id.
-	barrierCount   map[int]int
-	barrierWaiters map[int][]*node
+	// attempts is the per-run arena of transfer/exchange attempts;
+	// pending queues the arena indices of attempts blocked on
+	// resources, in FIFO order.
+	attempts []attempt
+	pending  []int32
+	// barrier state, indexed by barrier id (= phase number): arrival
+	// counts and blocked-node lists, grown on demand and recycled.
+	barrierCount   []int32
+	barrierWaiters [][]int32
+	// progs is the compile arena the Run* methods build per-node
+	// programs into; inner slices keep their capacity across runs.
+	// recvScratch is the compile-time receive-count scratch (S2).
+	progs       [][]op
+	recvScratch []int
 	// stats
 	transfers     int
 	exchanges     int
@@ -62,6 +123,13 @@ type Machine struct {
 	arrivedTotal  int
 }
 
+// busy byte bits: an active outgoing circuit and an active incoming
+// one. A pairwise exchange sets both bits on both partners.
+const (
+	busyTx = 1 << iota
+	busyRx
+)
+
 type node struct {
 	id      int
 	program []op
@@ -70,19 +138,15 @@ type node struct {
 	// rendezvous, arrival, or resources). Its engine is idle, so it
 	// can absorb incoming circuits.
 	blocked bool
-	// transmitting marks an active outgoing unidirectional transfer;
-	// absorbing marks an active incoming one. A pairwise exchange sets
-	// both on both partners.
-	transmitting bool
-	absorbing    bool
 	// readyFrom[r] is set when the ready signal from receiver r has
 	// arrived (S1). Each (sender, receiver) message is scheduled at
 	// most once, so a bool per peer suffices.
 	readyFrom []bool
 	// arrived[s] / consumed[s] count fully delivered messages from
-	// source s; opWaitRecv consumes them.
-	arrived  []int
-	consumed []int
+	// source s; opWaitRecv consumes them. int32 halves the O(n^2)
+	// footprint, which is what keeps a 4096-node machine buildable.
+	arrived  []int32
+	consumed []int32
 	received int // total messages absorbed (for opWaitAll)
 	expected int
 	done     bool
@@ -95,12 +159,13 @@ type node struct {
 }
 
 // attempt is a transfer or exchange blocked on resources, queued for
-// deterministic retry when circuits free up.
+// deterministic retry when circuits free up. Attempts live in the
+// Machine's arena and are addressed by index — in the pending queue
+// and in the completion events that reference them.
 type attempt struct {
-	seq      int64
 	exchange bool
-	async    bool // opSendAsync: completion decrements outstanding instead of advancing pc
-	src, dst int  // for exchange: src < dst pair
+	async    bool  // opSendAsync: completion decrements outstanding instead of advancing pc
+	src, dst int32 // for exchange: src < dst pair
 	bytes    int64
 	backSize int64 // exchange reverse direction
 	queuedAt float64
@@ -132,57 +197,68 @@ func NewMachine(net topo.Topology, params costmodel.Params) (*Machine, error) {
 		net:       net,
 		params:    params,
 		eng:       des.New(),
-		chanBusy:  make([]bool, net.NumChannels()),
+		chanBusy:  make([]uint64, topo.BitsetWords(net.NumChannels())),
 		maxEvents: int64(n) * 1_000_000,
 	}
+	if rt, ok := net.(*topo.RouteTable); ok && !rt.Lazy() {
+		m.routes = rt
+	}
+	m.eng.SetHandler(m.handle)
 	// Per-node state is carved out of four contiguous allocations so a
 	// Machine costs O(1) allocations per node instead of O(n), and so
 	// Reset can clear it without freeing anything. The campaign runner
 	// keeps one Machine per worker and reuses it for every run.
-	backing := make([]node, n)
+	m.nodes = make([]node, n)
+	m.busy = make([]uint8, n)
 	ready := make([]bool, n*n)
-	arrived := make([]int, n*n)
-	consumed := make([]int, n*n)
-	m.nodes = make([]*node, n)
-	for i := 0; i < n; i++ {
-		nd := &backing[i]
+	arrived := make([]int32, n*n)
+	consumed := make([]int32, n*n)
+	for i := range m.nodes {
+		nd := &m.nodes[i]
 		nd.id = i
 		nd.readyFrom = ready[i*n : (i+1)*n : (i+1)*n]
 		nd.arrived = arrived[i*n : (i+1)*n : (i+1)*n]
 		nd.consumed = consumed[i*n : (i+1)*n : (i+1)*n]
-		m.nodes[i] = nd
 	}
 	return m, nil
 }
 
+// SetMaxEvents overrides the simulated-event bound (default
+// nodes * 1e6). Exceeding the bound makes the run fail with an error
+// wrapping *des.LimitError. Values <= 0 are ignored.
+func (m *Machine) SetMaxEvents(v int64) {
+	if v > 0 {
+		m.maxEvents = v
+	}
+}
+
 // Reset returns the machine to its initial state while keeping every
-// backing allocation: the event heap, the channel-occupancy table, the
-// route buffer, and all per-node vectors. After Reset the machine is
-// indistinguishable from a freshly built one, so a single Machine can
-// drive an arbitrarily long sequence of runs allocation-free (modulo
-// per-run program compilation and event closures).
+// backing allocation: the event heap, the channel-occupancy bitset,
+// the route buffer, the attempt and barrier arenas, and all per-node
+// vectors. After Reset the machine is indistinguishable from a freshly
+// built one, so a single Machine can drive an arbitrarily long
+// sequence of runs allocation-free.
 func (m *Machine) Reset() {
 	m.eng.Reset()
 	clear(m.chanBusy)
 	m.routeBuf = m.routeBuf[:0]
-	for i := range m.pending {
-		m.pending[i] = nil
-	}
+	m.attempts = m.attempts[:0]
 	m.pending = m.pending[:0]
-	m.nextSeq = 0
-	m.barrierCount = nil
-	m.barrierWaiters = nil
+	for i := range m.barrierCount {
+		m.barrierCount[i] = 0
+		m.barrierWaiters[i] = m.barrierWaiters[i][:0]
+	}
+	clear(m.busy)
 	m.transfers = 0
 	m.exchanges = 0
 	m.waitedUS = 0
 	m.totalExpected = 0
 	m.arrivedTotal = 0
-	for _, nd := range m.nodes {
+	for i := range m.nodes {
+		nd := &m.nodes[i]
 		nd.program = nil
 		nd.pc = 0
 		nd.blocked = false
-		nd.transmitting = false
-		nd.absorbing = false
 		clear(nd.readyFrom)
 		clear(nd.arrived)
 		clear(nd.consumed)
@@ -211,24 +287,26 @@ func (m *Machine) run(programs [][]op) (Result, error) {
 			case opExchange:
 				// Each endpoint's opExchange carries its outgoing
 				// bytes; tally the halves directed at the peer.
-				if o.bytes > 0 && o.peer != src {
+				if o.bytes > 0 && int(o.peer) != src {
 					m.nodes[o.peer].expected++
 				}
 			}
 		}
 	}
-	for i, nd := range m.nodes {
-		nd.program = programs[i]
-		m.totalExpected += nd.expected
+	for i := range m.nodes {
+		m.nodes[i].program = programs[i]
+		m.totalExpected += m.nodes[i].expected
 	}
 	for i := range m.nodes {
-		i := i
-		m.eng.At(0, func() { m.advance(m.nodes[i]) })
+		m.eng.AtEvent(0, evAdvance, int32(i), 0)
 	}
-	m.eng.Run(m.maxEvents)
+	if _, err := m.eng.Run(m.maxEvents); err != nil {
+		return Result{}, fmt.Errorf("ipsc: %w", err)
+	}
 
 	makespan := 0.0
-	for _, nd := range m.nodes {
+	for i := range m.nodes {
+		nd := &m.nodes[i]
 		if !nd.done {
 			return Result{}, m.deadlockError()
 		}
@@ -246,7 +324,8 @@ func (m *Machine) run(programs [][]op) (Result, error) {
 
 func (m *Machine) deadlockError() error {
 	var stuck []string
-	for _, nd := range m.nodes {
+	for i := range m.nodes {
+		nd := &m.nodes[i]
 		if !nd.done {
 			desc := "end"
 			if nd.pc < len(nd.program) {
@@ -260,6 +339,32 @@ func (m *Machine) deadlockError() error {
 		}
 	}
 	return fmt.Errorf("ipsc: simulation deadlocked at t=%.1fµs: %v", m.eng.Now(), stuck)
+}
+
+// handle dispatches one flat event from the engine. It is the only
+// event sink; every scheduled event is one of the ev* kinds above.
+func (m *Machine) handle(kind, a, b int32) {
+	switch kind {
+	case evAdvance:
+		m.advance(&m.nodes[a])
+	case evReady:
+		sender := &m.nodes[a]
+		sender.readyFrom[b] = true
+		if sender.blocked && sender.pc < len(sender.program) {
+			so := sender.program[sender.pc]
+			if so.kind == opSendReady && so.peer == b {
+				m.advance(sender)
+			}
+		}
+	case evBarrier:
+		m.releaseBarrier(int(a), int(b))
+	case evXferDone:
+		m.finishTransfer(a)
+	case evExchDone:
+		m.finishExchange(a)
+	default:
+		panic(fmt.Sprintf("ipsc: unknown event kind %d", kind))
+	}
 }
 
 // advance executes ops of nd until it blocks or finishes. It must be
@@ -279,29 +384,21 @@ func (m *Machine) advance(nd *node) {
 		case opDelay:
 			nd.pc++
 			if o.cost > 0 {
-				m.eng.After(o.cost, func() { m.advance(nd) })
+				m.eng.AfterEvent(o.cost, evAdvance, int32(nd.id), 0)
 				return
 			}
 
 		case opPostRecv:
 			// Post the buffer and fire the ready signal to the sender;
-			// costs CPU locally, then the signal flies.
-			src := o.peer
+			// costs CPU locally, then the signal flies. The signal event
+			// is scheduled first so a zero-flight tie still delivers the
+			// signal before the local resume.
+			src := int(o.peer)
 			cost := m.params.PostOverheadUS
-			flight := m.params.SignalTime(m.net.Hops(nd.id, src))
-			sender := m.nodes[src]
-			me := nd
-			m.eng.After(cost+flight, func() {
-				sender.readyFrom[me.id] = true
-				if sender.blocked && sender.pc < len(sender.program) {
-					so := sender.program[sender.pc]
-					if so.kind == opSendReady && so.peer == me.id {
-						m.advance(sender)
-					}
-				}
-			})
+			flight := m.params.SignalTime(m.hops(nd.id, src))
+			m.eng.AfterEvent(cost+flight, evReady, int32(src), int32(nd.id))
 			nd.pc++
-			m.eng.After(cost, func() { m.advance(nd) })
+			m.eng.AfterEvent(cost, evAdvance, int32(nd.id), 0)
 			return
 
 		case opSendReady:
@@ -309,25 +406,25 @@ func (m *Machine) advance(nd *node) {
 				nd.blocked = true
 				return
 			}
-			m.tryOrQueue(&attempt{
-				seq: m.seq(), src: nd.id, dst: o.peer, bytes: o.bytes,
+			m.tryOrQueue(m.addAttempt(attempt{
+				src: int32(nd.id), dst: int32(o.peer), bytes: o.bytes,
 				queuedAt: m.eng.Now(),
-			})
+			}))
 			return
 
 		case opSendFire:
-			m.tryOrQueue(&attempt{
-				seq: m.seq(), src: nd.id, dst: o.peer, bytes: o.bytes,
+			m.tryOrQueue(m.addAttempt(attempt{
+				src: int32(nd.id), dst: int32(o.peer), bytes: o.bytes,
 				queuedAt: m.eng.Now(),
-			})
+			}))
 			return
 
 		case opSendAsync:
 			nd.outstanding++
-			m.tryOrQueue(&attempt{
-				seq: m.seq(), async: true, src: nd.id, dst: o.peer, bytes: o.bytes,
+			m.tryOrQueue(m.addAttempt(attempt{
+				async: true, src: int32(nd.id), dst: int32(o.peer), bytes: o.bytes,
 				queuedAt: m.eng.Now(),
-			})
+			}))
 			nd.pc++
 			continue
 
@@ -340,35 +437,22 @@ func (m *Machine) advance(nd *node) {
 			return
 
 		case opBarrier:
-			if m.barrierCount == nil {
-				m.barrierCount = map[int]int{}
-				m.barrierWaiters = map[int][]*node{}
-			}
-			id := o.peer
+			id := int(o.peer)
+			m.growBarriers(id)
 			m.barrierCount[id]++
-			if m.barrierCount[id] < len(m.nodes) {
-				m.barrierWaiters[id] = append(m.barrierWaiters[id], nd)
+			if int(m.barrierCount[id]) < len(m.nodes) {
+				m.barrierWaiters[id] = append(m.barrierWaiters[id], int32(nd.id))
 				nd.blocked = true
 				return
 			}
 			// Last arrival: everyone pays the dissemination sweep —
 			// log2(n) rounds of signal exchanges — then proceeds.
-			waiters := m.barrierWaiters[id]
-			delete(m.barrierWaiters, id)
 			rounds := 0
 			for x := 1; x < len(m.nodes); x *= 2 {
 				rounds++
 			}
 			cost := float64(rounds) * (m.params.SyncOverheadUS + m.params.SignalTime(1))
-			me := nd
-			m.eng.After(cost, func() {
-				me.pc++
-				m.advance(me)
-				for _, w := range waiters {
-					w.pc++
-					m.advance(w)
-				}
-			})
+			m.eng.AfterEvent(cost, evBarrier, int32(id), int32(nd.id))
 			return
 
 		case opWaitRecv:
@@ -389,30 +473,30 @@ func (m *Machine) advance(nd *node) {
 			return
 
 		case opExchange:
-			peer := m.nodes[o.peer]
+			peer := &m.nodes[o.peer]
 			nd.atExchange = true
 			if !peer.atExchange || peer.pc >= len(peer.program) {
 				nd.blocked = true
 				return
 			}
 			po := peer.program[peer.pc]
-			if po.kind != opExchange || po.peer != nd.id {
+			if po.kind != opExchange || int(po.peer) != nd.id {
 				nd.blocked = true
 				return
 			}
 			// Rendezvous complete: attempt the exchange once, owned by
 			// the lower id to avoid double-queueing.
-			lo, hi := nd.id, o.peer
+			lo, hi := nd.id, int(o.peer)
 			loBytes, hiBytes := o.bytes, po.bytes
 			if lo > hi {
 				lo, hi = hi, lo
 				loBytes, hiBytes = hiBytes, loBytes
 			}
 			nd.blocked = true
-			m.tryOrQueue(&attempt{
-				seq: m.seq(), exchange: true, src: lo, dst: hi,
+			m.tryOrQueue(m.addAttempt(attempt{
+				exchange: true, src: int32(lo), dst: int32(hi),
 				bytes: loBytes, backSize: hiBytes, queuedAt: m.eng.Now(),
-			})
+			}))
 			return
 
 		default:
@@ -421,18 +505,41 @@ func (m *Machine) advance(nd *node) {
 	}
 }
 
-func (m *Machine) seq() int64 {
-	m.nextSeq++
-	return m.nextSeq
+// growBarriers ensures the barrier arenas cover id.
+func (m *Machine) growBarriers(id int) {
+	for len(m.barrierCount) <= id {
+		m.barrierCount = append(m.barrierCount, 0)
+		m.barrierWaiters = append(m.barrierWaiters, nil)
+	}
+}
+
+// releaseBarrier fires barrier id: the owner (last arrival) and every
+// waiter resume, in arrival order. The waiter list is recycled.
+func (m *Machine) releaseBarrier(id, owner int) {
+	me := &m.nodes[owner]
+	me.pc++
+	m.advance(me)
+	for _, w := range m.barrierWaiters[id] {
+		wn := &m.nodes[w]
+		wn.pc++
+		m.advance(wn)
+	}
+	m.barrierWaiters[id] = m.barrierWaiters[id][:0]
+}
+
+// addAttempt appends a to the arena and returns its index.
+func (m *Machine) addAttempt(a attempt) int32 {
+	m.attempts = append(m.attempts, a)
+	return int32(len(m.attempts) - 1)
 }
 
 // tryOrQueue starts the attempt if its resources are free, otherwise
 // queues it for retry on the next release.
-func (m *Machine) tryOrQueue(a *attempt) {
-	if m.tryStart(a) {
+func (m *Machine) tryOrQueue(ai int32) {
+	if m.tryStart(ai) {
 		return
 	}
-	m.pending = append(m.pending, a)
+	m.pending = append(m.pending, ai)
 }
 
 // retryPending re-attempts queued transfers in FIFO order. Called
@@ -442,20 +549,24 @@ func (m *Machine) retryPending() {
 		return
 	}
 	remaining := m.pending[:0]
-	for _, a := range m.pending {
-		if !m.tryStart(a) {
-			remaining = append(remaining, a)
+	for _, ai := range m.pending {
+		if !m.tryStart(ai) {
+			remaining = append(remaining, ai)
 		}
 	}
 	m.pending = remaining
 }
 
 // routeFree reports whether all channels of the deterministic route
-// are free.
+// are free. Over a dense route table this is a word-at-a-time mask
+// test; otherwise the route is generated and tested bit by bit.
 func (m *Machine) routeFree(src, dst int) bool {
+	if m.routes != nil {
+		return m.routes.RouteFree(m.chanBusy, src, dst)
+	}
 	m.routeBuf = m.net.RouteIDs(src, dst, m.routeBuf[:0])
 	for _, id := range m.routeBuf {
-		if m.chanBusy[id] {
+		if m.chanBusy[id>>6]&(uint64(1)<<(uint(id)&63)) != 0 {
 			return false
 		}
 	}
@@ -463,20 +574,48 @@ func (m *Machine) routeFree(src, dst int) bool {
 }
 
 func (m *Machine) setRoute(src, dst int, busy bool) {
-	m.routeBuf = m.net.RouteIDs(src, dst, m.routeBuf[:0])
-	for _, id := range m.routeBuf {
-		m.chanBusy[id] = busy
+	if m.routes != nil {
+		if busy {
+			m.routes.ClaimRoute(m.chanBusy, src, dst)
+		} else {
+			m.routes.ReleaseRoute(m.chanBusy, src, dst)
+		}
+		return
 	}
+	m.routeBuf = m.net.RouteIDs(src, dst, m.routeBuf[:0])
+	if busy {
+		for _, id := range m.routeBuf {
+			m.chanBusy[id>>6] |= uint64(1) << (uint(id) & 63)
+		}
+	} else {
+		for _, id := range m.routeBuf {
+			m.chanBusy[id>>6] &^= uint64(1) << (uint(id) & 63)
+		}
+	}
+}
+
+// hops returns the route length, bypassing the Topology interface
+// dispatch when a dense route table is attached: Hops is called on
+// every transfer start and every receive posting, and the table lookup
+// is two adjacent int32 loads.
+func (m *Machine) hops(src, dst int) int {
+	if m.routes != nil {
+		return m.routes.Hops(src, dst)
+	}
+	return m.net.Hops(src, dst)
 }
 
 // tryStart checks resources and, if available, claims them and
 // schedules the completion event. Returns false if the attempt must
 // wait.
-func (m *Machine) tryStart(a *attempt) bool {
+func (m *Machine) tryStart(ai int32) bool {
+	// Unlike the finish handlers, tryStart never appends to the
+	// attempt arena, so reading through the pointer is safe and skips
+	// a struct copy on every retry.
+	a := &m.attempts[ai]
 	if a.exchange {
-		return m.tryStartExchange(a)
+		return m.tryStartExchange(ai)
 	}
-	src, dst := m.nodes[a.src], m.nodes[a.dst]
 	// Short messages (the NX short protocol, <= 100 B) travel
 	// fire-and-forget into the receiver's system buffer: they need the
 	// circuit but not the receiver's engine. Long messages engage the
@@ -484,69 +623,78 @@ func (m *Machine) tryStart(a *attempt) bool {
 	// receive at one node serialize (§2.2 observation 1) — a blocked
 	// or idle receiver absorbs fine.
 	short := a.bytes <= m.params.ShortMaxBytes
-	if !short && (dst.absorbing || dst.transmitting) {
+	if !short && m.busy[a.dst] != 0 {
 		return false
 	}
 	// A node drives at most one outgoing circuit at a time; async
 	// attempts from the same node queue behind the active one.
-	if a.async && src.transmitting {
+	if a.async && m.busy[a.src]&busyTx != 0 {
 		return false
 	}
-	if !m.routeFree(a.src, a.dst) {
+	if !m.routeFree(int(a.src), int(a.dst)) {
 		return false
 	}
-	hops := m.net.Hops(a.src, a.dst)
+	hops := m.hops(int(a.src), int(a.dst))
 	dur := m.params.TransferTime(a.bytes, hops)
-	m.setRoute(a.src, a.dst, true)
-	src.transmitting = true
+	m.setRoute(int(a.src), int(a.dst), true)
+	m.busy[a.src] |= busyTx
 	if !short {
-		dst.absorbing = true
+		m.busy[a.dst] |= busyRx
 	}
 	m.waitedUS += m.eng.Now() - a.queuedAt
 	m.transfers++
-	m.eng.After(dur, func() {
-		m.setRoute(a.src, a.dst, false)
-		src.transmitting = false
-		if !short {
-			dst.absorbing = false
-		}
-		dst.arrived[a.src]++
-		dst.received++
-		m.arrivedTotal++
-		if a.async {
-			src.outstanding--
-			if src.blocked && src.pc < len(src.program) &&
-				src.program[src.pc].kind == opWaitSent && src.outstanding == 0 {
-				m.advance(src)
-			}
-		} else {
-			// Sender finished its blocking send op.
-			src.pc++
-			m.advance(src)
-		}
-		// Receiver may be waiting on this arrival.
-		if dst.blocked && dst.pc < len(dst.program) {
-			o := dst.program[dst.pc]
-			if (o.kind == opWaitRecv && o.peer == a.src) || o.kind == opWaitAll {
-				m.advance(dst)
-			}
-		}
-		m.retryPending()
-	})
+	m.eng.AfterEvent(dur, evXferDone, ai, 0)
 	return true
 }
 
-func (m *Machine) tryStartExchange(a *attempt) bool {
-	lo, hi := m.nodes[a.src], m.nodes[a.dst]
+// finishTransfer completes the unidirectional transfer attempts[ai]:
+// release the circuit, deliver the message, resume the sender (or
+// settle its async bookkeeping), wake a waiting receiver, and retry
+// the pending queue.
+func (m *Machine) finishTransfer(ai int32) {
+	a := m.attempts[ai]
+	src, dst := &m.nodes[a.src], &m.nodes[a.dst]
+	short := a.bytes <= m.params.ShortMaxBytes
+	m.setRoute(int(a.src), int(a.dst), false)
+	m.busy[a.src] &^= busyTx
+	if !short {
+		m.busy[a.dst] &^= busyRx
+	}
+	dst.arrived[a.src]++
+	dst.received++
+	m.arrivedTotal++
+	if a.async {
+		src.outstanding--
+		if src.blocked && src.pc < len(src.program) &&
+			src.program[src.pc].kind == opWaitSent && src.outstanding == 0 {
+			m.advance(src)
+		}
+	} else {
+		// Sender finished its blocking send op.
+		src.pc++
+		m.advance(src)
+	}
+	// Receiver may be waiting on this arrival.
+	if dst.blocked && dst.pc < len(dst.program) {
+		o := dst.program[dst.pc]
+		if (o.kind == opWaitRecv && o.peer == a.src) || o.kind == opWaitAll {
+			m.advance(dst)
+		}
+	}
+	m.retryPending()
+}
+
+func (m *Machine) tryStartExchange(ai int32) bool {
+	a := &m.attempts[ai]
 	// Both nodes are blocked at their exchange op; their engines are
 	// dedicated. Other circuits may still occupy the routes.
-	if lo.absorbing || lo.transmitting || hi.absorbing || hi.transmitting {
+	if m.busy[a.src] != 0 || m.busy[a.dst] != 0 {
 		return false
 	}
-	if !m.routeFree(a.src, a.dst) || !m.routeFree(a.dst, a.src) {
+	if !m.routeFree(int(a.src), int(a.dst)) || !m.routeFree(int(a.dst), int(a.src)) {
 		return false
 	}
-	hops := m.net.Hops(a.src, a.dst)
+	hops := m.hops(int(a.src), int(a.dst))
 	fwd, rev := 0.0, 0.0
 	if a.bytes > 0 {
 		fwd = m.params.TransferTime(a.bytes, hops)
@@ -559,39 +707,43 @@ func (m *Machine) tryStartExchange(a *attempt) bool {
 	// a data-less sync phase — LP walks all n-1 of them — costs the
 	// signal flight plus software overhead.
 	dur := m.params.SyncOverheadUS + m.params.SignalTime(hops) + maxf(fwd, rev)
-	m.setRoute(a.src, a.dst, true)
-	m.setRoute(a.dst, a.src, true)
-	for _, nd := range []*node{lo, hi} {
-		nd.transmitting = true
-		nd.absorbing = true
-	}
+	m.setRoute(int(a.src), int(a.dst), true)
+	m.setRoute(int(a.dst), int(a.src), true)
+	m.busy[a.src] = busyTx | busyRx
+	m.busy[a.dst] = busyTx | busyRx
 	m.waitedUS += m.eng.Now() - a.queuedAt
 	m.exchanges++
-	m.eng.After(dur, func() {
-		m.setRoute(a.src, a.dst, false)
-		m.setRoute(a.dst, a.src, false)
-		for _, nd := range []*node{lo, hi} {
-			nd.transmitting = false
-			nd.absorbing = false
-			nd.atExchange = false
-		}
-		if a.bytes > 0 {
-			hi.arrived[a.src]++
-			hi.received++
-			m.arrivedTotal++
-		}
-		if a.backSize > 0 {
-			lo.arrived[a.dst]++
-			lo.received++
-			m.arrivedTotal++
-		}
-		lo.pc++
-		hi.pc++
-		m.advance(lo)
-		m.advance(hi)
-		m.retryPending()
-	})
+	m.eng.AfterEvent(dur, evExchDone, ai, 0)
 	return true
+}
+
+// finishExchange completes the pairwise exchange attempts[ai]: release
+// both circuits, deliver both directions, resume both partners, and
+// retry the pending queue.
+func (m *Machine) finishExchange(ai int32) {
+	a := m.attempts[ai]
+	lo, hi := &m.nodes[a.src], &m.nodes[a.dst]
+	m.setRoute(int(a.src), int(a.dst), false)
+	m.setRoute(int(a.dst), int(a.src), false)
+	m.busy[a.src] = 0
+	m.busy[a.dst] = 0
+	lo.atExchange = false
+	hi.atExchange = false
+	if a.bytes > 0 {
+		hi.arrived[a.src]++
+		hi.received++
+		m.arrivedTotal++
+	}
+	if a.backSize > 0 {
+		lo.arrived[a.dst]++
+		lo.received++
+		m.arrivedTotal++
+	}
+	lo.pc++
+	hi.pc++
+	m.advance(lo)
+	m.advance(hi)
+	m.retryPending()
 }
 
 func maxf(a, b float64) float64 {
@@ -601,10 +753,12 @@ func maxf(a, b float64) float64 {
 	return b
 }
 
-// sortAttempts is used by tests to inspect pending state.
+// pendingSummary renders the queued attempts sorted, for tests that
+// inspect blocked state.
 func (m *Machine) pendingSummary() []string {
 	out := make([]string, 0, len(m.pending))
-	for _, a := range m.pending {
+	for _, ai := range m.pending {
+		a := m.attempts[ai]
 		kind := "send"
 		if a.exchange {
 			kind = "xchg"

@@ -12,7 +12,7 @@ import (
 // opKind enumerates the primitive operations node programs are built
 // from. They correspond to the NX-level actions the paper's execution
 // schemes S1 and S2 compose (§6).
-type opKind int
+type opKind int32
 
 const (
 	// opDelay charges fixed CPU time (phase loop overhead, buffer
@@ -51,11 +51,13 @@ const (
 	opBarrier
 )
 
+// op is one program step: 24 bytes, so a node's program stays dense in
+// cache while advance() walks it. peer is an int32 node id.
 type op struct {
-	kind  opKind
-	peer  int
 	bytes int64
 	cost  float64 // opDelay only
+	kind  opKind
+	peer  int32
 }
 
 func (o op) String() string {
@@ -94,9 +96,16 @@ func (o op) String() string {
 // confirmed at the end, like S2's final step. This is the execution
 // the paper uses for LP and RS_NL.
 func CompileS1(s *sched.Schedule, params costmodel.Params) [][]op {
+	return appendS1(make([][]op, s.N), s, params, false)
+}
+
+// appendS1 compiles S1 programs into the given per-node slices,
+// appending to whatever capacity they hold — the arena-reusing form
+// behind CompileS1 and Machine.RunS1. withBarriers interleaves a
+// global barrier after every phase (the CompileS1Barrier variant).
+func appendS1(programs [][]op, s *sched.Schedule, params costmodel.Params, withBarriers bool) [][]op {
 	n := s.N
-	programs := make([][]op, n)
-	for _, p := range s.Phases {
+	for k, p := range s.Phases {
 		recv := p.Recv()
 		for i := 0; i < n; i++ {
 			programs[i] = append(programs[i], op{kind: opDelay, cost: params.LoopOverheadUS})
@@ -105,7 +114,7 @@ func CompileS1(s *sched.Schedule, params costmodel.Params) [][]op {
 			switch {
 			case j >= 0 && r == j:
 				// Bidirectional pair: both nodes compile the exchange.
-				programs[i] = append(programs[i], op{kind: opExchange, peer: j, bytes: p.Bytes[i]})
+				programs[i] = append(programs[i], op{kind: opExchange, peer: int32(j), bytes: p.Bytes[i]})
 			default:
 				// Post first (never blocks), then the blocking ops, so
 				// every phase's ready signals fire before anyone
@@ -114,14 +123,17 @@ func CompileS1(s *sched.Schedule, params costmodel.Params) [][]op {
 				// and with them, the contention-freedom the scheduler
 				// arranged.
 				if r >= 0 {
-					programs[i] = append(programs[i], op{kind: opPostRecv, peer: r})
+					programs[i] = append(programs[i], op{kind: opPostRecv, peer: int32(r)})
 				}
 				if j >= 0 {
-					programs[i] = append(programs[i], op{kind: opSendReady, peer: j, bytes: p.Bytes[i]})
+					programs[i] = append(programs[i], op{kind: opSendReady, peer: int32(j), bytes: p.Bytes[i]})
 				}
 				if r >= 0 {
-					programs[i] = append(programs[i], op{kind: opWaitRecv, peer: r})
+					programs[i] = append(programs[i], op{kind: opWaitRecv, peer: int32(r)})
 				}
+			}
+			if withBarriers {
+				programs[i] = append(programs[i], op{kind: opBarrier, peer: int32(k)})
 			}
 		}
 	}
@@ -134,36 +146,7 @@ func CompileS1(s *sched.Schedule, params costmodel.Params) [][]op {
 // (§6). It exists for the ablation benchmark that prices loose
 // synchrony against global synchronization.
 func CompileS1Barrier(s *sched.Schedule, params costmodel.Params) [][]op {
-	programs := CompileS1(s, params)
-	// Interleave a barrier after each phase's ops. Rebuild per node:
-	// phase boundaries are where the next opDelay(LoopOverheadUS)
-	// begins; simplest is to recompile phase by phase.
-	n := s.N
-	programs = make([][]op, n)
-	for k, p := range s.Phases {
-		recv := p.Recv()
-		for i := 0; i < n; i++ {
-			programs[i] = append(programs[i], op{kind: opDelay, cost: params.LoopOverheadUS})
-			j := p.Send[i]
-			r := recv[i]
-			switch {
-			case j >= 0 && r == j:
-				programs[i] = append(programs[i], op{kind: opExchange, peer: j, bytes: p.Bytes[i]})
-			default:
-				if r >= 0 {
-					programs[i] = append(programs[i], op{kind: opPostRecv, peer: r})
-				}
-				if j >= 0 {
-					programs[i] = append(programs[i], op{kind: opSendReady, peer: j, bytes: p.Bytes[i]})
-				}
-				if r >= 0 {
-					programs[i] = append(programs[i], op{kind: opWaitRecv, peer: r})
-				}
-			}
-			programs[i] = append(programs[i], op{kind: opBarrier, peer: k})
-		}
-	}
-	return programs
+	return appendS1(make([][]op, s.N), s, params, true)
 }
 
 // RunS1Barrier simulates the schedule under S1 with a global barrier
@@ -183,7 +166,7 @@ func (m *Machine) RunS1Barrier(s *sched.Schedule) (Result, error) {
 		return Result{}, fmt.Errorf("ipsc: topology %d nodes vs schedule %d", m.net.Nodes(), s.N)
 	}
 	m.Reset()
-	return m.run(CompileS1Barrier(s, m.params))
+	return m.run(appendS1(m.progArena(), s, m.params, true))
 }
 
 // CompileS2 translates a phase schedule into per-node programs under
@@ -195,9 +178,16 @@ func (m *Machine) RunS1Barrier(s *sched.Schedule) (Result, error) {
 // with the communication ordering chosen to reduce contention"). Used
 // for RS_N.
 func CompileS2(s *sched.Schedule, params costmodel.Params) [][]op {
+	return appendS2(make([][]op, s.N), s, params, make([]int, s.N))
+}
+
+// appendS2 compiles S2 programs into the given per-node slices, using
+// recvCount (len >= s.N, zeroed here) as the receive-tally scratch —
+// the arena-reusing form behind CompileS2 and Machine.RunS2.
+func appendS2(programs [][]op, s *sched.Schedule, params costmodel.Params, recvCount []int) [][]op {
 	n := s.N
-	programs := make([][]op, n)
-	recvCount := make([]int, n)
+	recvCount = recvCount[:n]
+	clear(recvCount)
 	for _, p := range s.Phases {
 		for _, j := range p.Send {
 			if j >= 0 {
@@ -216,7 +206,7 @@ func CompileS2(s *sched.Schedule, params costmodel.Params) [][]op {
 			// on every node, sender or not.
 			programs[i] = append(programs[i], op{kind: opDelay, cost: params.PhaseSoftwareUS})
 			if j := p.Send[i]; j >= 0 {
-				programs[i] = append(programs[i], op{kind: opSendFire, peer: j, bytes: p.Bytes[i]})
+				programs[i] = append(programs[i], op{kind: opSendFire, peer: int32(j), bytes: p.Bytes[i]})
 			}
 		}
 	}
@@ -234,11 +224,16 @@ func CompileS2(s *sched.Schedule, params costmodel.Params) [][]op {
 // handshake, which is why LP is expensive at low density. The schedule
 // must come from sched.LP (phase k pairs i with i XOR (k+1)).
 func CompileLP(s *sched.Schedule, params costmodel.Params) ([][]op, error) {
+	return appendLP(make([][]op, s.N), s, params)
+}
+
+// appendLP compiles LP programs into the given per-node slices — the
+// arena-reusing form behind CompileLP and Machine.RunLP.
+func appendLP(programs [][]op, s *sched.Schedule, params costmodel.Params) ([][]op, error) {
 	if s.Algorithm != "LP" {
 		return nil, fmt.Errorf("ipsc: CompileLP needs an LP schedule, got %s", s.Algorithm)
 	}
 	n := s.N
-	programs := make([][]op, n)
 	for k, p := range s.Phases {
 		for i := 0; i < n; i++ {
 			partner := i ^ (k + 1)
@@ -248,7 +243,7 @@ func CompileLP(s *sched.Schedule, params costmodel.Params) ([][]op, error) {
 			}
 			programs[i] = append(programs[i],
 				op{kind: opDelay, cost: params.LoopOverheadUS},
-				op{kind: opExchange, peer: partner, bytes: p.Bytes[i]})
+				op{kind: opExchange, peer: int32(partner), bytes: p.Bytes[i]})
 		}
 	}
 	return programs, nil
@@ -270,7 +265,7 @@ func (m *Machine) RunLP(s *sched.Schedule) (Result, error) {
 	if m.net.Nodes() != s.N {
 		return Result{}, fmt.Errorf("ipsc: topology %d nodes vs schedule %d", m.net.Nodes(), s.N)
 	}
-	programs, err := CompileLP(s, m.params)
+	programs, err := appendLP(m.progArena(), s, m.params)
 	if err != nil {
 		return Result{}, err
 	}
@@ -283,12 +278,17 @@ func (m *Machine) RunLP(s *sched.Schedule) (Result, error) {
 // in order (csend semantics: each long-protocol send blocks until the
 // transfer completes), then confirm arrivals.
 func CompileAC(o *sched.ACOrder, m *comm.Matrix, params costmodel.Params) [][]op {
+	return appendAC(make([][]op, o.N), o, m, params)
+}
+
+// appendAC compiles AC programs into the given per-node slices — the
+// arena-reusing form behind CompileAC and Machine.RunAC.
+func appendAC(programs [][]op, o *sched.ACOrder, m *comm.Matrix, params costmodel.Params) [][]op {
 	n := o.N
-	programs := make([][]op, n)
 	for i := 0; i < n; i++ {
 		programs[i] = append(programs[i], op{kind: opDelay, cost: float64(m.RecvDegree(i)) * params.PostOverheadUS})
 		for _, j := range o.Order[i] {
-			programs[i] = append(programs[i], op{kind: opSendFire, peer: j, bytes: m.At(i, j)})
+			programs[i] = append(programs[i], op{kind: opSendFire, peer: int32(j), bytes: m.At(i, j)})
 		}
 		programs[i] = append(programs[i], op{kind: opWaitAll})
 	}
@@ -302,14 +302,20 @@ func CompileAC(o *sched.ACOrder, m *comm.Matrix, params costmodel.Params) [][]op
 // benchmark that measures how much of AC's large-message collapse is
 // head-of-line blocking versus raw contention.
 func CompileACAsync(o *sched.ACOrder, m *comm.Matrix, params costmodel.Params) [][]op {
+	return appendACAsync(make([][]op, o.N), o, m, params)
+}
+
+// appendACAsync compiles the idealized-async programs into the given
+// per-node slices — the arena-reusing form behind CompileACAsync and
+// Machine.RunACAsync.
+func appendACAsync(programs [][]op, o *sched.ACOrder, m *comm.Matrix, params costmodel.Params) [][]op {
 	n := o.N
-	programs := make([][]op, n)
 	for i := 0; i < n; i++ {
 		programs[i] = append(programs[i], op{kind: opDelay, cost: float64(m.RecvDegree(i)) * params.PostOverheadUS})
 		for _, j := range o.Order[i] {
 			programs[i] = append(programs[i],
 				op{kind: opDelay, cost: params.PostOverheadUS},
-				op{kind: opSendAsync, peer: j, bytes: m.At(i, j)})
+				op{kind: opSendAsync, peer: int32(j), bytes: m.At(i, j)})
 		}
 		programs[i] = append(programs[i], op{kind: opWaitSent}, op{kind: opWaitAll})
 	}
@@ -332,7 +338,7 @@ func (m *Machine) RunACAsync(o *sched.ACOrder, com *comm.Matrix) (Result, error)
 			m.net.Nodes(), o.N, com.N())
 	}
 	m.Reset()
-	return m.run(CompileACAsync(o, com, m.params))
+	return m.run(appendACAsync(m.progArena(), o, com, m.params))
 }
 
 // RunS1 simulates the schedule under the S1 protocol and returns the
@@ -354,7 +360,7 @@ func (m *Machine) RunS1(s *sched.Schedule) (Result, error) {
 		return Result{}, fmt.Errorf("ipsc: topology %d nodes vs schedule %d", m.net.Nodes(), s.N)
 	}
 	m.Reset()
-	return m.run(CompileS1(s, m.params))
+	return m.run(appendS1(m.progArena(), s, m.params, false))
 }
 
 // RunS2 simulates the schedule under the S2 protocol.
@@ -372,7 +378,7 @@ func (m *Machine) RunS2(s *sched.Schedule) (Result, error) {
 		return Result{}, fmt.Errorf("ipsc: topology %d nodes vs schedule %d", m.net.Nodes(), s.N)
 	}
 	m.Reset()
-	return m.run(CompileS2(s, m.params))
+	return m.run(appendS2(m.progArena(), s, m.params, m.recvArena()))
 }
 
 // RunAC simulates the asynchronous algorithm on the matrix.
@@ -391,5 +397,29 @@ func (m *Machine) RunAC(o *sched.ACOrder, com *comm.Matrix) (Result, error) {
 			m.net.Nodes(), o.N, com.N())
 	}
 	m.Reset()
-	return m.run(CompileAC(o, com, m.params))
+	return m.run(appendAC(m.progArena(), o, com, m.params))
+}
+
+// progArena returns the machine's per-node program slices, truncated
+// for reuse: one entry per node, each emptied but keeping whatever
+// capacity previous runs grew, so steady-state compilation appends
+// into warm storage and allocates nothing.
+func (m *Machine) progArena() [][]op {
+	n := len(m.nodes)
+	for len(m.progs) < n {
+		m.progs = append(m.progs, nil)
+	}
+	progs := m.progs[:n]
+	for i := range progs {
+		progs[i] = progs[i][:0]
+	}
+	return progs
+}
+
+// recvArena returns the reusable S2 receive-count scratch.
+func (m *Machine) recvArena() []int {
+	if n := len(m.nodes); cap(m.recvScratch) < n {
+		m.recvScratch = make([]int, n)
+	}
+	return m.recvScratch[:len(m.nodes)]
 }

@@ -240,6 +240,13 @@ func resolveCampaign(req *CampaignRequest) (expt.Config, []expt.Point, string, e
 		net = hypercube.MustNew(dim)
 	}
 	nodes := net.Nodes()
+	// Campaigns keep the tighter classic cap even though single
+	// schedule/simulate requests now go to maxServiceNodes: a grid
+	// multiplies every run by cells x samples x algorithms, and the §6
+	// protocol never needs more than the dim-10 cube.
+	if nodes > 1<<maxCampaignDim {
+		return fail(badRequest("campaign topology %s has %d nodes, limit %d", net.Name(), nodes, 1<<maxCampaignDim))
+	}
 	if nodes&(nodes-1) != 0 {
 		// The §6 grid compares all four contenders, and LP's XOR
 		// pairing exists only for power-of-two machines; reject here

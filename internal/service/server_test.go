@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -16,6 +17,7 @@ import (
 
 	"unsched/internal/comm"
 	"unsched/internal/costmodel"
+	"unsched/internal/des"
 	"unsched/internal/expt"
 	"unsched/internal/hypercube"
 	"unsched/internal/mesh"
@@ -798,14 +800,10 @@ func TestCampaignTopologyBadRequests(t *testing.T) {
 			Topology: &WireTopology{Kind: "hex", N: 8}},
 		{Densities: []int{2}, Sizes: []int64{64}, Samples: 1,
 			Topology: &WireTopology{Kind: "graph", N: 4, Edges: [][2]int{{0, 1}, {2, 3}}}},
+		// Over the campaign node cap (campaigns stay at 1024 even
+		// though single requests go to maxServiceNodes).
 		{Densities: []int{2}, Sizes: []int64{64}, Samples: 1,
 			Topology: &WireTopology{Kind: "ring", N: 2048}},
-		// Passes the node cap (1024 is a power of two) but its
-		// diameter-512 route table would be ~270M hops: the
-		// maxRouteTableHops gate must reject it before any worker or
-		// campaign precomputes the table.
-		{Densities: []int{2}, Sizes: []int64{64}, Samples: 1,
-			Topology: &WireTopology{Kind: "ring", N: 1024}},
 	}
 	for i, req := range bad {
 		if status, raw := postJSON(t, ts.URL+"/v1/campaign", req, nil); status != http.StatusBadRequest {
@@ -1116,5 +1114,68 @@ func TestCampaignClassicKeysUnchangedByWorkloadAxis(t *testing.T) {
 	d.String(hypercube.MustNew(3).Name())
 	if got := campaignKeyFor(t, &req); got != d.Hex() {
 		t.Errorf("classic campaign key %s, want the historical %s", got, d.Hex())
+	}
+}
+
+// TestScheduleSimulateHugeTopology is the route-cap lift end to end: a
+// 4096-node torus — whose dense route table (~545M hops) the old
+// footprint gate answered 400 — must schedule AND simulate through the
+// synchronous API. The shared table cache serves it lazily, and the
+// worker builds (without caching) a 4096-node machine over it.
+func TestScheduleSimulateHugeTopology(t *testing.T) {
+	if testing.Short() {
+		t.Skip("4096-node machine build is too heavy for -short")
+	}
+	_, ts := newTestServer(t, Options{Workers: 1})
+	topoSpec := &WireTopology{Spec: "torus:64x64"}
+
+	var env Envelope
+	status, raw := postJSON(t, ts.URL+"/v1/schedule",
+		ScheduleRequest{Workload: "perm:512", Algorithm: "GREEDY", Topology: topoSpec}, &env)
+	if status != http.StatusOK {
+		t.Fatalf("schedule on torus:64x64: status %d: %s", status, raw)
+	}
+	var schedRes ScheduleResult
+	if err := json.Unmarshal(env.Result, &schedRes); err != nil {
+		t.Fatal(err)
+	}
+	if schedRes.Schedule == nil || schedRes.Schedule.N != 4096 {
+		t.Fatalf("bad schedule: %s", env.Result)
+	}
+
+	var simEnv Envelope
+	status, raw = postJSON(t, ts.URL+"/v1/simulate",
+		SimulateRequest{Schedule: schedRes.Schedule, Topology: topoSpec}, &simEnv)
+	if status != http.StatusOK {
+		t.Fatalf("simulate on torus:64x64: status %d: %s", status, raw)
+	}
+	var simRes SimulateResult
+	if err := json.Unmarshal(simEnv.Result, &simRes); err != nil {
+		t.Fatal(err)
+	}
+	if simRes.MakespanUS <= 0 {
+		t.Errorf("4096-node simulate returned makespan %v", simRes.MakespanUS)
+	}
+}
+
+// TestSimulateErrorMapsEventLimit pins the runaway-simulation error
+// contract: a *des.LimitError anywhere in a Run error chain becomes a
+// 422 with the stable simulation_limit code — a client fault, not a
+// 500 — and every other failure passes through untouched.
+func TestSimulateErrorMapsEventLimit(t *testing.T) {
+	wrapped := fmt.Errorf("ipsc: %w", &des.LimitError{MaxEvents: 1000, Now: 42})
+	ae, ok := simulateError(wrapped).(*apiError)
+	if !ok {
+		t.Fatalf("LimitError did not map to an apiError")
+	}
+	if ae.status != http.StatusUnprocessableEntity || ae.Code() != CodeSimulationLimit {
+		t.Errorf("LimitError mapped to status %d code %q, want 422 %q", ae.status, ae.Code(), CodeSimulationLimit)
+	}
+	if !strings.Contains(ae.msg, "1000") {
+		t.Errorf("mapped message %q does not name the bound", ae.msg)
+	}
+	plain := errors.New("some other failure")
+	if got := simulateError(plain); got != plain {
+		t.Errorf("non-limit error rewritten: %v", got)
 	}
 }

@@ -53,6 +53,7 @@ package service
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math/rand"
 	"net/http"
@@ -63,6 +64,7 @@ import (
 
 	"unsched/internal/comm"
 	"unsched/internal/costmodel"
+	"unsched/internal/des"
 	"unsched/internal/expt"
 	"unsched/internal/ipsc"
 	"unsched/internal/sched"
@@ -772,19 +774,19 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 			}
 			result, err = mach.RunAC(order, m)
 			if err != nil {
-				return nil, err
+				return nil, simulateError(err)
 			}
 		case "S1":
 			if result, err = mach.RunS1(sc); err != nil {
-				return nil, err
+				return nil, simulateError(err)
 			}
 		case "S2":
 			if result, err = mach.RunS2(sc); err != nil {
-				return nil, err
+				return nil, simulateError(err)
 			}
 		case "LP":
 			if result, err = mach.RunLP(sc); err != nil {
-				return nil, err
+				return nil, simulateError(err)
 			}
 		}
 		return &SimulateResult{
@@ -797,6 +799,23 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 			ResourceWaitUS: result.ResourceWaitUS,
 		}, nil
 	})
+}
+
+// simulateError maps a simulator failure onto the API error model.
+// Tripping the event bound is the request's doing — an input whose
+// event cascade outran nodes x 1e6 events — not a server fault, so it
+// answers 422 with a stable code instead of the generic 500 the bare
+// error would produce.
+func simulateError(err error) error {
+	var le *des.LimitError
+	if errors.As(err, &le) {
+		return &apiError{
+			status: http.StatusUnprocessableEntity,
+			code:   CodeSimulationLimit,
+			msg:    fmt.Sprintf("simulation exceeded its %d-event bound at t=%vus; the input is pathological for this machine", le.MaxEvents, le.Now),
+		}
+	}
+	return err
 }
 
 // resolveProtocol maps the requested execution protocol to a concrete

@@ -22,21 +22,24 @@ import (
 // memory bound. Larger bodies get an explicit 413.
 const maxRequestBytes = 32 << 20
 
-// maxServiceNodes bounds the machine size one request may target: the
-// largest topology the campaign API serves (dim 10). Simulator state
-// is O(n^2), so this cap — not comm.MaxReadNodes, which only guards
-// the file parser — is what keeps a worker's reusable machines at
-// ~20 MB each instead of ~300 MB.
-const maxServiceNodes = 1 << maxCampaignDim
+// maxServiceNodes bounds the machine size one synchronous request may
+// target. Simulator state is O(n^2) — ~150 MB at this cap — so huge
+// machines are built per request instead of cached (see
+// worker.machine), and their route tables fall back to lazy on-the-fly
+// routing instead of the precomputed dense form (see tableCache).
+// Campaigns stay capped at 1 << maxCampaignDim nodes: a grid multiplies
+// the per-run cost by cells x samples x algorithms.
+const maxServiceNodes = 4096
 
-// maxRouteTableHops bounds the precomputed route-table footprint one
-// topology may demand, measured as NewRouteTable's presize estimate
-// n^2*(diameter+1)/2 int32 hop entries. Node count alone is not
-// enough: a 1024-node path graph passes maxServiceNodes yet needs a
-// ~2 GB table (diameter 1023), built under the shared table-cache
-// lock. This cap (~268 MB of hops) admits every cube/mesh/torus the
-// service served before graphs existed — the worst is the 32x32 mesh
-// at ~33M hops — and rejects the high-diameter degenerates.
+// maxRouteTableHops bounds the PRECOMPUTED route-table footprint,
+// measured as NewRouteTable's presize estimate n^2*(diameter+1)/2
+// int32 hop entries (~268 MB of hops). It is a representation budget,
+// not an admission gate: the shared tableCache builds every topology
+// under it dense — word-mask bitset occupancy, O(1) hop lookups — and
+// anything over it (a 1024-node path graph's diameter-1023 table would
+// be ~2 GB) as a lazy table that generates routes on the fly. The
+// budget admits every cube/mesh/torus the service served before graphs
+// existed; the worst is the 32x32 mesh at ~33M hops.
 const maxRouteTableHops = 1 << 26
 
 // Stable machine-readable error codes, carried in every error
@@ -53,6 +56,7 @@ const (
 	CodeNotFound            = "not_found"
 	CodeClientClosedRequest = "client_closed_request"
 	CodeShuttingDown        = "shutting_down"
+	CodeSimulationLimit     = "simulation_limit"
 	CodeInternal            = "internal"
 )
 
@@ -422,17 +426,11 @@ func buildTopology(tj *WireTopology, n int) (topo.Topology, error) {
 	if err != nil {
 		return nil, badRequest("%v", err)
 	}
-	// Gate the route-table footprint before any worker or campaign
-	// precomputes it. Every built-in topology hints its diameter (a
-	// graph's is known once its BFS ran in Build, which costs only
-	// O(n^2) memory — the table is the part that explodes).
-	if h, ok := net.(topo.DiameterHinter); ok {
-		nodes := int64(net.Nodes())
-		if est := nodes * nodes * int64(h.Diameter()+1) / 2; est > maxRouteTableHops {
-			return nil, badRequest("topology %s needs a ~%dM-hop route table (n^2 x diameter); limit %dM — use a lower-diameter machine",
-				net.Name(), est>>20, int64(maxRouteTableHops)>>20)
-		}
-	}
+	// No route-table footprint gate here: topologies whose dense table
+	// would blow the maxRouteTableHops budget (high-diameter shapes like
+	// long rings and big tori) get a lazy table from the shared cache
+	// instead — routes generated on the fly, nothing precomputed — so
+	// they are served, just without the dense fast path.
 	return net, nil
 }
 

@@ -64,15 +64,22 @@ func newTableCache() *tableCache {
 	return &tableCache{tables: make(map[string]*topo.RouteTable)}
 }
 
-// maxSharedTables bounds daemon-wide retained route tables. Each
-// table is capped by the maxRouteTableHops gate in buildTopology
-// (~268 MB worst case, reached only by extreme-but-legal shapes like
-// the 32x32 mesh; the dim-10 cube is ~20 MB), so eight retained
-// tables stay bounded even under an adversarial topology mix — and
-// unlike the per-worker caches, this bound does not multiply by
-// worker count.
+// maxSharedTables bounds daemon-wide retained route tables. A dense
+// table is capped by the maxRouteTableHops budget (~268 MB worst case,
+// reached only by extreme-but-legal shapes like the 32x32 mesh; the
+// dim-10 cube is ~20 MB) and a lazy table stores no hops at all, so
+// eight retained tables stay bounded even under an adversarial
+// topology mix — and unlike the per-worker caches, this bound does not
+// multiply by worker count.
 const maxSharedTables = 8
 
+// get returns the daemon-shared route table for net, building it on
+// first use. The auto constructor picks the representation: dense
+// (precomputed CSR routes, word-mask bitset occupancy) when the hop
+// footprint fits the maxRouteTableHops budget, lazy (routes generated
+// on the fly, nothing stored) when it would not — which is what lets
+// the service admit high-diameter shapes like a 64x64 torus that the
+// old footprint gate answered 400.
 func (tc *tableCache) get(net topo.Topology) *topo.RouteTable {
 	tc.mu.Lock()
 	defer tc.mu.Unlock()
@@ -85,7 +92,7 @@ func (tc *tableCache) get(net topo.Topology) *topo.RouteTable {
 			break
 		}
 	}
-	rt := topo.NewRouteTable(net)
+	rt := topo.NewRouteTableAuto(net, maxRouteTableHops)
 	tc.tables[net.Name()] = rt
 	return rt
 }
@@ -97,15 +104,29 @@ type machineKey struct {
 
 // maxMachinesPerWorker bounds the per-worker machine cache; requests
 // name topologies freely, so an adversarial mix could otherwise grow
-// it without limit. Machine state is O(n^2) — ~20 MB at the service's
-// maxServiceNodes cap — so 4 machines bounds a worker's retained
-// simulator memory under 100 MB even under a worst-case topology mix;
-// real deployments hit one or two topologies and never evict.
+// it without limit. Machine state is O(n^2) — ~10 MB at 1024 nodes —
+// so 4 machines bounds a worker's retained simulator memory under
+// ~50 MB even under a worst-case topology mix; real deployments hit
+// one or two topologies and never evict.
 const maxMachinesPerWorker = 4
 
+// maxCachedMachineNodes bounds the machines (and scheduler cores) a
+// worker retains across requests. A 4096-node machine's O(n^2) arrival
+// arenas run ~150 MB; caching even one per worker would dwarf every
+// other bound, so machines above this size are built per request and
+// released with it. The requests that need them are rare and already
+// pay seconds of scheduling, so the rebuild is noise.
+const maxCachedMachineNodes = 1 << maxCampaignDim
+
 // machine returns the worker's reusable machine for (net, params),
-// building and caching it on first use.
+// building and caching it on first use. Machines are built over the
+// daemon-shared route table, so transfers claim and release whole
+// routes word-at-a-time through its bitset spans when the table is
+// dense, and fall back to on-the-fly routing when it is lazy.
 func (w *worker) machine(net topo.Topology, paramsName string, params costmodel.Params) (*ipsc.Machine, error) {
+	if net.Nodes() > maxCachedMachineNodes {
+		return ipsc.NewMachine(w.tables.get(net), params)
+	}
 	key := machineKey{topoName: net.Name(), params: paramsName}
 	if m, ok := w.machines[key]; ok {
 		return m, nil
@@ -119,7 +140,7 @@ func (w *worker) machine(net topo.Topology, paramsName string, params costmodel.
 			break
 		}
 	}
-	m, err := ipsc.NewMachine(net, params)
+	m, err := ipsc.NewMachine(w.tables.get(net), params)
 	if err != nil {
 		return nil, err
 	}
@@ -132,6 +153,9 @@ func (w *worker) machine(net topo.Topology, paramsName string, params costmodel.
 // same eviction bound as the machine cache applies to the per-worker
 // core scratch; the heavyweight tables live in the shared cache.
 func (w *worker) schedCore(net topo.Topology) *sched.Core {
+	if net.Nodes() > maxCachedMachineNodes {
+		return sched.NewCoreForTable(w.tables.get(net))
+	}
 	if c, ok := w.cores[net.Name()]; ok {
 		return c
 	}

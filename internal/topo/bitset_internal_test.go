@@ -1,0 +1,49 @@
+package topo
+
+import (
+	"math/rand"
+	"testing"
+
+	"unsched/internal/hypercube"
+)
+
+// TestBitsetFallbackMatchesMaskedPath strips the word-mask spans off a
+// table copy and checks the per-hop fallback gives the same answers as
+// the masked path — the representation a table above maskSpanHopLimit
+// would use.
+func TestBitsetFallbackMatchesMaskedPath(t *testing.T) {
+	net := hypercube.MustNew(5)
+	masked := NewRouteTable(net)
+	if !masked.Masked() {
+		t.Fatal("small cube table should carry mask spans")
+	}
+	plain := *masked
+	plain.spanOff, plain.spanWord, plain.spanMask = nil, nil, nil
+	if plain.Masked() {
+		t.Fatal("stripped copy still claims mask spans")
+	}
+
+	n := net.Nodes()
+	busyM := make([]uint64, BitsetWords(net.NumChannels()))
+	busyP := make([]uint64, BitsetWords(net.NumChannels()))
+	rng := rand.New(rand.NewSource(94))
+	for step := 0; step < 3000; step++ {
+		src, dst := rng.Intn(n), rng.Intn(n)
+		if m, p := masked.RouteFree(busyM, src, dst), plain.RouteFree(busyP, src, dst); m != p {
+			t.Fatalf("step %d: RouteFree(%d,%d) masked %v, fallback %v", step, src, dst, m, p)
+		}
+		switch rng.Intn(3) {
+		case 0:
+			masked.ClaimRoute(busyM, src, dst)
+			plain.ClaimRoute(busyP, src, dst)
+		case 1:
+			masked.ReleaseRoute(busyM, src, dst)
+			plain.ReleaseRoute(busyP, src, dst)
+		}
+		for w := range busyM {
+			if busyM[w] != busyP[w] {
+				t.Fatalf("step %d: bitset words diverge at %d: %x vs %x", step, w, busyM[w], busyP[w])
+			}
+		}
+	}
+}

@@ -53,8 +53,13 @@ func NewOccupancy(t Topology) *Occupancy {
 
 // NewOccupancyTable returns an empty claim table that walks rt's
 // precomputed routes. The table is shared read-only; each Occupancy
-// keeps only its own claim marks.
+// keeps only its own claim marks. A lazy table stores no routes, so
+// the occupancy falls back to generating them through the underlying
+// topology — same results, per-route generation cost.
 func NewOccupancyTable(rt *RouteTable) *Occupancy {
+	if rt.Lazy() {
+		return NewOccupancy(rt.Topology())
+	}
 	return &Occupancy{t: rt.Topology(), rt: rt, epoch: 1, marks: make([]uint32, rt.NumChannels())}
 }
 
