@@ -9,6 +9,7 @@ import (
 	"unsched/internal/hypercube"
 	"unsched/internal/ipsc"
 	"unsched/internal/mesh"
+	"unsched/internal/quality"
 	"unsched/internal/sched"
 	"unsched/internal/service"
 	"unsched/internal/topo"
@@ -122,6 +123,8 @@ type (
 	WireTopology = service.WireTopology
 	// WireSchedule is the service wire form of a computed schedule.
 	WireSchedule = service.WireSchedule
+	// CampaignRequest is the body of POST /v1/campaign.
+	CampaignRequest = service.CampaignRequest
 	// CampaignAccepted is the 202 body of POST /v1/campaign.
 	CampaignAccepted = service.CampaignAccepted
 	// CampaignStatus is the body of GET /v1/campaign/{id}.
@@ -132,6 +135,26 @@ type (
 	BatchItem = service.BatchItem
 	// BinaryResponse is a decoded binary service response envelope.
 	BinaryResponse = service.BinaryResponse
+	// SchedOutcome is the evaluation artifact every scheduling run
+	// emits: the algorithm, its phase count, the estimated
+	// communication time, the modeled scheduling cost, and the input
+	// features the quality model bins on. Campaigns aggregate these
+	// into QualityRecords — the calibration data behind algorithm
+	// "auto".
+	SchedOutcome = sched.Outcome
+	// SchedFeatures is the feature vector algorithm "auto" resolves
+	// on: node count, density, and message-size variation.
+	SchedFeatures = sched.Features
+	// QualityRecord is one calibration measurement: what one algorithm
+	// cost on one (topology, workload) cell of a campaign grid.
+	QualityRecord = quality.Record
+	// QualityStore is the append-only calibration record file behind
+	// ServerOptions.QualityStore (and the CLIs' -quality-db flags).
+	QualityStore = quality.Store
+	// QualityModel ranks algorithms by calibrated mean cost per
+	// feature bin; its Pick answers what "auto" resolves to. A nil
+	// model answers from the committed fallback table.
+	QualityModel = quality.Model
 )
 
 // Content types the service negotiates; see the README's wire-format
@@ -224,6 +247,22 @@ var (
 	// GreedyLargestFirstLinkFree adds link-contention avoidance.
 	GreedyLargestFirstLinkFree = sched.GreedyLargestFirstLinkFree
 )
+
+// MeasureFeatures computes the feature vector of a matrix — the key
+// the quality model bins calibration data on and what algorithm
+// "auto" resolves from.
+var MeasureFeatures = sched.MeasureFeatures
+
+// OpenQualityStore opens (creating if absent) the append-only
+// calibration record file at path.
+func OpenQualityStore(path string) (*QualityStore, error) { return quality.Open(path) }
+
+// LoadQualityModel loads the store at path and builds its calibrated
+// model; an empty or missing store yields a fallback-only model.
+func LoadQualityModel(path string) (*QualityModel, error) { return quality.LoadModel(path) }
+
+// NewQualityModel builds a calibrated model from loaded records.
+func NewQualityModel(recs []QualityRecord) *QualityModel { return quality.NewModel(recs) }
 
 // DefaultIPSC860 returns the calibrated 64-node iPSC/860 timing model.
 func DefaultIPSC860() Params { return costmodel.DefaultIPSC860() }

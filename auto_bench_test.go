@@ -1,0 +1,83 @@
+package unsched
+
+// Benchmarks for the algorithm-"auto" portfolio layer, tracked by
+// cmd/benchgate in CI. Pick is on the /v1/schedule request path in
+// front of every auto-resolved computation, so it must stay noise
+// next to the cheapest real scheduling run (RS_NL's tens of
+// microseconds on the paper grid) — the gate pins it at nanoseconds.
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+)
+
+// autoBenchModel builds a model with the calibration shape a live
+// daemon holds: every contender measured in the queried bin.
+func autoBenchModel() *QualityModel {
+	var recs []QualityRecord
+	for _, alg := range []struct {
+		tag  string
+		comm float64
+	}{{"RS_N", 900}, {"RS_NL", 950}, {"LP", 1400}, {"AC", 8000}} {
+		recs = append(recs, QualityRecord{
+			Topology: "hypercube-6", Workload: "uniform:8:65536", Algorithm: alg.tag,
+			Nodes: 64, Density: 8, EstCommUS: alg.comm, Samples: 10,
+		})
+	}
+	return NewQualityModel(recs)
+}
+
+// BenchmarkAutoPickOverhead measures resolving "auto" to a concrete
+// tag against a calibrated bin — the only work an auto request adds
+// before fingerprinting.
+func BenchmarkAutoPickOverhead(b *testing.B) {
+	model := autoBenchModel()
+	f := SchedFeatures{Nodes: 64, Density: 8, SizeCV: 0}
+	var ranked []string
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ranked = model.Pick("hypercube-6", f)
+	}
+	b.StopTimer()
+	if len(ranked) == 0 || ranked[0] != "RS_N" {
+		b.Fatalf("Pick returned %v, want RS_N first", ranked)
+	}
+}
+
+// BenchmarkScheduleHTTPAuto measures the full wire path of an
+// algorithm-"auto" request on a warm cache: resolution plus the same
+// cache-hit response a concrete-tag request gets, since auto resolves
+// before fingerprinting and shares the cache slot.
+func BenchmarkScheduleHTTPAuto(b *testing.B) {
+	ts, _, _ := wireBenchServer(b)
+	req := ScheduleRequest{
+		Workload:  "uniform:8:65536",
+		Algorithm: "auto",
+		Topology:  &WireTopology{Spec: "cube:8"},
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Prime the auto-resolved entry (the fallback pick, RS_NL, is the
+	// same schedule wireBenchServer primed — one computation total).
+	resp, err := http.Post(ts.URL+"/v1/schedule", ContentTypeJSON, bytes.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("prime auto request: %d", resp.StatusCode)
+	}
+	hdr := map[string]string{"Accept-Encoding": "identity"}
+	var n int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n = wireBenchDo(b, ts.URL+"/v1/schedule", body, hdr, http.StatusOK)
+	}
+	b.ReportMetric(float64(n), "wire_bytes")
+}

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	experiments [flags] <table1|fig5|fig6|fig7|fig8|fig9|fig10|fig11|workloads|all>
+//	experiments [flags] <table1|fig5|fig6|fig7|fig8|fig9|fig10|fig11|workloads|autoeval|autofallback|all>
 //
 // Flags:
 //
@@ -21,6 +21,10 @@
 //	                halo:WxH:BYTES, spmv:NNZ:BYTES, perm:BYTES,
 //	                transpose:BYTES, shift:K:BYTES, stencil3d:XxYxZ:BYTES,
 //	                bitcomp:BYTES, alltoall:BYTES)
+//	-algorithm A    policy autoeval evaluates: auto (default) or a
+//	                fixed tag (AC, LP, RS_N, RS_NL)
+//	-quality-db F   append the auto targets' calibration records to
+//	                the quality store file F
 //	-parallel P     worker goroutines (default 0 = GOMAXPROCS)
 //	-progress       report campaign progress on stderr
 //	-cpuprofile F   write a pprof CPU profile of the run to F
@@ -28,7 +32,11 @@
 //
 // The classic targets sweep the paper's uniform workload; the
 // `workloads` target measures each -workload spec as one cell of a
-// workload-generic campaign on the same machine.
+// workload-generic campaign on the same machine. The `autoeval`
+// target measures the calibration grid, trains the algorithm-"auto"
+// quality model on it, and compares auto's pick against every fixed
+// algorithm; `autofallback` prints the calibrated bin rankings as the
+// Go literal committed in internal/quality/fallback.go.
 //
 // Output is bit-identical at every -parallel value on every topology:
 // each simulated run derives its randomness from (seed, density,
@@ -54,6 +62,7 @@ import (
 	"unsched/internal/expt"
 	"unsched/internal/hypercube"
 	"unsched/internal/plot"
+	"unsched/internal/quality"
 	"unsched/internal/topo"
 	"unsched/internal/workload"
 )
@@ -84,6 +93,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	dim := fs.Int("dim", 6, "hypercube dimension (6 = the paper's 64-node machine)")
 	topoSpec := fs.String("topo", "", "topology spec (cube:D, mesh:WxH, torus:WxH, ring:N, graph:N:a-b,...); exclusive with -dim")
 	workloads := fs.String("workload", "", "comma-separated workload specs for the workloads target (uniform:D:BYTES, halo:WxH:BYTES, ...)")
+	algorithm := fs.String("algorithm", "auto", "policy the autoeval target evaluates: auto (the calibrated pick) or a fixed tag (AC, LP, RS_N, RS_NL)")
+	qualityDB := fs.String("quality-db", "", "append the auto targets' calibration records to this quality store file")
 	parallel := fs.Int("parallel", 0, "worker goroutines; 0 means GOMAXPROCS")
 	progress := fs.Bool("progress", false, "report campaign progress on stderr")
 	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
@@ -101,6 +112,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if *workloads != "" && fs.Arg(0) != "workloads" {
 		return fmt.Errorf("-workload applies only to the workloads target (the classic grids sweep the paper's uniform workload)")
+	}
+	autoTarget := fs.Arg(0) == "autoeval" || fs.Arg(0) == "autofallback"
+	if *qualityDB != "" && !autoTarget {
+		return fmt.Errorf("-quality-db applies only to the autoeval and autofallback targets")
+	}
+	switch *algorithm {
+	case "auto", "AC", "LP", "RS_N", "RS_NL":
+	default:
+		return fmt.Errorf("unknown -algorithm %q (want auto, AC, LP, RS_N, or RS_NL)", *algorithm)
 	}
 
 	// Profiling brackets everything the command measures — topology
@@ -154,6 +174,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 		runner.Progress = progressPrinter(stderr)
 	}
 
+	var qstore *quality.Store
+	if *qualityDB != "" {
+		qstore, err = quality.Open(*qualityDB)
+		if err != nil {
+			return fmt.Errorf("-quality-db: %w", err)
+		}
+		defer qstore.Close()
+	}
+
 	targets := map[string]func(*expt.Runner, io.Writer, bool) error{
 		"table1": runTable1,
 		"fig5":   runFig5,
@@ -165,6 +194,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 		"fig11":  figOverhead(expt.RSNL, "Figure 11: computation overhead of RS_NL (comp/comm)"),
 		"workloads": func(r *expt.Runner, stdout io.Writer, _ bool) error {
 			return runWorkloads(r, stdout, *workloads)
+		},
+		"autoeval": func(r *expt.Runner, stdout io.Writer, _ bool) error {
+			return runAutoEval(r, stdout, *algorithm, qstore)
+		},
+		"autofallback": func(r *expt.Runner, stdout io.Writer, _ bool) error {
+			return runAutoFallback(r, stdout, qstore)
 		},
 	}
 

@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"unsched/internal/quality"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files from current output")
@@ -161,6 +163,60 @@ func TestGoldenWorkloadsParallelInvariant(t *testing.T) {
 	got := goldenRun(t, "-samples", "2", "-seed", "1994", "-topo", "torus:4x4",
 		"-workload", "halo:6x6:512,shift:3:2048,hotspot:4:1024:2,stencil3d:4x4x4:64", "-parallel", "1", "workloads")
 	checkGolden(t, "workloads_torus4x4_s2.golden", got)
+}
+
+// TestGoldenAutoeval pins the auto-vs-fixed comparison table: the
+// calibration measurements, the model's per-cell pick, and the summary
+// lines demonstrating the acceptance bar (auto's mean no worse than
+// the best fixed algorithm, p50 scheduling cost no worse than RS_NL).
+func TestGoldenAutoeval(t *testing.T) {
+	got := goldenRun(t, "-samples", "2", "-seed", "1994", "-dim", "4", "autoeval")
+	checkGolden(t, "autoeval_dim4_s2.golden", got)
+}
+
+func TestGoldenAutoevalParallelInvariant(t *testing.T) {
+	got := goldenRun(t, "-samples", "2", "-seed", "1994", "-dim", "4", "-parallel", "1", "autoeval")
+	checkGolden(t, "autoeval_dim4_s2.golden", got)
+}
+
+// TestGoldenAutofallback pins the generated fallback-table literal on
+// the small machine; the committed internal/quality/fallback.go table
+// comes from the same target on the 64-node default.
+func TestGoldenAutofallback(t *testing.T) {
+	got := goldenRun(t, "-samples", "2", "-seed", "1994", "-dim", "4", "autofallback")
+	checkGolden(t, "autofallback_dim4_s2.golden", got)
+}
+
+// TestAutoFlags covers the new flag plumbing: -quality-db persists the
+// calibration records of an autoeval run, a fixed -algorithm pins the
+// evaluated policy, and misuse is rejected up front.
+func TestAutoFlags(t *testing.T) {
+	db := filepath.Join(t.TempDir(), "quality.usqr")
+	got := goldenRun(t, "-samples", "1", "-seed", "7", "-dim", "4", "-quality-db", db, "autoeval")
+	if !strings.Contains(got, "chosen") {
+		t.Errorf("autoeval output missing the chosen column:\n%s", got)
+	}
+	model, err := quality.LoadModel(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 densities x 3 sizes x 4 algorithms on the 16-node machine.
+	if model.Records() != 24 {
+		t.Errorf("quality store holds %d records, want 24", model.Records())
+	}
+
+	pinned := goldenRun(t, "-samples", "1", "-seed", "7", "-dim", "4", "-algorithm", "RS_NL", "autoeval")
+	if !strings.Contains(pinned, "RS_NL\n") || strings.Contains(pinned, " LP\n") {
+		t.Errorf("-algorithm RS_NL did not pin every chosen cell:\n%s", pinned)
+	}
+
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-dim", "4", "-quality-db", db, "table1"}, &stdout, &stderr); err == nil {
+		t.Error("-quality-db with a classic target accepted")
+	}
+	if err := run([]string{"-dim", "4", "-algorithm", "RS-NL", "autoeval"}, &stdout, &stderr); err == nil {
+		t.Error("unknown -algorithm accepted")
+	}
 }
 
 // TestWorkloadFlag covers the flag plumbing: the dregular alias

@@ -7,6 +7,7 @@
 //
 //	unsched -n 64 -d 8 -bytes 4096                 # compare all algorithms
 //	unsched -n 64 -d 8 -bytes 4096 -alg RS_NL -trace
+//	unsched -n 64 -d 8 -bytes 4096 -alg auto       # calibrated pick
 //	unsched -pattern hotspot -n 64 -d 8 -bytes 1024
 //	unsched -pattern halo:16x16:512 -n 64            # any workload spec
 //	unsched -load pattern.txt -alg LP -gantt
@@ -33,6 +34,7 @@ import (
 	"unsched/internal/hypercube"
 	"unsched/internal/ipsc"
 	"unsched/internal/mesh"
+	"unsched/internal/quality"
 	"unsched/internal/sched"
 	"unsched/internal/topo"
 	"unsched/internal/trace"
@@ -46,7 +48,7 @@ func main() {
 	pattern := flag.String("pattern", "dregular", "workload: dregular|random|hotspot|bitcomp|alltoall|mixed, or any workload spec (halo:WxH:BYTES, spmv:NNZ:BYTES, perm:BYTES, ...)")
 	topoName := flag.String("topo", "cube", "topology: cube|mesh|torus (mesh/torus need a square node count)")
 	load := flag.String("load", "", "load a communication matrix from file instead of generating")
-	alg := flag.String("alg", "", "run one algorithm (AC|LP|RS_N|RS_NL|GREEDY|GREEDY_LF); default: compare all")
+	alg := flag.String("alg", "", "run one algorithm (auto|AC|LP|RS_N|RS_NL|GREEDY|GREEDY_LF); default: compare all")
 	seed := flag.Int64("seed", 7, "random seed")
 	doTrace := flag.Bool("trace", false, "print the phase-by-phase schedule")
 	doGantt := flag.Bool("gantt", false, "print a per-node phase occupancy chart")
@@ -105,6 +107,15 @@ func main() {
 	algs := []string{"AC", "LP", "RS_N", "RS_NL", "RS_NL_SZ", "GREEDY", "GREEDY_LF"}
 	if *alg != "" {
 		algs = []string{*alg}
+	}
+	if *alg == "auto" {
+		// The same resolution the daemon performs, minus a calibration
+		// store: the committed fallback table ranks the matrix's feature
+		// bin, which is all a one-shot CLI run can know.
+		var model *quality.Model
+		chosen := model.Pick(net.Name(), sched.MeasureFeatures(m))[0]
+		fmt.Printf("auto: resolved to %s (committed fallback calibration)\n", chosen)
+		algs = []string{chosen}
 	}
 	tw := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
 	fmt.Fprintln(tw, "algorithm\tphases\tpairwise\tcomp(ms)\tcomm(ms)\tlink-free")

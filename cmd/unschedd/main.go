@@ -5,7 +5,8 @@
 // Usage:
 //
 //	unschedd [-addr :8080] [-workers 0] [-queue 0] [-cache 4096]
-//	         [-cache-dir DIR] [-campaigns 2] [-pprof-addr ADDR]
+//	         [-cache-dir DIR] [-quality-db FILE] [-campaigns 2]
+//	         [-pprof-addr ADDR]
 //
 // Endpoints (see internal/service for the wire formats):
 //
@@ -38,6 +39,13 @@
 // re-paying every O(n^2) schedule. Corrupt or truncated records are
 // skipped and counted on /metrics, never fatal.
 //
+// With -quality-db, schedule requests may say "algorithm": "auto": the
+// daemon resolves the tag from a calibration model built over the
+// store before any cache-key fingerprinting, and every finished
+// campaign appends its measurements to the store and reloads the
+// model — campaigns double as the calibration training loop. Without
+// the flag, "auto" still works from the committed fallback table.
+//
 // With -pprof-addr, a second listener serves net/http/pprof
 // (/debug/pprof/...) on its own mux, so live CPU and heap profiles of
 // a loaded daemon are one `go tool pprof` away. It is opt-in and
@@ -67,6 +75,7 @@ func main() {
 	queue := flag.Int("queue", 0, "request queue depth before 429; 0 means 4x workers")
 	cache := flag.Int("cache", 4096, "schedule cache entries; negative disables caching")
 	cacheDir := flag.String("cache-dir", "", "directory for disk-backed cache persistence; empty keeps the cache in memory only")
+	qualityDB := flag.String("quality-db", "", "quality store file calibrating algorithm \"auto\"; campaigns append to it, empty uses the committed fallback table only")
 	campaigns := flag.Int("campaigns", 2, "maximum concurrently running campaigns")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown deadline")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables profiling")
@@ -77,6 +86,7 @@ func main() {
 		QueueDepth:   *queue,
 		CacheEntries: *cache,
 		CacheDir:     *cacheDir,
+		QualityStore: *qualityDB,
 		MaxCampaigns: *campaigns,
 	})
 	if err != nil {

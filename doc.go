@@ -142,6 +142,25 @@
 // recompute. A full queue sheds load with 429; Close drains
 // gracefully.
 //
+// # Algorithm selection
+//
+// The daemon also answers "algorithm": "auto" — a portfolio
+// meta-scheduler calibrated by the service's own campaigns. Every
+// scheduling run emits a SchedOutcome (estimated communication,
+// modeled scheduling cost, and the matrix's SchedFeatures); campaigns
+// aggregate them into QualityRecords on an append-only store
+// (QualityStore, ServerOptions.QualityStore), and a QualityModel bins
+// the records by (topology kind, node count, density, size variation)
+// and ranks each bin's algorithms by mean total cost. "auto" resolves
+// through Model.Pick BEFORE cache-key fingerprinting, so an auto
+// request shares its cache slot, ETag, and bytes with a direct
+// request for the chosen tag — bit-identically across servers sharing
+// a calibration store. Uncalibrated bins answer from a committed
+// fallback table (regenerate with the experiments CLI's autofallback
+// target); "auto_race": true races the model's top candidates and
+// keeps the best simulated schedule. See the README's "Algorithm
+// selection" section and examples/autosched for the full loop.
+//
 // The wire surface is versioned and negotiable. Responses come back
 // as JSON by default or, with Accept: application/x-unsched-binary,
 // as a compact varint-based binary envelope (DecodeBinaryResponse

@@ -165,3 +165,11 @@ func (p Params) PermutationTime(maxBytes int64, maxHops int) float64 {
 func (p Params) CompTimeMS(ops int64) float64 {
 	return float64(ops) * p.CompOpUS / 1000
 }
+
+// CompTimeNS converts an instrumented scheduler operation count into
+// modeled i860 nanoseconds, rounded to the nearest integer — the
+// fixed-point form quality records carry so calibration artifacts
+// compare bit-identically across builds.
+func (p Params) CompTimeNS(ops int64) int64 {
+	return int64(float64(ops)*p.CompOpUS*1000 + 0.5)
+}

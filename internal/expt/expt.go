@@ -88,6 +88,17 @@ type Config struct {
 	Params  costmodel.Params
 	Samples int   // random samples per (d, M) cell; the paper uses 50
 	Seed    int64 // master seed; everything derives from it
+	// Outcomes, when non-nil, receives the aggregated evaluation
+	// artifact of every measured (workload, algorithm) cell: the
+	// sample-mean sched.Outcome (simulated communication, modeled
+	// scheduling cost, measured features) plus the sample count it
+	// aggregates. The campaign is then a calibration training loop:
+	// the unschedd service appends these to its quality store to
+	// calibrate algorithm "auto". Calls are made from the campaign's
+	// deterministic aggregation pass — point order, one goroutine —
+	// never from workers, so the sink needs no locking and sees
+	// identical calls at any parallelism.
+	Outcomes func(workload string, samples int, o sched.Outcome)
 }
 
 // DefaultConfig returns the paper's machine (64-node cube) with the
@@ -143,56 +154,57 @@ func (c Config) MeasureCell(d int, msgBytes int64) (map[Algorithm]Cell, error) {
 	return NewRunner(c).MeasureCell(context.Background(), d, msgBytes)
 }
 
-// runOne schedules and simulates one sample under one algorithm on the
-// given reusable machine and scheduler core, returning (makespan µs,
-// scheduling cost ms, phase count). Core methods consume the identical
-// RNG stream as the package-level functions, so results are
-// bit-identical to the pre-core harness.
-func (c Config) runOne(mach *ipsc.Machine, core *sched.Core, alg Algorithm, m *comm.Matrix, rng *rand.Rand) (float64, float64, float64, error) {
+// runOne schedules and simulates one sample under one algorithm on
+// the given reusable machine and scheduler core, returning the run's
+// evaluation artifact: the core's Outcome with the simulated makespan
+// filled in. Core methods consume the identical RNG stream as the
+// package-level functions, so results are bit-identical to the
+// pre-core harness.
+func (c Config) runOne(mach *ipsc.Machine, core *sched.Core, alg Algorithm, m *comm.Matrix, rng *rand.Rand) (sched.Outcome, error) {
+	var (
+		s   *sched.Schedule
+		err error
+	)
 	switch alg {
 	case AC:
-		order, err := core.AC(m)
-		if err != nil {
-			return 0, 0, 0, err
+		order, acErr := core.AC(m)
+		if acErr != nil {
+			return sched.Outcome{}, acErr
 		}
-		res, err := mach.RunAC(order, m)
-		if err != nil {
-			return 0, 0, 0, err
+		res, acErr := mach.RunAC(order, m)
+		if acErr != nil {
+			return sched.Outcome{}, acErr
 		}
-		return res.MakespanUS, 0, 0, nil
+		o := core.LastOutcome(sched.Features{}, c.Params)
+		o.EstCommUS = res.MakespanUS
+		return o, nil
 	case LP:
-		s, err := core.LP(m)
-		if err != nil {
-			return 0, 0, 0, err
-		}
-		res, err := mach.RunLP(s)
-		if err != nil {
-			return 0, 0, 0, err
-		}
-		return res.MakespanUS, c.Params.CompTimeMS(s.Ops), float64(s.NumPhases()), nil
+		s, err = core.LP(m)
 	case RSN:
-		s, err := core.RSN(m, rng)
-		if err != nil {
-			return 0, 0, 0, err
-		}
-		res, err := mach.RunS2(s)
-		if err != nil {
-			return 0, 0, 0, err
-		}
-		return res.MakespanUS, c.Params.CompTimeMS(s.Ops), float64(s.NumPhases()), nil
+		s, err = core.RSN(m, rng)
 	case RSNL:
-		s, err := core.RSNL(m, rng)
-		if err != nil {
-			return 0, 0, 0, err
-		}
-		res, err := mach.RunS1(s)
-		if err != nil {
-			return 0, 0, 0, err
-		}
-		return res.MakespanUS, c.Params.CompTimeMS(s.Ops), float64(s.NumPhases()), nil
+		s, err = core.RSNL(m, rng)
 	default:
-		return 0, 0, 0, fmt.Errorf("expt: unknown algorithm %q", alg)
+		return sched.Outcome{}, fmt.Errorf("expt: unknown algorithm %q", alg)
 	}
+	if err != nil {
+		return sched.Outcome{}, err
+	}
+	var res ipsc.Result
+	switch alg {
+	case LP:
+		res, err = mach.RunLP(s)
+	case RSN:
+		res, err = mach.RunS2(s)
+	default: // RSNL
+		res, err = mach.RunS1(s)
+	}
+	if err != nil {
+		return sched.Outcome{}, err
+	}
+	o := core.LastOutcome(sched.Features{}, c.Params)
+	o.EstCommUS = res.MakespanUS
+	return o, nil
 }
 
 // Table1Row holds the paper's Table 1 block for one density.

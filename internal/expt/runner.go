@@ -110,6 +110,10 @@ type unitResult struct {
 	commMS float64
 	compMS float64
 	iters  float64
+	// feat holds the sample matrix's measured features, populated only
+	// when the campaign carries an Outcomes sink (one O(n^2) pass per
+	// unit, skipped otherwise).
+	feat sched.Features
 }
 
 // unitScratch is the per-worker reusable state of runSample beyond the
@@ -289,9 +293,44 @@ feed:
 				Iters:     stats.Mean(iters),
 			}
 		}
+		if cfg.Outcomes != nil {
+			r.emitOutcomes(sp, cells, results[ci*samples*nAlg:(ci+1)*samples*nAlg])
+		}
 		out[ci] = cells
 	}
 	return out, nil
+}
+
+// emitOutcomes feeds one measured point's aggregated artifacts to the
+// campaign's Outcomes sink: the sample-mean features (constant for
+// the deterministic workload kinds) paired with each algorithm's
+// aggregated cell. Runs on the aggregation goroutine, in point order.
+func (r *Runner) emitOutcomes(sp workload.Spec, cells map[Algorithm]Cell, results []unitResult) {
+	cfg := r.Config
+	samples := cfg.Samples
+	nAlg := len(Algorithms)
+	var density, sizeCV float64
+	for sample := 0; sample < samples; sample++ {
+		f := results[sample*nAlg].feat
+		density += float64(f.Density)
+		sizeCV += f.SizeCV
+	}
+	feat := sched.Features{
+		Nodes:   cfg.Topology.Nodes(),
+		Density: int(density/float64(samples) + 0.5),
+		SizeCV:  sizeCV / float64(samples),
+	}
+	for _, alg := range Algorithms {
+		cell := cells[alg]
+		cfg.Outcomes(sp.String(), samples, sched.Outcome{
+			Algorithm:   string(alg),
+			Phases:      int(cell.Iters + 0.5),
+			EstCommUS:   cell.CommMS * 1000,
+			SchedCostNS: int64(cell.CompMS*1e6 + 0.5),
+			Features:    feat,
+			TopoName:    cfg.Topology.Name(),
+		})
+	}
 }
 
 // MeasureCell measures one (d, M) point through the pool.
@@ -322,15 +361,24 @@ func (c Config) runSample(mach *ipsc.Machine, core *sched.Core, src *stats.Sourc
 	if err != nil {
 		return err
 	}
+	var feat sched.Features
+	if c.Outcomes != nil {
+		feat = sched.MeasureFeatures(scratch.m)
+	}
 	schedKey := append(key, int64(sample), 0)
 	for algIdx, alg := range Algorithms {
 		schedKey[len(schedKey)-1] = int64(algIdx)
 		schedRNG := src.StreamKeyed(schedKey...)
-		commUS, compMS, nPhases, err := c.runOne(mach, core, alg, scratch.m, schedRNG)
+		o, err := c.runOne(mach, core, alg, scratch.m, schedRNG)
 		if err != nil {
 			return fmt.Errorf("expt: %s %s sample %d: %w", alg, sp, sample, err)
 		}
-		out[algIdx] = unitResult{commMS: commUS / 1000, compMS: compMS, iters: nPhases}
+		out[algIdx] = unitResult{
+			commMS: o.EstCommUS / 1000,
+			compMS: float64(o.SchedCostNS) / 1e6,
+			iters:  float64(o.Phases),
+			feat:   feat,
+		}
 		if tick != nil {
 			tick()
 		}
@@ -351,11 +399,20 @@ func (c Config) runUnitAlg(mach *ipsc.Machine, core *sched.Core, src *stats.Sour
 	schedKey := append(key, int64(sample), int64(algIdx))
 	alg := Algorithms[algIdx]
 	schedRNG := src.StreamKeyed(schedKey...)
-	commUS, compMS, nPhases, err := c.runOne(mach, core, alg, scratch.m, schedRNG)
+	o, err := c.runOne(mach, core, alg, scratch.m, schedRNG)
 	if err != nil {
 		return fmt.Errorf("expt: %s %s sample %d: %w", alg, sp, sample, err)
 	}
-	*out = unitResult{commMS: commUS / 1000, compMS: compMS, iters: nPhases}
+	var feat sched.Features
+	if c.Outcomes != nil {
+		feat = sched.MeasureFeatures(scratch.m)
+	}
+	*out = unitResult{
+		commMS: o.EstCommUS / 1000,
+		compMS: float64(o.SchedCostNS) / 1e6,
+		iters:  float64(o.Phases),
+		feat:   feat,
+	}
 	scratch.key = schedKey[:0]
 	return nil
 }

@@ -1,0 +1,28 @@
+package quality
+
+// The committed calibration fallback: what Pick answers when neither
+// the loaded store nor anything else covers a bin. The table below
+// is GENERATED from one committed calibration run over the standard
+// grid — Table 1 densities × Table 1 sizes on the paper's 64-node
+// hypercube, 2 samples per cell, seed 1994:
+//
+//	go run ./cmd/experiments -samples 2 -seed 1994 autofallback
+//
+// and pasted verbatim — regenerate it the same way after changing
+// the cost model or the algorithms. Entries are ranked best-first by
+// mean total cost (simulated communication + modeled scheduling).
+//
+// defaultRanking is the last resort for bins outside the calibrated
+// range. RS_NL first is the paper's own bottom line (§7): the
+// locality-aware randomized scheduler is the best general choice,
+// with RS_N the cheap runner-up, LP for the dense power-of-two
+// corner, and AC last — it only wins for very short messages, which
+// an uncalibrated bin cannot establish.
+var defaultRanking = []string{"RS_NL", "RS_N", "LP", "AC"}
+
+var fallbackTable = map[string][]string{
+	"hypercube/n6/d3/cv0": {"RS_N", "RS_NL", "AC", "LP"},
+	"hypercube/n6/d4/cv0": {"RS_N", "RS_NL", "AC", "LP"},
+	"hypercube/n6/d5/cv0": {"RS_N", "RS_NL", "LP", "AC"},
+	"hypercube/n6/d6/cv0": {"LP", "RS_NL", "RS_N", "AC"},
+}

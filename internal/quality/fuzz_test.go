@@ -1,0 +1,43 @@
+package quality
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzQualityRecord: DecodeRecord is total — arbitrary bytes must
+// yield a record or an error, never a panic, and whatever decodes
+// must re-encode to the identical frame (the codec is canonical).
+func FuzzQualityRecord(f *testing.F) {
+	r := Record{
+		Topology: "hypercube-64", Workload: "uniform:8:4096", Algorithm: "RS_NL",
+		Nodes: 64, Density: 8, Phases: 9, EstCommUS: 12345.5, SchedCostNS: 224000, Samples: 2,
+	}
+	value, _ := json.Marshal(r)
+	frame, _ := EncodeRecord(r.Key(), value)
+	f.Add(frame)
+	two, _ := EncodeRecord(r.Key(), []byte("{}"))
+	f.Add(append(append([]byte(nil), frame...), two...))
+	f.Add([]byte("USQR"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		for in := b; ; {
+			key, val, rest, err := DecodeRecord(in)
+			if err != nil {
+				break
+			}
+			re, err := EncodeRecord(key, val)
+			if err != nil {
+				t.Fatalf("decoded frame does not re-encode: %v", err)
+			}
+			if !bytes.Equal(re, in[:len(in)-len(rest)]) {
+				t.Fatal("re-encoded frame differs from decoded bytes")
+			}
+			if len(rest) >= len(in) {
+				t.Fatal("decode made no progress")
+			}
+			in = rest
+		}
+	})
+}

@@ -1,0 +1,109 @@
+package quality
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Store is an append-only quality record file. Appends are
+// serialized under a lock and each record is one self-describing
+// checksummed frame, so concurrent campaign workers on one process
+// interleave whole records and a crash can only cost the unsynced
+// tail — which Load skips.
+type Store struct {
+	path string
+
+	mu sync.Mutex
+	f  *os.File
+}
+
+// Open opens (creating if needed) the store file for appending.
+func Open(path string) (*Store, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("quality: open store: %w", err)
+	}
+	return &Store{path: path, f: f}, nil
+}
+
+// Path returns the store's file path.
+func (s *Store) Path() string { return s.path }
+
+// Append writes one record to the store. The record's identity key
+// is derived from its (topology, workload, algorithm) triple, so
+// appending the same cell again supersedes the earlier measurement
+// at load time.
+func (s *Store) Append(r Record) error {
+	if !r.valid() {
+		return fmt.Errorf("quality: refusing to append invalid record %+v", r)
+	}
+	value, err := json.Marshal(r)
+	if err != nil {
+		return err
+	}
+	frame, err := EncodeRecord(r.Key(), value)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, err = s.f.Write(frame)
+	return err
+}
+
+// Sync flushes appended records to stable storage.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.Sync()
+}
+
+// Close syncs and closes the store file.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.f.Sync(); err != nil {
+		s.f.Close()
+		return err
+	}
+	return s.f.Close()
+}
+
+// Load reads every decodable record from the store file at path, the
+// latest record per identity key winning. A missing file is an empty
+// store, not an error. A corrupt or truncated tail ends the scan:
+// everything decoded before it is kept, mirroring the disk cache's
+// damage-tolerant loads. Records whose embedded key disagrees with
+// their content, or whose fields are structurally unusable, are
+// skipped.
+func Load(path string) ([]Record, error) {
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("quality: read store: %w", err)
+	}
+	seen := make(map[string]int)
+	var recs []Record
+	for len(raw) > 0 {
+		key, value, rest, err := DecodeRecord(raw)
+		if err != nil {
+			break
+		}
+		raw = rest
+		var r Record
+		if json.Unmarshal(value, &r) != nil || !r.valid() || r.Key() != key {
+			continue
+		}
+		if i, ok := seen[key]; ok {
+			recs[i] = r
+		} else {
+			seen[key] = len(recs)
+			recs = append(recs, r)
+		}
+	}
+	return recs, nil
+}

@@ -51,6 +51,8 @@ type Core struct {
 	sendBusy, recvBusy []bool
 	sizes              []int64 // distinct-size scratch (RS_NL_SZ)
 	sizeSeen           map[int64]bool
+
+	last lastRun // metadata of the most recent run (see LastOutcome)
 }
 
 // NewCore returns a reusable core for net, precomputing net's
@@ -240,6 +242,7 @@ func (c *Core) rsn(m *comm.Matrix, rng *rand.Rand, shuffle bool) (*Schedule, err
 		s.Phases = append(s.Phases, p)
 	}
 	s.Ops = ops
+	c.noteRun(s.Algorithm, len(s.Phases), ops)
 	return s, nil
 }
 
@@ -366,6 +369,7 @@ func (c *Core) rsnl(m *comm.Matrix, rng *rand.Rand, pairwise bool) (*Schedule, e
 		s.Phases = append(s.Phases, p)
 	}
 	s.Ops = ops
+	c.noteRun(s.Algorithm, len(s.Phases), ops)
 	return s, nil
 }
 
@@ -433,6 +437,7 @@ func (c *Core) RSNLSized(m *comm.Matrix, rng *rand.Rand) (*Schedule, error) {
 		s.Phases = append(s.Phases, p)
 	}
 	s.Ops = ops
+	c.noteRun(s.Algorithm, len(s.Phases), ops)
 	return s, nil
 }
 
@@ -506,6 +511,7 @@ func (c *Core) LP(m *comm.Matrix) (*Schedule, error) {
 	// §7. The n-way loop above is this simulator materializing every
 	// processor's view at once, not work the machine would do serially.
 	s.Ops = int64(n - 1)
+	c.noteRun(s.Algorithm, len(s.Phases), s.Ops)
 	return s, nil
 }
 
@@ -526,6 +532,9 @@ func (c *Core) AC(m *comm.Matrix) (*ACOrder, error) {
 			}
 		}
 	}
+	// AC has no scheduling phase and the paper charges it zero comp:
+	// sends are issued asynchronously straight off the row.
+	c.noteRun("AC", 0, 0)
 	return o, nil
 }
 
@@ -579,6 +588,7 @@ func (c *Core) Greedy(m *comm.Matrix) (*Schedule, error) {
 		s.Phases = append(s.Phases, p)
 	}
 	s.Ops = ops
+	c.noteRun(s.Algorithm, len(s.Phases), ops)
 	return s, nil
 }
 
@@ -650,6 +660,7 @@ func (c *Core) GreedyLargestFirst(m *comm.Matrix) (*Schedule, error) {
 		}
 	}
 	s.Ops = ops
+	c.noteRun(s.Algorithm, len(s.Phases), ops)
 	return s, nil
 }
 
@@ -701,6 +712,7 @@ func (c *Core) GreedyLargestFirstLinkFree(m *comm.Matrix) (*Schedule, error) {
 		}
 	}
 	s.Ops = ops
+	c.noteRun(s.Algorithm, len(s.Phases), ops)
 	return s, nil
 }
 

@@ -144,7 +144,7 @@ func (s *Server) handleScheduleBatch(w http.ResponseWriter, r *http.Request) {
 // path. Failures become the item's structured error — never the
 // stream's: one bad request in a batch must not kill the other 999.
 func (s *Server) batchOne(ctx context.Context, index int, req *ScheduleRequest) BatchItem {
-	key, compute, err := s.scheduleJob(req)
+	key, compute, err := s.scheduleJob(ctx, req)
 	if err == nil {
 		var (
 			raw    []byte

@@ -369,8 +369,11 @@ func campaignKey(req *CampaignRequest, specs []workload.Spec, net topo.Topology,
 // runCampaign executes the grid on its own expt.Runner and stores the
 // outcome on the job. It is called on a dedicated goroutine; the
 // context is the server's lifetime, so shutdown cancels mid-campaign
-// jobs, which then report state failed.
-func runCampaign(ctx context.Context, j *campaignJob, cfg expt.Config, points []expt.Point, parallelism int) {
+// jobs, which then report state failed. recalibrate (when non-nil)
+// runs after measurement but BEFORE the job reports done, so a client
+// that polls a campaign to completion is guaranteed the quality model
+// already reflects it.
+func runCampaign(ctx context.Context, j *campaignJob, cfg expt.Config, points []expt.Point, parallelism int, recalibrate func()) {
 	runner := &expt.Runner{
 		Config:      cfg,
 		Parallelism: parallelism,
@@ -396,6 +399,9 @@ func runCampaign(ctx context.Context, j *campaignJob, cfg expt.Config, points []
 				Iters:     c.Iters,
 			})
 		}
+	}
+	if recalibrate != nil {
+		recalibrate()
 	}
 	j.finish(cells, nil)
 }

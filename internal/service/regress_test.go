@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -48,6 +49,30 @@ func TestSimulateRejectsUnknownScheduleAlgorithm(t *testing.T) {
 	req := SimulateRequest{Schedule: &WireSchedule{Algorithm: "AC", N: 4, Phases: phases}}
 	if status, raw := postJSON(t, ts.URL+"/v1/simulate", req, nil); status != http.StatusBadRequest {
 		t.Errorf("AC schedule with phases: status %d, want 400 (%s)", status, raw)
+	}
+}
+
+// TestUnknownScheduleAlgorithmErrorListsEveryKnownTag: the 400 for an
+// unknown schedule algorithm must name every tag the service actually
+// accepts. Before the fix the want-list omitted AC even though
+// knownScheduleAlgorithms accepts it: a client sending the lowercase
+// typo "ac" was told AC does not exist. The test ranges over the
+// accepting set itself, so the message and the set cannot drift apart
+// again.
+func TestUnknownScheduleAlgorithmErrorListsEveryKnownTag(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	req := SimulateRequest{Schedule: &WireSchedule{
+		Algorithm: "ac", N: 4, Phases: []WirePhase{{{0, 1, 256}}},
+	}}
+	var env ErrorEnvelope
+	status, raw := postJSON(t, ts.URL+"/v1/simulate", req, &env)
+	if status != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400 (%s)", status, raw)
+	}
+	for tag := range knownScheduleAlgorithms {
+		if !strings.Contains(env.Error, tag) {
+			t.Errorf("error message %q does not offer accepted tag %s", env.Error, tag)
+		}
 	}
 }
 

@@ -67,6 +67,7 @@ import (
 	"unsched/internal/des"
 	"unsched/internal/expt"
 	"unsched/internal/ipsc"
+	"unsched/internal/quality"
 	"unsched/internal/sched"
 	"unsched/internal/stats"
 	"unsched/internal/topo"
@@ -102,6 +103,14 @@ type Options struct {
 	// the oldest records are garbage-collected past it. <= 0 means
 	// 256 MB.
 	CacheDiskBytes int64
+	// QualityStore names the append-only calibration record file (see
+	// internal/quality) behind algorithm "auto": NewServer loads the
+	// selection model from it, and every finished campaign appends its
+	// measured cost/quality records and reloads the model — campaigns
+	// are the calibration training loop. Empty means no store:
+	// "auto" still works, answered from the committed fallback table.
+	// An unreadable store file fails NewServer loudly, like CacheDir.
+	QualityStore string
 }
 
 func (o Options) withDefaults() Options {
@@ -147,6 +156,12 @@ type Server struct {
 	// workers and campaign runners all draw from it, so the
 	// O(n^2*diameter) precompute happens once per topology per daemon.
 	tables *tableCache
+	// quality is the current algorithm-selection model behind "auto",
+	// swapped atomically when a campaign finishes appending to the
+	// store; nil answers from the committed fallback table. qstore is
+	// the open store itself, nil when QualityStore is unset.
+	quality atomic.Pointer[quality.Model]
+	qstore  *quality.Store
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -174,6 +189,11 @@ type Server struct {
 	bytesSaved atomic.Int64
 	respCount  [numEncodings][numCompressions]atomic.Int64
 	respBytes  [numEncodings][numCompressions]atomic.Int64
+
+	// Auto-resolution observability: what "auto" resolved to, and which
+	// tag won each auto_race, per algorithm.
+	autoResolved tagCounters
+	autoRaceWins tagCounters
 }
 
 // endpoint indices for the requests counter.
@@ -229,6 +249,24 @@ func NewServer(opts Options) (*Server, error) {
 		disk.start()
 		s.disk = disk
 	}
+	if opts.QualityStore != "" {
+		// Load the model first (a missing file is a valid empty store),
+		// then open for append. Either failing means a misconfigured
+		// path — fail loudly, exactly as an unusable cache dir does.
+		model, err := quality.LoadModel(opts.QualityStore)
+		if err == nil {
+			s.qstore, err = quality.Open(opts.QualityStore)
+		}
+		if err != nil {
+			cancel()
+			s.pool.close()
+			if s.disk != nil {
+				s.disk.close()
+			}
+			return nil, fmt.Errorf("service: quality store %s: %w", opts.QualityStore, err)
+		}
+		s.quality.Store(model)
+	}
 	s.mux.HandleFunc("POST /v1/schedule", s.handleSchedule)
 	s.mux.HandleFunc("POST /v1/schedule/batch", s.handleScheduleBatch)
 	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
@@ -254,6 +292,11 @@ func (s *Server) Close() {
 	s.wg.Wait()
 	if s.disk != nil {
 		s.disk.close()
+	}
+	if s.qstore != nil {
+		// Campaigns have drained (wg.Wait above), so this is the last
+		// append; Close syncs the calibration records to disk.
+		_ = s.qstore.Close()
 	}
 }
 
@@ -535,7 +578,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	key, compute, err := s.scheduleJob(&req)
+	key, compute, err := s.scheduleJob(r.Context(), &req)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -548,7 +591,14 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 // that builds the result on a worker. It owns everything below the
 // HTTP layer, which is what lets the synchronous handler and the batch
 // stream share one implementation.
-func (s *Server) scheduleJob(req *ScheduleRequest) (string, func(wk *worker) (wireDoc, error), error) {
+//
+// Algorithm "auto" resolves to a concrete tag HERE, before the key is
+// derived: the quality model ranks the algorithms from the matrix's
+// measured features (node count, density, size variation), so the
+// resolved request fingerprints — and caches, and re-seeds — exactly
+// as the equivalent direct request does. The context only gates the
+// optional auto_race; plain resolution never blocks on it.
+func (s *Server) scheduleJob(ctx context.Context, req *ScheduleRequest) (string, func(wk *worker) (wireDoc, error), error) {
 	if req.Algorithm == "" {
 		req.Algorithm = "auto"
 	}
@@ -556,7 +606,7 @@ func (s *Server) scheduleJob(req *ScheduleRequest) (string, func(wk *worker) (wi
 		return "", nil, codedRequest(CodeUnknownAlgorithm, "unknown algorithm %q", req.Algorithm)
 	}
 	if req.Workload != "" {
-		return s.scheduleWorkloadJob(req)
+		return s.scheduleWorkloadJob(ctx, req)
 	}
 	m, err := resolveMatrix(req.Matrix)
 	if err != nil {
@@ -566,16 +616,23 @@ func (s *Server) scheduleJob(req *ScheduleRequest) (string, func(wk *worker) (wi
 	if err != nil {
 		return "", nil, err
 	}
-	digest := scheduleKey(m, req.Algorithm, net, req.Seed)
-	seed := effectiveSeed(digest)
-	algorithm := req.Algorithm
-	return digest.Hex(), func(wk *worker) (wireDoc, error) {
-		res, err := buildSchedule(wk.schedCore(net), m, algorithm, net, seed)
-		if err != nil {
-			return nil, err
+	job := func(tag string) (string, func(wk *worker) (wireDoc, error)) {
+		digest := scheduleKey(m, tag, net, req.Seed)
+		seed := effectiveSeed(digest)
+		return digest.Hex(), func(wk *worker) (wireDoc, error) {
+			res, err := buildSchedule(wk.schedCore(net), m, tag, net, seed)
+			if err != nil {
+				return nil, err
+			}
+			return res, nil
 		}
-		return res, nil
-	}, nil
+	}
+	algorithm := req.Algorithm
+	if algorithm == "auto" {
+		algorithm = s.resolveAuto(ctx, net, m, sched.MeasureFeatures(m), req.AutoRace, job)
+	}
+	key, compute := job(algorithm)
+	return key, compute, nil
 }
 
 // scheduleWorkloadJob serves /v1/schedule requests that name a
@@ -585,7 +642,14 @@ func (s *Server) scheduleJob(req *ScheduleRequest) (string, func(wk *worker) (wi
 // worker pool, off the HTTP goroutine. The pattern RNG derives from
 // the request's content hash, so the same request generates the same
 // matrix on any server at any time.
-func (s *Server) scheduleWorkloadJob(req *ScheduleRequest) (string, func(wk *worker) (wireDoc, error), error) {
+//
+// Auto resolves from the spec's ANALYTIC features (DensityHint,
+// SizeCVHint), never from a built matrix: the pattern RNG derives from
+// the content hash, which includes the algorithm tag — measuring a
+// matrix to choose the tag that seeds the matrix would be circular.
+// The analytic form keeps resolution a pure function of the spec, and
+// the generated pattern identical to the direct concrete-tag request.
+func (s *Server) scheduleWorkloadJob(ctx context.Context, req *ScheduleRequest) (string, func(wk *worker) (wireDoc, error), error) {
 	if req.Matrix != nil {
 		return "", nil, badRequest("matrix and workload are mutually exclusive")
 	}
@@ -600,28 +664,39 @@ func (s *Server) scheduleWorkloadJob(req *ScheduleRequest) (string, func(wk *wor
 	if err != nil {
 		return "", nil, err
 	}
-	digest := scheduleWorkloadKey(sp, req.Algorithm, net, req.Seed)
-	seed := effectiveSeed(digest)
+	job := func(tag string) (string, func(wk *worker) (wireDoc, error)) {
+		digest := scheduleWorkloadKey(sp, tag, net, req.Seed)
+		seed := effectiveSeed(digest)
+		return digest.Hex(), func(wk *worker) (wireDoc, error) {
+			patRNG := stats.NewSource(seed).StreamKeyed(sp.Key()...)
+			m, err := sp.Build(net.Nodes(), patRNG)
+			if err != nil {
+				return nil, badRequest("workload %s: %v", sp, err)
+			}
+			res, err := buildSchedule(wk.schedCore(net), m, tag, net, seed)
+			if err != nil {
+				return nil, err
+			}
+			res.Workload = sp.String()
+			res.Matrix = NewWireMatrix(m)
+			return res, nil
+		}
+	}
 	algorithm := req.Algorithm
-	return digest.Hex(), func(wk *worker) (wireDoc, error) {
-		patRNG := stats.NewSource(seed).StreamKeyed(sp.Key()...)
-		m, err := sp.Build(net.Nodes(), patRNG)
-		if err != nil {
-			return nil, badRequest("workload %s: %v", sp, err)
-		}
-		res, err := buildSchedule(wk.schedCore(net), m, algorithm, net, seed)
-		if err != nil {
-			return nil, err
-		}
-		res.Workload = sp.String()
-		res.Matrix = NewWireMatrix(m)
-		return res, nil
-	}, nil
+	if algorithm == "auto" {
+		f := sched.Features{Nodes: net.Nodes(), Density: sp.DensityHint(net.Nodes()), SizeCV: sp.SizeCVHint()}
+		algorithm = s.resolveAuto(ctx, net, nil, f, req.AutoRace, job)
+	}
+	key, compute := job(algorithm)
+	return key, compute, nil
 }
 
 // chooseAlgorithm is the paper's Figure-5 operating-point policy: AC
 // for short-protocol messages, LP for dense large-message patterns,
-// RS_NL otherwise.
+// RS_NL otherwise. The service's "auto" no longer routes through it —
+// scheduleJob resolves auto against the calibrated quality model
+// before fingerprinting — but buildSchedule keeps it as the fallback
+// for direct library callers that pass "auto" themselves.
 func chooseAlgorithm(m *comm.Matrix, net topo.Topology) string {
 	params := costmodel.DefaultIPSC860()
 	d := m.Density()
@@ -881,6 +956,21 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 	if parallelism < 1 {
 		parallelism = 1
 	}
+	if s.qstore != nil {
+		// Campaigns are the calibration training loop: every measured
+		// (workload, algorithm) cell lands in the quality store as a
+		// cost/quality record. The sink runs on the campaign's
+		// single-goroutine aggregation pass; Append serializes across
+		// concurrent campaigns itself.
+		cfg.Outcomes = func(workloadSpec string, samples int, o sched.Outcome) {
+			_ = s.qstore.Append(quality.Record{
+				Topology: o.TopoName, Workload: workloadSpec, Algorithm: o.Algorithm,
+				Nodes: o.Nodes, Density: o.Density, SizeCV: o.SizeCV,
+				Phases: float64(o.Phases), EstCommUS: o.EstCommUS,
+				SchedCostNS: o.SchedCostNS, Samples: samples,
+			})
+		}
+	}
 	go func() {
 		defer s.wg.Done()
 		defer s.campaigns.release()
@@ -889,13 +979,28 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 		// on the HTTP goroutine) keeps a cold-start build off the
 		// request path.
 		cfg.Routes = s.tables.get(cfg.Topology)
-		runCampaign(s.ctx, job, cfg, points, parallelism)
+		runCampaign(s.ctx, job, cfg, points, parallelism, s.recalibrate)
 	}()
 	writeJSON(w, http.StatusAccepted, CampaignAccepted{
 		ID:  job.id,
 		Key: key,
 		URL: "/v1/campaign/" + job.id,
 	})
+}
+
+// recalibrate reloads the selection model from the store the campaign
+// just fed and swaps it in atomically: the next "auto" request picks
+// from the freshest calibration. runCampaign invokes it before the
+// job reports done, so polling a campaign to completion guarantees
+// the model reflects it.
+func (s *Server) recalibrate() {
+	if s.qstore == nil {
+		return
+	}
+	_ = s.qstore.Sync()
+	if recs, err := quality.Load(s.qstore.Path()); err == nil {
+		s.quality.Store(quality.NewModel(recs))
+	}
 }
 
 func (s *Server) handleCampaignStatus(w http.ResponseWriter, r *http.Request) {
@@ -936,6 +1041,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	fmt.Fprintf(w, "# TYPE unschedd_flight_dedup_total counter\n")
 	fmt.Fprintf(w, "unschedd_flight_dedup_total %d\n", s.flightDedup.Load())
+	autoTags, autoVals := s.autoResolved.series()
+	fmt.Fprintf(w, "# TYPE unschedd_auto_resolved_total counter\n")
+	for i, tag := range autoTags {
+		fmt.Fprintf(w, "unschedd_auto_resolved_total{algorithm=%q} %d\n", tag, autoVals[i])
+	}
+	raceTags, raceVals := s.autoRaceWins.series()
+	fmt.Fprintf(w, "# TYPE unschedd_auto_race_wins_total counter\n")
+	for i, tag := range raceTags {
+		fmt.Fprintf(w, "unschedd_auto_race_wins_total{algorithm=%q} %d\n", tag, raceVals[i])
+	}
 	fmt.Fprintf(w, "# TYPE unschedd_http_304_total counter\n")
 	fmt.Fprintf(w, "unschedd_http_304_total %d\n", s.http304.Load())
 	fmt.Fprintf(w, "# TYPE unschedd_response_encoding_total counter\n")

@@ -152,9 +152,21 @@ type ScheduleRequest struct {
 	// returned in the result so the client can feed /v1/simulate.
 	Workload string `json:"workload,omitempty"`
 	// Algorithm is AC, LP, RS_N, RS_NL, RS_NL_SZ, GREEDY, GREEDY_LF,
-	// or "auto" (the default) for the paper's Figure-5 policy.
+	// GREEDY_LF_LINK, or "auto" (the default). Auto resolves to a
+	// concrete tag BEFORE the request is fingerprinted — through the
+	// calibrated quality model when the daemon has one (see
+	// Options.QualityStore), through the committed fallback table
+	// otherwise — so an auto request shares its cache slot, ETag, and
+	// bit-identical response with the equivalent direct request.
 	Algorithm string        `json:"algorithm,omitempty"`
 	Topology  *WireTopology `json:"topology,omitempty"`
+	// AutoRace, with algorithm "auto", additionally runs the model's
+	// top-ranked candidates on free workers and answers with the one
+	// whose simulated makespan plus modeled scheduling time is lowest
+	// (ties broken on the tag, so the winner is deterministic). Every
+	// candidate is computed under its own content key, so racing warms
+	// the cache for the losers too. Ignored for concrete algorithms.
+	AutoRace bool `json:"auto_race,omitempty"`
 	// Seed perturbs the randomized schedulers and the generated
 	// workload. It is part of the cache key; the effective RNG seed is
 	// derived from the full request content, so identical requests
@@ -485,7 +497,11 @@ func resolveSchedule(sj *WireSchedule) (*sched.Schedule, error) {
 		return nil, badRequest("missing schedule")
 	}
 	if !knownScheduleAlgorithms[sj.Algorithm] {
-		return nil, badRequest("unknown schedule algorithm %q (want LP, RS_N, RS_NL, RS_NL_SZ, GREEDY, GREEDY_LF, or GREEDY_LF_LINK)", sj.Algorithm)
+		// The want-list must name everything knownScheduleAlgorithms
+		// accepts — AC included, even though an AC schedule is rejected
+		// one gate later for carrying no phases: a client that sent
+		// "ac" should learn the tag exists, not that it doesn't.
+		return nil, badRequest("unknown schedule algorithm %q (want AC, LP, RS_N, RS_NL, RS_NL_SZ, GREEDY, GREEDY_LF, or GREEDY_LF_LINK)", sj.Algorithm)
 	}
 	if sj.Algorithm == "AC" {
 		// resolveSchedule is only reached for schedules with phases; an

@@ -459,6 +459,25 @@ func (sp Spec) DensityHint(n int) int {
 	}
 }
 
+// SizeCVHint returns the nominal coefficient of variation (std/mean)
+// of the built pattern's message sizes, without building anything:
+// exactly 0 for the fixed-size kinds (every message carries Bytes),
+// and a coarse analytic hint for the aggregating kinds whose message
+// sizes emerge from the partition — spmv's power-law row weights put
+// it around 1, the halo and stencil boundary cross sections vary
+// moderately. The hint only has to land in the right quality-model
+// band; it is not a measurement.
+func (sp Spec) SizeCVHint() float64 {
+	switch sp.Kind {
+	case "spmv":
+		return 1.0
+	case "halo", "stencil3d":
+		return 0.4
+	default:
+		return 0
+	}
+}
+
 // Stream-key tags for the non-uniform kinds. The uniform kind's key is
 // the bare historical (D, Bytes) tuple — both components positive — so
 // classic density sweeps reproduce their goldens; every other kind
