@@ -155,6 +155,12 @@ type (
 	// feature bin; its Pick answers what "auto" resolves to. A nil
 	// model answers from the committed fallback table.
 	QualityModel = quality.Model
+	// PeerHealth is one fleet member's reachability in a /healthz
+	// response; present only when the server runs in fleet mode
+	// (ServerOptions.Peers). Advisory: unreachable peers never flip
+	// the overall health status, because a fleet member always falls
+	// back to computing locally.
+	PeerHealth = service.PeerHealth
 )
 
 // Content types the service negotiates; see the README's wire-format
@@ -348,9 +354,14 @@ func NewExperimentRunner(cfg ExperimentConfig, parallelism int) *ExperimentRunne
 // measurement grids asynchronously, and a full queue answers 429.
 // Setting ServerOptions.CacheDir persists the memoization cache to
 // disk and warm-restarts from it, so a rebooted daemon serves
-// previously computed responses without recomputing; the only error is
-// an unusable cache directory. Close the server to drain workers,
-// cancel campaigns, and flush queued cache records.
+// previously computed responses without recomputing. Setting
+// ServerOptions.Peers (plus SelfURL) joins a fleet: rendezvous hashing
+// assigns every cache key an owning member, misses on non-owned keys
+// try a budgeted, hedged peer fetch before computing, and locally
+// computed non-owned records are pushed to their owner asynchronously;
+// every peer failure degrades to local compute. Close the server to
+// drain workers, cancel campaigns, flush queued cache records, and
+// drain pending peer pushes.
 func NewServer(opts ServerOptions) (*Server, error) { return service.NewServer(opts) }
 
 // NewSimMachine returns a reusable simulator for the topology and

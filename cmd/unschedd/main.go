@@ -6,6 +6,7 @@
 //
 //	unschedd [-addr :8080] [-workers 0] [-queue 0] [-cache 4096]
 //	         [-cache-dir DIR] [-quality-db FILE] [-campaigns 2]
+//	         [-peers URL,URL,...] [-self URL] [-peer-budget 75ms]
 //	         [-pprof-addr ADDR]
 //
 // Endpoints (see internal/service for the wire formats):
@@ -39,6 +40,18 @@
 // re-paying every O(n^2) schedule. Corrupt or truncated records are
 // skipped and counted on /metrics, never fatal.
 //
+// With -peers (plus -self, this daemon's own URL from the list), N
+// daemons form a fleet serving one logical cache: rendezvous hashing
+// assigns every content-hash key an owner, a cache miss on a
+// non-owned key asks the owner for its checksummed record (with a
+// hedged second probe to the next-ranked peer) before computing, and
+// locally computed non-owned records are pushed to their owner in the
+// background. Peer lookups are budgeted (-peer-budget); any peer
+// failure falls back to local compute, so a fleet can only make a
+// daemon faster, never unavailable. The internal record endpoints
+// (GET/PUT /v1/cache/{key}) should stay off the public edge, like
+// /metrics. See the README's "Fleet mode" section.
+//
 // With -quality-db, schedule requests may say "algorithm": "auto": the
 // daemon resolves the tag from a calibration model built over the
 // store before any cache-key fingerprinting, and every finished
@@ -63,11 +76,25 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"unsched/internal/service"
 )
+
+// splitPeers parses the -peers list: comma-separated, blanks skipped,
+// whitespace trimmed. URL validation itself lives in the fleet layer,
+// which rejects a malformed member loudly at startup.
+func splitPeers(csv string) []string {
+	var out []string
+	for _, p := range strings.Split(csv, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -77,6 +104,9 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "directory for disk-backed cache persistence; empty keeps the cache in memory only")
 	qualityDB := flag.String("quality-db", "", "quality store file calibrating algorithm \"auto\"; campaigns append to it, empty uses the committed fallback table only")
 	campaigns := flag.Int("campaigns", 2, "maximum concurrently running campaigns")
+	peers := flag.String("peers", "", "comma-separated base URLs of every fleet member (enables fleet mode); empty runs solo")
+	self := flag.String("self", "", "this daemon's own base URL as peers reach it; required with -peers")
+	peerBudget := flag.Duration("peer-budget", 0, "peer lookup budget, hedge included; 0 means 75ms")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown deadline")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables profiling")
 	flag.Parse()
@@ -88,6 +118,9 @@ func main() {
 		CacheDir:     *cacheDir,
 		QualityStore: *qualityDB,
 		MaxCampaigns: *campaigns,
+		Peers:        splitPeers(*peers),
+		SelfURL:      *self,
+		PeerBudget:   *peerBudget,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "unschedd:", err)

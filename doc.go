@@ -142,6 +142,20 @@
 // recompute. A full queue sheds load with 429; Close drains
 // gracefully.
 //
+// Daemons scale out without coordination: since the cache is
+// content-addressed, ServerOptions.Peers (cmd/unschedd -peers) joins
+// N daemons into a fleet serving one logical cache. Rendezvous
+// hashing assigns every key an owning member, a miss on a non-owned
+// key fetches the owner's checksummed record (budgeted, with a hedged
+// second probe near p90) under the same single-flight slot before
+// computing, and locally computed non-owned records are pushed to
+// their owner by a bounded write-behind queue — so the fleet
+// converges on one compute per unique key while every member's
+// responses stay byte-identical to a solo daemon's. Peers are an
+// accelerator, never a dependency: any peer failure falls back to
+// local compute. See the README's "Fleet mode" section and
+// examples/fleet for the 3-daemon walkthrough.
+//
 // # Algorithm selection
 //
 // The daemon also answers "algorithm": "auto" — a portfolio

@@ -1,0 +1,243 @@
+package unsched
+
+// Fleet-mode benchmarks, tracked by cmd/benchgate in CI. The claim
+// under test is the one the fleet exists for: serving a peer-cached
+// 64-node RS_NL schedule over the internal record endpoint is several
+// times cheaper than recomputing it locally, so a fleet member that
+// misses on a non-owned key should always try its owner first. Both
+// HTTP benchmarks report the transfer size as wire_bytes so a
+// regression in record compactness trips the gate too.
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"unsched/internal/fleet"
+)
+
+// fleetBenchRequest is the paper-scale unit of work: 64 nodes, 32
+// messages per node (the dense end of the paper's sweep), scheduled
+// link-contention-free on the 6-cube.
+func fleetBenchRequest(b *testing.B) []byte {
+	b.Helper()
+	body, err := json.Marshal(ScheduleRequest{
+		Workload:  "uniform:32:65536",
+		Algorithm: "RS_NL",
+		Topology:  &WireTopology{Spec: "cube:6"},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return body
+}
+
+// fleetBenchHandler lets the two listeners exist (and hand out their
+// URLs) before the servers that need those URLs are constructed.
+type fleetBenchHandler struct {
+	mu sync.RWMutex
+	h  http.Handler
+}
+
+func (s *fleetBenchHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	h := s.h
+	s.mu.RUnlock()
+	if h == nil {
+		http.Error(w, "starting", http.StatusServiceUnavailable)
+		return
+	}
+	h.ServeHTTP(w, r)
+}
+
+// fleetBenchContentKey discovers the request's content-hash key (the
+// unquoted ETag) from a throwaway solo daemon; the key is a pure
+// function of the request, so it is identical fleet-wide.
+func fleetBenchContentKey(b *testing.B, body []byte) string {
+	b.Helper()
+	srv, err := NewServer(ServerOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer func() { ts.Close(); srv.Close() }()
+	resp, err := http.Post(ts.URL+"/v1/schedule", ContentTypeJSON, bytes.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("key-discovery request: %d", resp.StatusCode)
+	}
+	etag := strings.Trim(resp.Header.Get("ETag"), `"`)
+	if etag == "" {
+		b.Fatal("key-discovery response carried no ETag")
+	}
+	return etag
+}
+
+// fleetBenchPair stands up a two-member fleet where the benchmark
+// request's key is owned by the OTHER member: the returned URL is the
+// non-owner, with local caching disabled so every request to it pays
+// the full miss path — which in fleet mode is a peer fetch of the
+// owner's checksummed record instead of an O(n^2) recompute.
+func fleetBenchPair(b *testing.B, body []byte) (nonOwnerURL string) {
+	b.Helper()
+	key := fleetBenchContentKey(b, body)
+
+	handlers := [2]*fleetBenchHandler{{}, {}}
+	var tss [2]*httptest.Server
+	urls := make([]string, 2)
+	for i := range tss {
+		tss[i] = httptest.NewServer(handlers[i])
+		urls[i] = tss[i].URL
+	}
+
+	// Ask the same rendezvous hash the members use who owns the key.
+	// Ownership depends only on member URLs and key bytes, so identity
+	// codec hooks are fine here.
+	identity := func(_ string, v []byte) ([]byte, error) { return v, nil }
+	fl, err := fleet.New(fleet.Options{Self: urls[0], Peers: urls, Encode: identity, Decode: identity})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ownerIdx := 0
+	if fl.Owner(key) == urls[1] {
+		ownerIdx = 1
+	}
+	fl.Close(0)
+	nonIdx := 1 - ownerIdx
+
+	var servers [2]*Server
+	for i := range servers {
+		opts := ServerOptions{
+			Peers:      urls,
+			SelfURL:    urls[i],
+			PeerBudget: 2 * time.Second, // generous: CI jitter must not skew the measurement with fallback computes
+		}
+		if i == nonIdx {
+			opts.CacheEntries = -1 // never memoize locally: every request exercises the peer path
+		}
+		srv, err := NewServer(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		servers[i] = srv
+		handlers[i].mu.Lock()
+		handlers[i].h = srv
+		handlers[i].mu.Unlock()
+	}
+	b.Cleanup(func() {
+		for i := range servers {
+			tss[i].Close()
+			servers[i].Close()
+		}
+	})
+
+	// Prime the owner: one compute, after which its memory cache holds
+	// the canonical record the non-owner will fetch.
+	resp, err := http.Post(urls[ownerIdx]+"/v1/schedule", ContentTypeJSON, bytes.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("prime request: %d", resp.StatusCode)
+	}
+	return urls[nonIdx]
+}
+
+// BenchmarkScheduleHTTPPeerHit is the fleet counterpart of
+// BenchmarkScheduleHTTPCachedJSON: the same schedule response, but the
+// serving member holds nothing locally — every request walks client ->
+// non-owner -> owner's record endpoint -> client, end to end.
+func BenchmarkScheduleHTTPPeerHit(b *testing.B) {
+	body := fleetBenchRequest(b)
+	url := fleetBenchPair(b, body)
+	hdr := map[string]string{"Accept-Encoding": "identity"}
+	var n int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n = wireBenchDo(b, url+"/v1/schedule", body, hdr, http.StatusOK)
+	}
+	b.ReportMetric(float64(n), "wire_bytes")
+}
+
+// BenchmarkPeerFetchVsRecompute puts the miss path's actual choice on
+// the record. When a fleet member misses on a non-owned key it can
+// either fetch the owner's canonical record — one GET of raw
+// checksummed bytes, no JSON marshal anywhere — or recompute the
+// schedule locally. PeerFetch measures the first alternative against
+// a live owner daemon; Recompute measures the second (a solo daemon
+// with caching disabled paying the full scheduling computation). The
+// gate tracks both; PeerFetch must stay several times cheaper, since
+// that margin is the reason the fleet's miss path tries it first.
+func BenchmarkPeerFetchVsRecompute(b *testing.B) {
+	b.Run("PeerFetch", func(b *testing.B) {
+		body := fleetBenchRequest(b)
+		key := fleetBenchContentKey(b, body)
+		srv, err := NewServer(ServerOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ts := httptest.NewServer(srv)
+		b.Cleanup(func() { ts.Close(); srv.Close() })
+		// Prime the owner's cache with the one computation.
+		resp, err := http.Post(ts.URL+"/v1/schedule", ContentTypeJSON, bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("prime request: %d", resp.StatusCode)
+		}
+		url := ts.URL + "/v1/cache/" + key
+		var n int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			req, err := http.NewRequest(http.MethodGet, url, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			req.Header.Set("Accept-Encoding", "identity")
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			n, err = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if resp.StatusCode != http.StatusOK {
+				b.Fatalf("record fetch: %d", resp.StatusCode)
+			}
+		}
+		b.ReportMetric(float64(n), "wire_bytes")
+	})
+	b.Run("Recompute", func(b *testing.B) {
+		body := fleetBenchRequest(b)
+		srv, err := NewServer(ServerOptions{CacheEntries: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ts := httptest.NewServer(srv)
+		b.Cleanup(func() { ts.Close(); srv.Close() })
+		hdr := map[string]string{"Accept-Encoding": "identity"}
+		var n int
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			n = wireBenchDo(b, ts.URL+"/v1/schedule", body, hdr, http.StatusOK)
+		}
+		b.ReportMetric(float64(n), "wire_bytes")
+	})
+}

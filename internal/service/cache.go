@@ -2,6 +2,7 @@ package service
 
 import (
 	"container/list"
+	"strings"
 	"sync"
 )
 
@@ -155,6 +156,24 @@ func (g *flightGroup) finish(key string, c *flightCall, raw []byte, err error) {
 	delete(g.calls, key)
 	g.mu.Unlock()
 	close(c.done)
+}
+
+// keys snapshots the canonical cached keys, for the fleet
+// shard-balance gauge. Variant renderings ("<key>#b") are skipped:
+// each shadows a canonical entry and would double-count its owner.
+func (c *scheduleCache) keys() []string {
+	var out []string
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for el := s.order.Front(); el != nil; el = el.Next() {
+			if k := el.Value.(*cacheEntry).key; !strings.ContainsRune(k, '#') {
+				out = append(out, k)
+			}
+		}
+		s.mu.Unlock()
+	}
+	return out
 }
 
 // len returns the total number of cached entries.

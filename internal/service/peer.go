@@ -1,0 +1,238 @@
+package service
+
+// Fleet mode: the service side of internal/fleet. Three pieces live
+// here — the internal cache-record endpoints peers talk to, the
+// peer-fill step the memoization miss path runs before computing, and
+// the /metrics and /healthz surfaces of the fleet layer.
+//
+// The wire unit is the USCR record from persist.go, verbatim: the
+// same checksummed, self-describing framing the disk store writes is
+// what GET /v1/cache/{key} serves and PUT /v1/cache/{key} accepts, so
+// an on-disk record file can be shipped to a peer byte-for-byte with
+// no re-marshaling, and every fetched record is CRC-validated (and
+// key-matched) before a single byte of it enters the cache.
+
+import (
+	"compress/gzip"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+
+	"unsched/internal/fleet"
+)
+
+// ContentTypeCacheRecord labels the USCR record bytes exchanged by
+// the internal /v1/cache/{key} endpoints.
+const ContentTypeCacheRecord = "application/x-unsched-cache-record"
+
+// newFleetLayer builds the fleet from the service options: nil (solo)
+// when no peers are configured, an error when the membership is
+// malformed — a misconfigured fleet must fail startup loudly, not
+// silently run solo. The Encode/Decode hooks wire the fleet's opaque
+// record bytes to the USCR codec, key match included.
+func newFleetLayer(opts Options) (*fleet.Fleet, error) {
+	if len(opts.Peers) == 0 {
+		return nil, nil
+	}
+	if opts.SelfURL == "" {
+		return nil, errors.New("service: Peers configured without SelfURL (rendezvous ownership needs this daemon's own base URL)")
+	}
+	return fleet.New(fleet.Options{
+		Self:           opts.SelfURL,
+		Peers:          opts.Peers,
+		Budget:         opts.PeerBudget,
+		PushQueue:      opts.PeerPushQueue,
+		CachePath:      "/v1/cache/",
+		MaxRecordBytes: maxRecordBytes,
+		Encode:         encodeRecord,
+		Decode: func(key string, body []byte) ([]byte, error) {
+			k, value, err := decodeRecord(body)
+			if err != nil {
+				return nil, err
+			}
+			if k != key {
+				return nil, errRecordKey
+			}
+			return value, nil
+		},
+	})
+}
+
+// handleCacheGet serves the raw canonical USCR record for a key: from
+// the memoization cache (framed on the fly) or, failing that, the
+// disk store's record file verbatim — in both cases bypassing JSON
+// marshaling entirely. This is the internal endpoint peer fill reads;
+// like /metrics, deployments should keep it off the public edge.
+func (s *Server) handleCacheGet(w http.ResponseWriter, r *http.Request) {
+	s.requests[epCache].Add(1)
+	key := r.PathValue("key")
+	if !validRecordKey(key) {
+		// Invalid keys 404 rather than 400: the distinction would leak
+		// nothing useful, and probes treat any non-200 as a miss/error.
+		writeError(w, &apiError{status: http.StatusNotFound, msg: "no record for key"})
+		return
+	}
+	var rec []byte
+	if value, ok := s.cache.get(key); ok {
+		var err error
+		if rec, err = encodeRecord(key, value); err != nil {
+			writeError(w, err)
+			return
+		}
+	} else if s.disk != nil {
+		rec = s.disk.readRecord(key)
+	}
+	if rec == nil {
+		writeError(w, &apiError{status: http.StatusNotFound, msg: "no record for key"})
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", ContentTypeCacheRecord)
+	if acceptsGzip(r) {
+		h.Set("Content-Encoding", "gzip")
+		w.WriteHeader(http.StatusOK)
+		gz := gzipPool.Get().(*gzip.Writer)
+		gz.Reset(w)
+		_, _ = gz.Write(rec)
+		_ = gz.Close() // the peer is gone if either fails; nothing to do
+		gzipPool.Put(gz)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(rec)
+}
+
+// handleCachePut accepts a write-behind push: a USCR record computed
+// by a peer for a key this daemon owns. The record must decode, pass
+// its CRC, and embed the key it was addressed to; anything else is
+// rejected before touching the cache.
+func (s *Server) handleCachePut(w http.ResponseWriter, r *http.Request) {
+	s.requests[epCache].Add(1)
+	key := r.PathValue("key")
+	if !validRecordKey(key) {
+		writeError(w, badRequest("bad record key"))
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxRecordBytes+1))
+	if err != nil {
+		writeError(w, badRequest("reading record: %v", err))
+		return
+	}
+	if len(body) > maxRecordBytes {
+		writeError(w, &apiError{status: http.StatusRequestEntityTooLarge,
+			msg: fmt.Sprintf("record exceeds %d bytes", maxRecordBytes)})
+		return
+	}
+	k, value, err := decodeRecord(body)
+	if err != nil {
+		writeError(w, badRequest("bad record: %v", err))
+		return
+	}
+	if k != key {
+		writeError(w, badRequest("record key %s does not match path key %s", k, key))
+		return
+	}
+	// A pushed record is a computed response this daemon owns: memoize
+	// it and (when persistence is on) write it through to disk, exactly
+	// as if computed locally.
+	s.cachePut(key, value)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// readRecord returns the raw framed record bytes for key, or nil.
+// The bytes are decode-validated before serving — a corrupt file must
+// read as a miss here, not ship to a peer that would reject it anyway.
+func (ds *diskStore) readRecord(key string) []byte {
+	raw, err := os.ReadFile(filepath.Join(ds.dir, key+recordSuffix))
+	if err != nil || len(raw) > maxRecordBytes {
+		return nil
+	}
+	k, _, err := decodeRecord(raw)
+	if err != nil || k != key {
+		return nil
+	}
+	return raw
+}
+
+// peerFill serves a cache miss from the key's fleet owner: when fleet
+// mode is on and this daemon does not own the key, the owner (hedged
+// to the next-ranked peer) is asked for the canonical record under
+// the caller's single-flight slot. The fetched JSON form is memoized
+// memory-only — the owner already persists it; re-persisting here
+// would double the fleet's disk footprint — and rendered to binary on
+// demand like any cached entry. ok=false on any failure: the caller
+// computes locally, so a peer can never make this daemon unavailable.
+func (s *Server) peerFill(ctx context.Context, ep int, key string, enc encoding,
+	decodeDoc func([]byte) (wireDoc, error)) ([]byte, bool) {
+	if s.fleet == nil || s.fleet.Owns(key) {
+		return nil, false
+	}
+	jsonRaw, ok := s.fleet.Fetch(ctx, key)
+	if !ok {
+		return nil, false
+	}
+	s.cache.put(key, jsonRaw)
+	if enc == encJSON {
+		s.cacheHits[ep].Add(1)
+		return jsonRaw, true
+	}
+	doc, err := decodeDoc(jsonRaw)
+	if err != nil {
+		// CRC-valid but undecodable means result-document drift between
+		// daemon versions; computing locally is the safe answer.
+		return nil, false
+	}
+	bin := doc.appendBinaryPayload(nil)
+	s.cache.put(variantKey(key, enc), bin)
+	s.cacheHits[ep].Add(1)
+	return bin, true
+}
+
+// emitPeerMetrics writes the fleet series of /metrics. Counters and
+// the lookup-latency summary are emitted even solo (all zero),
+// matching the disk series' convention — scrapers should not need
+// per-deployment series sets. The shard-balance gauge (how many of
+// this daemon's cached keys each member owns) is fleet-only: it has
+// no meaningful solo shape.
+func (s *Server) emitPeerMetrics(w io.Writer) {
+	var fs fleet.Stats
+	if s.fleet != nil {
+		fs = s.fleet.Stats()
+	}
+	series := []struct {
+		name  string
+		value int64
+	}{
+		{"unschedd_peer_lookup_total", fs.Lookups},
+		{"unschedd_peer_hit_total", fs.Hits},
+		{"unschedd_peer_miss_total", fs.Misses},
+		{"unschedd_peer_error_total", fs.Errors},
+		{"unschedd_peer_hedge_total", fs.Hedges},
+		{"unschedd_peer_push_total", fs.Pushes},
+		{"unschedd_peer_push_error_total", fs.PushErrors},
+		{"unschedd_peer_push_drop_total", fs.PushDrops},
+	}
+	for _, sr := range series {
+		fmt.Fprintf(w, "# TYPE %s counter\n", sr.name)
+		fmt.Fprintf(w, "%s %d\n", sr.name, sr.value)
+	}
+	fmt.Fprintf(w, "# TYPE unschedd_peer_lookup_seconds summary\n")
+	fmt.Fprintf(w, "unschedd_peer_lookup_seconds{quantile=\"0.9\"} %g\n", fs.LookupP90)
+	fmt.Fprintf(w, "unschedd_peer_lookup_seconds_sum %g\n", fs.LookupSum)
+	fmt.Fprintf(w, "unschedd_peer_lookup_seconds_count %d\n", fs.LookupCount)
+	if s.fleet != nil {
+		members := s.fleet.Members()
+		counts := make(map[string]int, len(members))
+		for _, key := range s.cache.keys() {
+			counts[s.fleet.Owner(key)]++
+		}
+		fmt.Fprintf(w, "# TYPE unschedd_peer_owned_keys gauge\n")
+		for _, m := range members {
+			fmt.Fprintf(w, "unschedd_peer_owned_keys{peer=%q} %d\n", m, counts[m])
+		}
+	}
+}

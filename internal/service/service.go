@@ -12,8 +12,13 @@
 //	POST /v1/campaign        async measurement grid (density sweep or
 //	                         workload-spec list); returns a job id
 //	GET  /v1/campaign/{id}   progress and, when done, the measured cells
-//	GET  /healthz            liveness
+//	GET  /healthz            liveness (plus per-peer reachability in
+//	                         fleet mode)
 //	GET  /metrics            Prometheus-style text counters
+//	GET  /v1/cache/{key}     internal: the raw checksummed cache record
+//	                         for a content-hash key (fleet peer fill)
+//	PUT  /v1/cache/{key}     internal: accept a peer's write-behind
+//	                         record push
 //
 // Requests are JSON. Synchronous responses are negotiated via Accept:
 // application/json (the default) or application/x-unsched-binary, the
@@ -48,6 +53,14 @@
 // flushes the pending write batch. See persist.go for the record
 // format. Only the canonical JSON form is persisted; binary
 // renderings are derived from it on demand and cached in memory.
+//
+// With Options.Peers set, N daemons behave as one logical cache
+// (fleet mode): rendezvous hashing assigns every content-hash key an
+// owner, a miss on a non-owned key asks the owner for its record
+// (hedged, budgeted, CRC-verified) before computing, and locally
+// computed non-owned records are pushed to their owner write-behind.
+// Peers can only make a daemon faster — any peer failure falls back
+// to local compute. See internal/fleet and peer.go.
 package service
 
 import (
@@ -66,6 +79,7 @@ import (
 	"unsched/internal/costmodel"
 	"unsched/internal/des"
 	"unsched/internal/expt"
+	"unsched/internal/fleet"
 	"unsched/internal/ipsc"
 	"unsched/internal/quality"
 	"unsched/internal/sched"
@@ -111,6 +125,27 @@ type Options struct {
 	// "auto" still works, answered from the committed fallback table.
 	// An unreadable store file fails NewServer loudly, like CacheDir.
 	QualityStore string
+	// Peers lists the base URLs of every daemon in this one's fleet
+	// (static membership; SelfURL may appear in the list). Non-empty
+	// enables fleet mode: each content-hash key is assigned an owner by
+	// rendezvous hashing, cache misses on non-owned keys ask the owner
+	// (with a hedged second attempt) before computing, and locally
+	// computed non-owned records are pushed to their owner
+	// asynchronously. Empty keeps today's solo behavior. See
+	// internal/fleet and the README's fleet-mode section.
+	Peers []string
+	// SelfURL is this daemon's own base URL exactly as the rest of the
+	// fleet reaches it; required when Peers is set (it anchors
+	// ownership — every member must rank the identical URL set).
+	SelfURL string
+	// PeerBudget bounds one peer lookup end to end, hedge included;
+	// a peer that cannot answer inside it loses to local compute.
+	// <= 0 means 75ms.
+	PeerBudget time.Duration
+	// PeerPushQueue bounds the write-behind queue of computed records
+	// awaiting push to their owner; overflow drops rather than blocks.
+	// <= 0 means 256.
+	PeerPushQueue int
 }
 
 func (o Options) withDefaults() Options {
@@ -162,6 +197,10 @@ type Server struct {
 	// the open store itself, nil when QualityStore is unset.
 	quality atomic.Pointer[quality.Model]
 	qstore  *quality.Store
+	// fleet is the peer layer when Options.Peers is set: rendezvous
+	// ownership, hedged record fetch on the miss path, and the
+	// write-behind push queue. nil means solo. See peer.go.
+	fleet *fleet.Fleet
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -203,10 +242,11 @@ const (
 	epCampaign
 	epCampaignGet
 	epBatch
+	epCache
 	numEndpoints
 )
 
-var endpointNames = [numEndpoints]string{"schedule", "simulate", "campaign", "campaign_status", "schedule_batch"}
+var endpointNames = [numEndpoints]string{"schedule", "simulate", "campaign", "campaign_status", "schedule_batch", "cache"}
 
 // statusClientClosedRequest is the non-standard but widely used (nginx)
 // status for a client that disconnected before its response was ready:
@@ -267,6 +307,19 @@ func NewServer(opts Options) (*Server, error) {
 		}
 		s.quality.Store(model)
 	}
+	fl, err := newFleetLayer(opts)
+	if err != nil {
+		cancel()
+		s.pool.close()
+		if s.disk != nil {
+			s.disk.close()
+		}
+		if s.qstore != nil {
+			_ = s.qstore.Close()
+		}
+		return nil, err
+	}
+	s.fleet = fl
 	s.mux.HandleFunc("POST /v1/schedule", s.handleSchedule)
 	s.mux.HandleFunc("POST /v1/schedule/batch", s.handleScheduleBatch)
 	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
@@ -274,6 +327,12 @@ func NewServer(opts Options) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/campaign/{id}", s.handleCampaignStatus)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	// Internal fleet endpoints (always mounted — a solo daemon serving
+	// its records is harmless and lets fleets be grown without
+	// restarting existing members). Keep them off the public edge,
+	// like /metrics.
+	s.mux.HandleFunc("GET /v1/cache/{key}", s.handleCacheGet)
+	s.mux.HandleFunc("PUT /v1/cache/{key}", s.handleCachePut)
 	return s, nil
 }
 
@@ -290,6 +349,12 @@ func (s *Server) Close() {
 	s.cancel()
 	s.pool.close()
 	s.wg.Wait()
+	if s.fleet != nil {
+		// Drain the write-behind push queue (bounded by a deadline) so a
+		// clean shutdown does not strand freshly computed records their
+		// owners never saw.
+		s.fleet.Close(5 * time.Second)
+	}
 	if s.disk != nil {
 		s.disk.close()
 	}
@@ -451,6 +516,16 @@ func (s *Server) memoized(ctx context.Context, ep int, key string, enc encoding,
 		}
 		return call.raw, true, nil
 	}
+	// Peer fill before computing: in fleet mode, a non-owned key may
+	// already live at its rendezvous owner, and fetching its canonical
+	// record under this flight slot is far cheaper than an O(n^2)
+	// recompute. A successful fill is a cache hit (remote, but cached
+	// bytes); only an actual computation below counts as a miss —
+	// which is what keeps misses at one fleet-wide per unique key.
+	if payload, ok := s.peerFill(ctx, ep, key, enc, decodeDoc); ok {
+		s.flights.finish(vkey, call, payload, nil)
+		return payload, true, nil
+	}
 	s.cacheMisses[ep].Add(1)
 	raw, err := func() ([]byte, error) {
 		var (
@@ -478,6 +553,12 @@ func (s *Server) memoized(ctx context.Context, ep int, key string, enc encoding,
 		// always cached (and write-through persisted); a binary leader
 		// additionally caches its rendering, memory-only.
 		s.cachePut(key, jsonRaw)
+		if s.fleet != nil && !s.fleet.Owns(key) {
+			// Write-behind: this daemon computed a record it does not
+			// own; ship it to the owner asynchronously so the rest of
+			// the fleet finds it there. Never blocks (drop-on-full).
+			s.fleet.Push(key, jsonRaw)
+		}
 		if enc == encJSON {
 			return jsonRaw, nil
 		}
@@ -1017,10 +1098,19 @@ func (s *Server) handleCampaignStatus(w http.ResponseWriter, r *http.Request) {
 // --- /healthz and /metrics ------------------------------------------
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, HealthStatus{
+	doc := HealthStatus{
 		Status:  "ok",
 		Workers: s.opts.Workers,
-	})
+	}
+	if s.fleet != nil {
+		// Per-peer reachability: parallel short-timeout probes of each
+		// remote member's /healthz. An unreachable peer does not turn
+		// this daemon unhealthy — fleet misses degrade to local compute.
+		for _, p := range s.fleet.Reachability(r.Context()) {
+			doc.Peers = append(doc.Peers, PeerHealth{URL: p.URL, Reachable: p.Reachable})
+		}
+	}
+	writeJSON(w, http.StatusOK, doc)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -1100,4 +1190,5 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "unschedd_campaigns_total %d\n", s.totalJobs.Load())
 	fmt.Fprintf(w, "# TYPE unschedd_campaigns_running gauge\n")
 	fmt.Fprintf(w, "unschedd_campaigns_running %d\n", len(s.campaigns.running))
+	s.emitPeerMetrics(w)
 }

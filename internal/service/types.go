@@ -251,6 +251,16 @@ type CampaignAccepted struct {
 type HealthStatus struct {
 	Status  string `json:"status"`
 	Workers int    `json:"workers"`
+	// Peers reports per-peer reachability in fleet mode (absent solo).
+	// Unreachable peers never flip Status: fleet lookups degrade to
+	// local compute, so peer health is advisory, not liveness.
+	Peers []PeerHealth `json:"peers,omitempty"`
+}
+
+// PeerHealth is one fleet peer's reachability as probed by /healthz.
+type PeerHealth struct {
+	URL       string `json:"url"`
+	Reachable bool   `json:"reachable"`
 }
 
 // ErrorDetail is the structured half of an error response: a stable
